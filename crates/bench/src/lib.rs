@@ -1,0 +1,201 @@
+//! Shared harness logic for the per-figure benchmark binaries.
+//!
+//! Every figure and in-text quantitative claim of the paper has a binary
+//! in `src/bin/` that prints the corresponding rows/series (see
+//! EXPERIMENTS.md for the paper-vs-measured record):
+//!
+//! | binary             | artefact  |
+//! |--------------------|-----------|
+//! | `fig4_fom`         | Fig. 4 — PIConGPU FOM weak scaling (Frontier vs Summit) |
+//! | `fig6_streaming`   | Fig. 6 — full-scale streaming throughput by data plane |
+//! | `fig8_weak_scaling`| Fig. 8 — in-transit training weak scaling 8→96 nodes |
+//! | `fig9_inversion`   | Fig. 9 — spectra + momentum inversion quality |
+//! | `text_metrics`     | in-text numbers: EMD/CD ≈ 4×, n_rep sweep, socket limit, NIC headroom |
+//!
+//! The models here combine *measured* small-scale runs (real code paths on
+//! this machine) with the `as-cluster` wall-clock models at paper scale.
+
+use as_cluster::collectives::{allgather_cost, allreduce_cost, graph_break_penalty, AllReduceAlgo};
+use as_cluster::machine::{MachineSpec, FRONTIER};
+use as_staging::dataplane::DataPlane;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fig. 6 model: Monte-Carlo per-node throughput samples for one data
+/// plane at one node count. Returns per-node rates in bytes/second.
+///
+/// Per-measurement noise (fabric congestion, placement) is modelled as a
+/// ±15 % multiplicative spread, matching the paper's boxplot widths.
+pub fn fig6_per_node_samples(
+    plane: DataPlane,
+    nodes: usize,
+    bytes_per_node: f64,
+    trials: usize,
+    seed: u64,
+) -> Option<Vec<f64>> {
+    if !plane.scales_to(nodes) {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ nodes as u64);
+    let ops = 64; // remote read requests per step per node
+    let base = bytes_per_node / plane.read_time(bytes_per_node, ops, FRONTIER.nic_bandwidth);
+    // Mild congestion droop at scale: metadata fan-in to rank 0 grows
+    // with the writer count (§IV-D), shaving a few percent per 2× nodes.
+    let droop = 1.0 - 0.018 * (nodes as f64 / 4096.0).log2().max(0.0);
+    Some(
+        (0..trials)
+            .map(|_| base * droop * rng.gen_range(0.85..1.15))
+            .collect(),
+    )
+}
+
+/// Fig. 8 model: seconds per training batch at `nodes` nodes with 4
+/// training GCDs per node (intra-node placement).
+///
+/// `t_compute` is the single-GCD batch time (weak scaling keeps it
+/// constant); gradients of the paper model are ≈17 MB fp32. Two overheads
+/// reduce efficiency, as §V-A attributes: the DDP ring all-reduce (~30 %
+/// deficit) and the naive distributed MMD (all-gather + graph break,
+/// work replicated across ranks).
+pub fn fig8_batch_time(spec: &MachineSpec, nodes: usize, t_compute: f64, grad_bytes: f64) -> f64 {
+    let gcds = nodes * 4;
+    let ar = allreduce_cost(spec, AllReduceAlgo::Ring, gcds, 4, grad_bytes);
+    // MMD terms: latent matrices (batch×544 fp32 per rank) are gathered to
+    // every rank and the kernel matrix is recomputed everywhere; the
+    // graph break serialises it with host sync.
+    let latent_bytes = 8.0 * 544.0 * 4.0;
+    let ag = allgather_cost(spec, gcds, 4, latent_bytes);
+    let brk = graph_break_penalty(gcds, 120e-6, 14e-6);
+    // Replicated kernel-matrix work: every rank recomputes the MMD kernel
+    // over the *gathered global batch* (8 samples per GCD), an
+    // O((8·gcds)²) cost that torch < 2.2 offered no distributed primitive
+    // for — the paper's second efficiency sink.
+    let global_batch = 8.0 * gcds as f64;
+    let mmd_compute = 7.0e-10 * global_batch * global_batch;
+    t_compute + ar.total() + ag.total() + brk + mmd_compute
+}
+
+/// Fig. 8 efficiency relative to the smallest size (8 nodes), for the
+/// paper's x-axis points.
+pub fn fig8_efficiency_series(t_compute: f64, grad_bytes: f64) -> Vec<(usize, f64)> {
+    let nodes = [8usize, 16, 24, 48, 96];
+    let t8 = fig8_batch_time(&FRONTIER, 8, t_compute, grad_bytes);
+    nodes
+        .iter()
+        .map(|&n| {
+            let t = fig8_batch_time(&FRONTIER, n, t_compute, grad_bytes);
+            (n, t8 / t)
+        })
+        .collect()
+}
+
+/// Paper-model gradient volume: ≈4.3 M parameters in fp32.
+pub const PAPER_GRAD_BYTES: f64 = 4.3e6 * 4.0;
+
+/// Single-GCD batch compute time used for the Fig. 8 model (MI250X-class,
+/// batch 8; calibrated so the modelled efficiency at 96 nodes lands at
+/// the paper's ≈35 %).
+pub const PAPER_BATCH_COMPUTE: f64 = 3.0e-3;
+
+/// Render a five-number summary row like the Fig. 6 boxplots.
+pub fn format_box_row(label: &str, samples: &[f64], scale: f64, unit: &str) -> String {
+    let s = as_tensor::stats::box_stats(samples);
+    format!(
+        "{label:<28} min {:7.2} {unit}  q1 {:7.2}  med {:7.2}  q3 {:7.2}  max {:7.2}",
+        s.min / scale,
+        s.q1 / scale,
+        s.median / scale,
+        s.q3 / scale,
+        s.max / scale
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use as_staging::dataplane::ReadStrategy;
+
+    #[test]
+    fn fig6_model_reproduces_paper_ranges() {
+        let gb = 5.86e9;
+        // 4096 nodes: libfabric enqueue-all 3.5–4.7 GB/s per node.
+        let s = fig6_per_node_samples(
+            DataPlane::Libfabric(ReadStrategy::EnqueueAll),
+            4096,
+            gb,
+            200,
+            1,
+        )
+        .expect("scales at 4096");
+        let mean = s.iter().sum::<f64>() / s.len() as f64 / 1e9;
+        assert!((3.2..4.9).contains(&mean), "enqueue-all mean {mean}");
+        // It must not produce full-scale samples.
+        assert!(fig6_per_node_samples(
+            DataPlane::Libfabric(ReadStrategy::EnqueueAll),
+            9126,
+            gb,
+            10,
+            1
+        )
+        .is_none());
+        // MPI at 9126: 2.4–3.3 GB/s per node.
+        let s = fig6_per_node_samples(DataPlane::Mpi, 9126, gb, 200, 2).expect("mpi scales");
+        let mean = s.iter().sum::<f64>() / s.len() as f64 / 1e9;
+        assert!((2.2..3.5).contains(&mean), "mpi mean {mean}");
+    }
+
+    #[test]
+    fn fig6_aggregate_lands_in_20_to_30_tb_per_s() {
+        // The headline: 20–30 TB/s at full scale, beating Orion's 10 TB/s.
+        let s =
+            fig6_per_node_samples(DataPlane::Mpi, 9126, 5.86e9, 200, 3).expect("scales");
+        let mean_rate = s.iter().sum::<f64>() / s.len() as f64;
+        let aggregate = mean_rate * 9126.0;
+        assert!(
+            (20e12..30e12).contains(&aggregate),
+            "aggregate {aggregate:.3e}"
+        );
+        assert!(aggregate > as_cluster::machine::FRONTIER.pfs_bandwidth);
+    }
+
+    #[test]
+    fn fig8_efficiency_drops_to_about_35_percent_at_96_nodes() {
+        let series = fig8_efficiency_series(PAPER_BATCH_COMPUTE, PAPER_GRAD_BYTES);
+        let (n0, e0) = series[0];
+        assert_eq!(n0, 8);
+        assert!((e0 - 1.0).abs() < 1e-12, "reference size is 100 %");
+        let (n_last, e_last) = *series.last().unwrap();
+        assert_eq!(n_last, 96);
+        assert!(
+            (0.30..0.45).contains(&e_last),
+            "paper: ≈35 % at 96 nodes, modelled {e_last}"
+        );
+        // Monotone decreasing.
+        for w in series.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn fig8_allreduce_alone_costs_about_30_percent() {
+        // §V-A: the all-reduce "accounts for a deficit of ∼30 %". Model
+        // check: efficiency with *only* the all-reduce term enabled.
+        let gcds = 96 * 4;
+        let ar = allreduce_cost(&FRONTIER, AllReduceAlgo::Ring, gcds, 4, PAPER_GRAD_BYTES);
+        let ar8 = allreduce_cost(&FRONTIER, AllReduceAlgo::Ring, 32, 4, PAPER_GRAD_BYTES);
+        let t96 = PAPER_BATCH_COMPUTE + ar.total();
+        let t8 = PAPER_BATCH_COMPUTE + ar8.total();
+        let deficit = 1.0 - t8 / t96;
+        assert!(
+            (0.15..0.40).contains(&deficit),
+            "allreduce-only deficit {deficit}"
+        );
+    }
+
+    #[test]
+    fn box_row_formats() {
+        let row = format_box_row("test", &[1.0, 2.0, 3.0], 1.0, "GB/s");
+        assert!(row.contains("med"));
+        assert!(row.starts_with("test"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Analytic cost models for the collectives that dominate the paper's
+//! scaling behaviour.
+//!
+//! The *implementations* of the collectives live on
+//! [`crate::comm::Communicator`] and move real bytes between threads. At
+//! paper scale (up to 384 GCDs for training, 36 864+ for the simulation) we
+//! additionally need wall-clock *models*; the standard alpha-beta model for
+//! ring and tree algorithms is used, with per-machine constants taken from
+//! [`crate::machine`].
+
+use crate::machine::MachineSpec;
+
+/// Which all-reduce algorithm to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllReduceAlgo {
+    /// Ring reduce-scatter + all-gather: bandwidth-optimal, latency ∝ p.
+    Ring,
+    /// Binary-tree reduce + broadcast: latency ∝ log p, 2× bandwidth cost.
+    Tree,
+}
+
+/// Cost breakdown of one collective invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectiveCost {
+    /// Latency-term seconds (α · steps).
+    pub latency: f64,
+    /// Bandwidth-term seconds (β · bytes-moved).
+    pub bandwidth: f64,
+}
+
+impl CollectiveCost {
+    /// Total seconds.
+    pub fn total(&self) -> f64 {
+        self.latency + self.bandwidth
+    }
+}
+
+/// Effective point-to-point bandwidth for one participant, bytes/second.
+///
+/// `ranks_per_node` participants share the node's NICs; intra-node stages of
+/// hierarchical algorithms use the (faster) intra-node links, which we fold
+/// into an effective value.
+fn effective_link_bandwidth(spec: &MachineSpec, ranks_per_node: usize) -> f64 {
+    let nic = spec.nic_bandwidth * spec.nics_per_node as f64 / ranks_per_node.max(1) as f64;
+    nic.min(spec.intra_node_bandwidth)
+}
+
+/// Model the cost of an all-reduce over `bytes` payload across `ranks`
+/// ranks placed `ranks_per_node` per node.
+pub fn allreduce_cost(
+    spec: &MachineSpec,
+    algo: AllReduceAlgo,
+    ranks: usize,
+    ranks_per_node: usize,
+    bytes: f64,
+) -> CollectiveCost {
+    if ranks <= 1 {
+        return CollectiveCost {
+            latency: 0.0,
+            bandwidth: 0.0,
+        };
+    }
+    let p = ranks as f64;
+    let bw = effective_link_bandwidth(spec, ranks_per_node);
+    match algo {
+        AllReduceAlgo::Ring => CollectiveCost {
+            // 2(p-1) steps of α; 2(p-1)/p of the buffer crosses each link.
+            latency: 2.0 * (p - 1.0) * spec.net_latency,
+            bandwidth: 2.0 * (p - 1.0) / p * bytes / bw,
+        },
+        AllReduceAlgo::Tree => CollectiveCost {
+            latency: 2.0 * p.log2().ceil() * spec.net_latency,
+            bandwidth: 2.0 * p.log2().ceil() * bytes / bw / p.log2().ceil().max(1.0),
+        },
+    }
+}
+
+/// Model the cost of an all-gather where each rank contributes `bytes`.
+pub fn allgather_cost(
+    spec: &MachineSpec,
+    ranks: usize,
+    ranks_per_node: usize,
+    bytes: f64,
+) -> CollectiveCost {
+    if ranks <= 1 {
+        return CollectiveCost {
+            latency: 0.0,
+            bandwidth: 0.0,
+        };
+    }
+    let p = ranks as f64;
+    let bw = effective_link_bandwidth(spec, ranks_per_node);
+    CollectiveCost {
+        latency: (p - 1.0) * spec.net_latency,
+        bandwidth: (p - 1.0) * bytes / bw,
+    }
+}
+
+/// Host-synchronisation penalty for operations that break the device graph.
+///
+/// §V-A: the naive distributed MMD implementation calls
+/// `all_gather_into_tensor`, which "breaks the torch computational graph,
+/// i.e. synchronizes graph execution with host code at the invocation site".
+/// We model that as a fixed host round-trip plus a small per-rank jitter term
+/// (stragglers get worse with scale).
+pub fn graph_break_penalty(ranks: usize, kernel_launch: f64, jitter_per_rank: f64) -> f64 {
+    kernel_launch + jitter_per_rank * (ranks as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::FRONTIER;
+
+    #[test]
+    fn allreduce_zero_for_single_rank() {
+        let c = allreduce_cost(&FRONTIER, AllReduceAlgo::Ring, 1, 8, 1e9);
+        assert_eq!(c.total(), 0.0);
+    }
+
+    #[test]
+    fn ring_bandwidth_term_approaches_2x_buffer_time() {
+        // For large p the ring moves ~2 buffers per link.
+        let bytes = 1.0e9;
+        let c = allreduce_cost(&FRONTIER, AllReduceAlgo::Ring, 1024, 8, bytes);
+        let bw = FRONTIER.nic_bandwidth * FRONTIER.nics_per_node as f64 / 8.0;
+        let ideal = 2.0 * bytes / bw;
+        assert!((c.bandwidth - ideal).abs() / ideal < 0.01);
+    }
+
+    #[test]
+    fn ring_latency_grows_linearly_tree_logarithmically() {
+        let ring_small = allreduce_cost(&FRONTIER, AllReduceAlgo::Ring, 8, 8, 1.0).latency;
+        let ring_large = allreduce_cost(&FRONTIER, AllReduceAlgo::Ring, 512, 8, 1.0).latency;
+        let tree_small = allreduce_cost(&FRONTIER, AllReduceAlgo::Tree, 8, 8, 1.0).latency;
+        let tree_large = allreduce_cost(&FRONTIER, AllReduceAlgo::Tree, 512, 8, 1.0).latency;
+        assert!(ring_large / ring_small > 50.0);
+        assert!(tree_large / tree_small < 4.0);
+    }
+
+    #[test]
+    fn more_ranks_per_node_shrinks_effective_bandwidth() {
+        let sparse = allreduce_cost(&FRONTIER, AllReduceAlgo::Ring, 64, 1, 1e9);
+        let dense = allreduce_cost(&FRONTIER, AllReduceAlgo::Ring, 64, 8, 1e9);
+        assert!(dense.bandwidth > sparse.bandwidth);
+    }
+
+    #[test]
+    fn allgather_cost_scales_with_ranks() {
+        let c8 = allgather_cost(&FRONTIER, 8, 8, 1e6).total();
+        let c64 = allgather_cost(&FRONTIER, 64, 8, 1e6).total();
+        assert!(c64 > 5.0 * c8);
+    }
+
+    #[test]
+    fn graph_break_penalty_grows_with_scale() {
+        let small = graph_break_penalty(8, 10e-6, 2e-6);
+        let large = graph_break_penalty(384, 10e-6, 2e-6);
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,467 @@
+//! Thread-backed, MPI-like communicator.
+//!
+//! A [`CommWorld`] owns `size` endpoints; each endpoint is handed to one OS
+//! thread and behaves like an MPI rank. Point-to-point messages are typed
+//! (any `Send + 'static` payload) and matched by `(source, tag)`. On top of
+//! the point-to-point layer we provide barriers and the collectives used by
+//! the PIC halo exchange, the staging metadata path and DDP training.
+//!
+//! Messages between ranks never copy through shared memory owned by a third
+//! party: the payload is moved through a channel, which mirrors the
+//! zero-intermediate-storage philosophy of the paper's in-transit design.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// Wildcard tag: matches any tag in [`Communicator::recv_any_tag`].
+pub const ANY_TAG: u64 = u64::MAX;
+
+/// Tags at or above this value are reserved for internal collectives.
+pub const RESERVED_TAG_BASE: u64 = 1 << 62;
+
+const BCAST_TAG: u64 = RESERVED_TAG_BASE;
+const GATHER_TAG: u64 = RESERVED_TAG_BASE + (1 << 32);
+const RS_TAG: u64 = RESERVED_TAG_BASE + (2 << 32);
+const AG_TAG: u64 = RESERVED_TAG_BASE + (3 << 32);
+
+type Payload = Box<dyn Any + Send>;
+
+struct Envelope {
+    source: usize,
+    tag: u64,
+    payload: Payload,
+}
+
+/// A fixed-size group of communicating ranks.
+///
+/// Construct one world per logical job (a simulation, a reader group, a DDP
+/// trainer), split the endpoints across threads and drop the world handle.
+pub struct CommWorld {
+    endpoints: Vec<Communicator>,
+}
+
+impl CommWorld {
+    /// Create a world with `size` ranks.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "communicator world must have at least one rank");
+        let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(size);
+        let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let barrier = Arc::new(Barrier::new(size));
+        let bytes_sent = Arc::new(AtomicU64::new(0));
+        let endpoints = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| Communicator {
+                rank,
+                size,
+                peers: senders.clone(),
+                inbox: rx,
+                stash: Mutex::new(HashMap::new()),
+                barrier: barrier.clone(),
+                bytes_sent: bytes_sent.clone(),
+            })
+            .collect();
+        Self { endpoints }
+    }
+
+    /// Take the endpoints out, one per rank, in rank order.
+    pub fn into_endpoints(self) -> Vec<Communicator> {
+        self.endpoints
+    }
+}
+
+/// One rank's endpoint in a [`CommWorld`].
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    peers: Vec<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
+    /// Out-of-order messages parked until a matching `recv` arrives.
+    stash: Mutex<HashMap<(usize, u64), Vec<Envelope>>>,
+    barrier: Arc<Barrier>,
+    bytes_sent: Arc<AtomicU64>,
+}
+
+impl Communicator {
+    /// This endpoint's rank in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Total payload bytes sent across the whole world so far (for traffic
+    /// accounting in scaling studies). Only slice-typed sends are counted.
+    pub fn world_bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    fn account(&self, bytes: usize) {
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Send `value` to rank `dest` with message tag `tag`.
+    ///
+    /// Never blocks (channels are unbounded, as MPI eager sends effectively
+    /// are for the message sizes used here).
+    pub fn send<T: Send + 'static>(&self, dest: usize, tag: u64, value: T) {
+        assert!(dest < self.size, "send to out-of-range rank {dest}");
+        assert_ne!(tag, ANY_TAG, "ANY_TAG is reserved for receives");
+        let env = Envelope {
+            source: self.rank,
+            tag,
+            payload: Box::new(value),
+        };
+        // A send can only fail if the receiving endpoint was dropped, which
+        // is a teardown race we treat as a hard usage error.
+        self.peers[dest]
+            .send(env)
+            .expect("send to a dropped communicator endpoint");
+    }
+
+    /// Send a typed vector, accounting its size in the world traffic counter.
+    pub fn send_vec<T: Send + 'static>(&self, dest: usize, tag: u64, value: Vec<T>) {
+        self.account(value.len() * std::mem::size_of::<T>());
+        self.send(dest, tag, value);
+    }
+
+    /// Blocking receive of a `T` from `source` with tag `tag`.
+    ///
+    /// # Panics
+    /// Panics if the matched message is not of type `T` (a protocol bug).
+    pub fn recv<T: Send + 'static>(&self, source: usize, tag: u64) -> T {
+        let env = self.match_envelope(source, tag);
+        *env.payload
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("type mismatch on recv from {source} tag {tag}"))
+    }
+
+    /// Blocking receive matching only the source, returning `(tag, value)`.
+    pub fn recv_any_tag<T: Send + 'static>(&self, source: usize) -> (u64, T) {
+        let env = self.match_envelope(source, ANY_TAG);
+        let tag = env.tag;
+        let value = *env
+            .payload
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("type mismatch on recv from {source}"));
+        (tag, value)
+    }
+
+    fn match_envelope(&self, source: usize, tag: u64) -> Envelope {
+        // Fast path: check the stash for an already-delivered match.
+        {
+            let mut stash = self.stash.lock();
+            if tag == ANY_TAG {
+                let key = stash
+                    .iter()
+                    .find(|((s, _), v)| *s == source && !v.is_empty())
+                    .map(|(k, _)| *k);
+                if let Some(key) = key {
+                    let q = stash.get_mut(&key).expect("stash key vanished");
+                    return q.remove(0);
+                }
+            } else if let Some(q) = stash.get_mut(&(source, tag)) {
+                if !q.is_empty() {
+                    return q.remove(0);
+                }
+            }
+        }
+        // Slow path: drain the inbox, stashing non-matching envelopes.
+        loop {
+            let env = self
+                .inbox
+                .recv()
+                .expect("communicator world torn down while receiving");
+            let matches = env.source == source && (tag == ANY_TAG || env.tag == tag);
+            if matches {
+                return env;
+            }
+            self.stash
+                .lock()
+                .entry((env.source, env.tag))
+                .or_default()
+                .push(env);
+        }
+    }
+
+    /// Synchronise all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Broadcast `value` from `root` to all ranks; every rank returns it.
+    pub fn broadcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
+        if self.rank == root {
+            let v = value.expect("root must supply the broadcast value");
+            for dest in 0..self.size {
+                if dest != root {
+                    self.send(dest, BCAST_TAG, v.clone());
+                }
+            }
+            v
+        } else {
+            self.recv::<T>(root, BCAST_TAG)
+        }
+    }
+
+    /// Gather every rank's value at `root`; returns `Some(values)` on root
+    /// (indexed by rank), `None` elsewhere.
+    pub fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        if self.rank == root {
+            let mut out: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
+            out[root] = Some(value);
+            for (src, slot) in out.iter_mut().enumerate() {
+                if src != root {
+                    *slot = Some(self.recv::<T>(src, GATHER_TAG));
+                }
+            }
+            Some(out.into_iter().map(|v| v.expect("gather slot")).collect())
+        } else {
+            self.send(root, GATHER_TAG, value);
+            None
+        }
+    }
+
+    /// All-gather: every rank contributes `value`, every rank receives the
+    /// rank-indexed vector of all contributions.
+    pub fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
+        let gathered = self.gather(0, value);
+        if self.rank == 0 {
+            let v = gathered.expect("root gather");
+            self.broadcast(0, Some(v))
+        } else {
+            self.broadcast::<Vec<T>>(0, None)
+        }
+    }
+
+    /// In-place ring all-reduce (sum) over an `f32` buffer.
+    ///
+    /// Implements reduce-scatter followed by all-gather, the same algorithm
+    /// NCCL/RCCL uses for large tensors, so the traffic pattern matches the
+    /// gradient averaging the paper's DDP training performs every step.
+    pub fn allreduce_sum_f32(&self, buf: &mut [f32]) {
+        self.ring_allreduce(buf, |a, b| *a += b);
+    }
+
+    /// In-place ring all-reduce (sum) over an `f64` buffer.
+    pub fn allreduce_sum_f64(&self, buf: &mut [f64]) {
+        self.ring_allreduce(buf, |a, b| *a += b);
+    }
+
+    /// In-place all-reduce taking the element-wise maximum.
+    pub fn allreduce_max_f64(&self, buf: &mut [f64]) {
+        self.ring_allreduce(buf, |a, b| {
+            if b > *a {
+                *a = b
+            }
+        });
+    }
+
+    fn ring_allreduce<T, F>(&self, buf: &mut [T], mut reduce: F)
+    where
+        T: Copy + Send + 'static,
+        F: FnMut(&mut T, T),
+    {
+        let n = self.size;
+        if n == 1 || buf.is_empty() {
+            return;
+        }
+        // Partition the buffer into n chunks (last chunk absorbs remainder).
+        let len = buf.len();
+        let chunk = len.div_ceil(n);
+        let bounds = move |i: usize| -> (usize, usize) {
+            let s = (i * chunk).min(len);
+            let e = ((i + 1) * chunk).min(len);
+            (s, e)
+        };
+        let next = (self.rank + 1) % n;
+        let prev = (self.rank + n - 1) % n;
+
+        // Reduce-scatter: after n-1 steps, rank r owns the fully reduced
+        // chunk (r+1) mod n.
+        for step in 0..n - 1 {
+            let send_idx = (self.rank + n - step) % n;
+            let recv_idx = (self.rank + n - step - 1) % n;
+            let (s, e) = bounds(send_idx);
+            let out: Vec<T> = buf[s..e].to_vec();
+            self.account(out.len() * std::mem::size_of::<T>());
+            self.send(next, RS_TAG + step as u64, out);
+            let incoming: Vec<T> = self.recv(prev, RS_TAG + step as u64);
+            let (s, e) = bounds(recv_idx);
+            for (dst, src) in buf[s..e].iter_mut().zip(incoming) {
+                reduce(dst, src);
+            }
+        }
+        // All-gather: circulate the reduced chunks.
+        for step in 0..n - 1 {
+            let send_idx = (self.rank + 1 + n - step) % n;
+            let recv_idx = (self.rank + n - step) % n;
+            let (s, e) = bounds(send_idx);
+            let out: Vec<T> = buf[s..e].to_vec();
+            self.account(out.len() * std::mem::size_of::<T>());
+            self.send(next, AG_TAG + step as u64, out);
+            let incoming: Vec<T> = self.recv(prev, AG_TAG + step as u64);
+            let (s, e) = bounds(recv_idx);
+            buf[s..e].copy_from_slice(&incoming);
+        }
+    }
+
+    /// Scalar sum all-reduce convenience.
+    pub fn allreduce_scalar_f64(&self, v: f64) -> f64 {
+        let mut buf = [v];
+        self.allreduce_sum_f64(&mut buf);
+        buf[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn run_world<F>(n: usize, f: F)
+    where
+        F: Fn(Communicator) + Send + Sync + Copy + 'static,
+    {
+        let eps = CommWorld::new(n).into_endpoints();
+        let handles: Vec<_> = eps.into_iter().map(|c| thread::spawn(move || f(c))).collect();
+        for h in handles {
+            h.join().expect("rank thread panicked");
+        }
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        run_world(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 7, vec![1.0f64, 2.0, 3.0]);
+                let back: Vec<f64> = c.recv(1, 8);
+                assert_eq!(back, vec![6.0]);
+            } else {
+                let v: Vec<f64> = c.recv(0, 7);
+                c.send(0, 8, vec![v.iter().sum::<f64>()]);
+            }
+        });
+    }
+
+    #[test]
+    fn out_of_order_tags_are_stashed() {
+        run_world(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, 10u32);
+                c.send(1, 2, 20u32);
+            } else {
+                // Receive tag 2 first although tag 1 arrives first.
+                let b: u32 = c.recv(0, 2);
+                let a: u32 = c.recv(0, 1);
+                assert_eq!((a, b), (10, 20));
+            }
+        });
+    }
+
+    #[test]
+    fn broadcast_reaches_all_ranks() {
+        run_world(4, |c| {
+            let v = if c.rank() == 2 {
+                c.broadcast(2, Some(vec![9u8; 3]))
+            } else {
+                c.broadcast::<Vec<u8>>(2, None)
+            };
+            assert_eq!(v, vec![9u8; 3]);
+        });
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        run_world(5, |c| {
+            let got = c.gather(0, c.rank() as u64 * 10);
+            if c.rank() == 0 {
+                assert_eq!(got.expect("root"), vec![0, 10, 20, 30, 40]);
+            } else {
+                assert!(got.is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn allgather_is_symmetric() {
+        run_world(3, |c| {
+            let all = c.allgather(c.rank());
+            assert_eq!(all, vec![0, 1, 2]);
+        });
+    }
+
+    #[test]
+    fn ring_allreduce_matches_serial_sum() {
+        for n in [1usize, 2, 3, 4, 7] {
+            run_world(n, move |c| {
+                let len = 13; // deliberately not divisible by world size
+                let mut buf: Vec<f32> =
+                    (0..len).map(|i| (c.rank() * 100 + i) as f32).collect();
+                c.allreduce_sum_f32(&mut buf);
+                for (i, v) in buf.iter().enumerate() {
+                    let expect: f32 =
+                        (0..c.size()).map(|r| (r * 100 + i) as f32).sum();
+                    assert!((v - expect).abs() < 1e-3, "n={n} i={i}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn allreduce_max_takes_elementwise_max() {
+        run_world(4, |c| {
+            let mut buf = vec![c.rank() as f64, -(c.rank() as f64)];
+            c.allreduce_max_f64(&mut buf);
+            assert_eq!(buf, vec![3.0, 0.0]);
+        });
+    }
+
+    #[test]
+    fn scalar_allreduce() {
+        run_world(6, |c| {
+            let s = c.allreduce_scalar_f64(1.5);
+            assert!((s - 9.0).abs() < 1e-12);
+        });
+    }
+
+    #[test]
+    fn barrier_synchronises() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static BEFORE: AtomicUsize = AtomicUsize::new(0);
+        run_world(4, |c| {
+            BEFORE.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            assert_eq!(BEFORE.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn traffic_accounting_counts_vec_sends() {
+        run_world(2, |c| {
+            if c.rank() == 0 {
+                c.send_vec(1, 3, vec![0u8; 128]);
+            } else {
+                let _: Vec<u8> = c.recv(0, 3);
+            }
+            c.barrier();
+            assert!(c.world_bytes_sent() >= 128);
+        });
+    }
+}

@@ -1,0 +1,375 @@
+//! Flow-level network simulator with max-min fair bandwidth sharing.
+//!
+//! The Fig. 6 streaming study and the Fig. 8 training study depend on how a
+//! shared fabric divides bandwidth between thousands of concurrent flows.
+//! We model the network as a set of capacitated links; every flow follows a
+//! path (a list of links) and carries a byte count. Rates are assigned by
+//! progressive filling (the classical max-min fair allocation), then the
+//! simulation advances to the next flow completion and repeats — a standard
+//! flow-level abstraction that captures congestion knees without packet-level
+//! cost.
+//!
+//! Typical topology for a streaming run: one egress link per producer node,
+//! one ingress link per consumer node, plus one global "bisection" link that
+//! all inter-node flows traverse.
+
+use std::collections::HashMap;
+
+/// Identifier of a link in the simulated topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+/// Static description of the topology: link capacities in bytes/second.
+#[derive(Debug, Clone, Default)]
+pub struct NetSpec {
+    capacities: Vec<f64>,
+}
+
+impl NetSpec {
+    /// Create an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a link with `capacity` bytes/second; returns its id.
+    pub fn add_link(&mut self, capacity: f64) -> LinkId {
+        assert!(capacity > 0.0, "link capacity must be positive");
+        self.capacities.push(capacity);
+        LinkId(self.capacities.len() - 1)
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// True if the topology has no links.
+    pub fn is_empty(&self) -> bool {
+        self.capacities.is_empty()
+    }
+
+    /// Capacity of `link` in bytes/second.
+    pub fn capacity(&self, link: LinkId) -> f64 {
+        self.capacities[link.0]
+    }
+}
+
+/// A transfer: `bytes` to move along `path`, released at time `start`.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Links traversed by this flow (order irrelevant for the model).
+    pub path: Vec<LinkId>,
+    /// Payload size in bytes.
+    pub bytes: f64,
+    /// Release time in seconds (flows can start mid-simulation).
+    pub start: f64,
+    /// Fixed latency added to the completion time (startup handshakes,
+    /// per-message overheads aggregated by the caller).
+    pub latency: f64,
+}
+
+impl Flow {
+    /// Convenience constructor for a flow starting at t = 0 with no latency.
+    pub fn immediate(path: Vec<LinkId>, bytes: f64) -> Self {
+        Self {
+            path,
+            bytes,
+            start: 0.0,
+            latency: 0.0,
+        }
+    }
+}
+
+/// Result of simulating one flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowOutcome {
+    /// Time the last byte arrived, seconds.
+    pub completion: f64,
+    /// Mean achieved rate over the flow's active lifetime, bytes/second.
+    pub mean_rate: f64,
+}
+
+/// The simulator itself. Construct with a [`NetSpec`], add flows, run.
+#[derive(Debug, Clone)]
+pub struct NetSim {
+    spec: NetSpec,
+    flows: Vec<Flow>,
+}
+
+impl NetSim {
+    /// Create a simulator over `spec`.
+    pub fn new(spec: NetSpec) -> Self {
+        Self {
+            spec,
+            flows: Vec::new(),
+        }
+    }
+
+    /// Add a flow; returns its index into the outcome vector.
+    pub fn add_flow(&mut self, flow: Flow) -> usize {
+        assert!(!flow.path.is_empty(), "flow must traverse at least one link");
+        assert!(flow.bytes > 0.0, "flow must carry bytes");
+        self.flows.push(flow);
+        self.flows.len() - 1
+    }
+
+    /// Compute max-min fair rates for the active flows.
+    ///
+    /// Progressive filling: repeatedly find the most contended link
+    /// (smallest remaining-capacity / unfrozen-flow-count), freeze its flows
+    /// at that fair share, remove the consumed capacity, repeat.
+    fn fair_rates(&self, active: &[usize]) -> HashMap<usize, f64> {
+        let mut rates: HashMap<usize, f64> = HashMap::new();
+        let mut remaining_cap: Vec<f64> = self.spec.capacities.clone();
+        let mut unfrozen: Vec<usize> = active.to_vec();
+
+        while !unfrozen.is_empty() {
+            // Count unfrozen flows per link.
+            let mut link_flows: HashMap<usize, usize> = HashMap::new();
+            for &fi in &unfrozen {
+                for l in &self.flows[fi].path {
+                    *link_flows.entry(l.0).or_insert(0) += 1;
+                }
+            }
+            // Find the bottleneck link.
+            let (bottleneck, share) = link_flows
+                .iter()
+                .map(|(&l, &n)| (l, remaining_cap[l] / n as f64))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("unfrozen flows must load at least one link");
+            // Freeze all unfrozen flows through the bottleneck.
+            let (through, rest): (Vec<usize>, Vec<usize>) = unfrozen
+                .into_iter()
+                .partition(|&fi| self.flows[fi].path.iter().any(|l| l.0 == bottleneck));
+            for &fi in &through {
+                rates.insert(fi, share);
+                for l in &self.flows[fi].path {
+                    remaining_cap[l.0] = (remaining_cap[l.0] - share).max(0.0);
+                }
+            }
+            unfrozen = rest;
+        }
+        rates
+    }
+
+    /// Run the simulation; returns one [`FlowOutcome`] per added flow.
+    pub fn run(&self) -> Vec<FlowOutcome> {
+        let n = self.flows.len();
+        let mut remaining: Vec<f64> = self.flows.iter().map(|f| f.bytes).collect();
+        let mut done: Vec<Option<f64>> = vec![None; n];
+        let mut t = 0.0f64;
+
+        loop {
+            let active: Vec<usize> = (0..n)
+                .filter(|&i| done[i].is_none() && self.flows[i].start <= t + 1e-15)
+                .collect();
+            let pending_starts: Vec<f64> = (0..n)
+                .filter(|&i| done[i].is_none() && self.flows[i].start > t + 1e-15)
+                .map(|i| self.flows[i].start)
+                .collect();
+
+            if active.is_empty() {
+                match pending_starts.iter().cloned().fold(f64::INFINITY, f64::min) {
+                    next if next.is_finite() => {
+                        t = next;
+                        continue;
+                    }
+                    _ => break, // all flows complete
+                }
+            }
+
+            let rates = self.fair_rates(&active);
+            // Time to the next event: a completion or a pending release.
+            let mut dt = f64::INFINITY;
+            for &fi in &active {
+                let r = rates[&fi];
+                if r > 0.0 {
+                    dt = dt.min(remaining[fi] / r);
+                }
+            }
+            for s in &pending_starts {
+                dt = dt.min(s - t);
+            }
+            assert!(
+                dt.is_finite(),
+                "simulation stalled: active flows with zero rate"
+            );
+
+            for &fi in &active {
+                remaining[fi] -= rates[&fi] * dt;
+            }
+            t += dt;
+            for &fi in &active {
+                if remaining[fi] <= 1e-6 {
+                    done[fi] = Some(t);
+                    remaining[fi] = 0.0;
+                }
+            }
+        }
+
+        (0..n)
+            .map(|i| {
+                let completion = done[i].expect("flow completed") + self.flows[i].latency;
+                let lifetime = completion - self.flows[i].start;
+                FlowOutcome {
+                    completion,
+                    mean_rate: if lifetime > 0.0 {
+                        self.flows[i].bytes / lifetime
+                    } else {
+                        f64::INFINITY
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Aggregate throughput of a set of same-sized flows: total bytes over
+    /// the makespan (latest completion minus earliest start). This is the
+    /// "global data size divided by measured time" metric of §IV-B.
+    pub fn aggregate_throughput(&self, outcomes: &[FlowOutcome]) -> f64 {
+        let total: f64 = self.flows.iter().map(|f| f.bytes).sum();
+        let start = self
+            .flows
+            .iter()
+            .map(|f| f.start)
+            .fold(f64::INFINITY, f64::min);
+        let end = outcomes
+            .iter()
+            .map(|o| o.completion)
+            .fold(f64::NEG_INFINITY, f64::max);
+        total / (end - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_saturates_single_link() {
+        let mut spec = NetSpec::new();
+        let l = spec.add_link(100.0);
+        let mut sim = NetSim::new(spec);
+        sim.add_flow(Flow::immediate(vec![l], 1000.0));
+        let out = sim.run();
+        assert!((out[0].completion - 10.0).abs() < 1e-9);
+        assert!((out[0].mean_rate - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_flows_share_a_link_fairly() {
+        let mut spec = NetSpec::new();
+        let l = spec.add_link(100.0);
+        let mut sim = NetSim::new(spec);
+        sim.add_flow(Flow::immediate(vec![l], 500.0));
+        sim.add_flow(Flow::immediate(vec![l], 500.0));
+        let out = sim.run();
+        // Equal shares: both finish at 10 s at mean 50 B/s.
+        for o in &out {
+            assert!((o.completion - 10.0).abs() < 1e-9);
+            assert!((o.mean_rate - 50.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn short_flow_finishes_then_long_flow_speeds_up() {
+        let mut spec = NetSpec::new();
+        let l = spec.add_link(100.0);
+        let mut sim = NetSim::new(spec);
+        sim.add_flow(Flow::immediate(vec![l], 100.0)); // short
+        sim.add_flow(Flow::immediate(vec![l], 900.0)); // long
+        let out = sim.run();
+        // Short: 100 B at 50 B/s → t=2. Long: 100 B by t=2, then 800 B at
+        // 100 B/s → t=10.
+        assert!((out[0].completion - 2.0).abs() < 1e-9);
+        assert!((out[1].completion - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottleneck_link_limits_multi_hop_flow() {
+        let mut spec = NetSpec::new();
+        let fast = spec.add_link(1000.0);
+        let slow = spec.add_link(10.0);
+        let mut sim = NetSim::new(spec);
+        sim.add_flow(Flow::immediate(vec![fast, slow], 100.0));
+        let out = sim.run();
+        assert!((out[0].completion - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_min_fairness_gives_unbottlenecked_flow_the_slack() {
+        // Two links: A (cap 100) shared by f0 and f1; B (cap 30) also on
+        // f1's path. Max-min: f1 limited to 30 by B; f0 gets 70.
+        let mut spec = NetSpec::new();
+        let a = spec.add_link(100.0);
+        let b = spec.add_link(30.0);
+        let mut sim = NetSim::new(spec);
+        sim.add_flow(Flow::immediate(vec![a], 700.0));
+        sim.add_flow(Flow::immediate(vec![a, b], 300.0));
+        let out = sim.run();
+        assert!((out[0].completion - 10.0).abs() < 1e-6, "{out:?}");
+        assert!((out[1].completion - 10.0).abs() < 1e-6, "{out:?}");
+    }
+
+    #[test]
+    fn delayed_start_is_respected() {
+        let mut spec = NetSpec::new();
+        let l = spec.add_link(100.0);
+        let mut sim = NetSim::new(spec);
+        sim.add_flow(Flow {
+            path: vec![l],
+            bytes: 100.0,
+            start: 5.0,
+            latency: 0.0,
+        });
+        let out = sim.run();
+        assert!((out[0].completion - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_shifts_completion_only() {
+        let mut spec = NetSpec::new();
+        let l = spec.add_link(100.0);
+        let mut sim = NetSim::new(spec);
+        sim.add_flow(Flow {
+            path: vec![l],
+            bytes: 100.0,
+            start: 0.0,
+            latency: 0.5,
+        });
+        let out = sim.run();
+        assert!((out[0].completion - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_throughput_counts_all_bytes_over_makespan() {
+        let mut spec = NetSpec::new();
+        let l0 = spec.add_link(100.0);
+        let l1 = spec.add_link(100.0);
+        let mut sim = NetSim::new(spec);
+        sim.add_flow(Flow::immediate(vec![l0], 1000.0));
+        sim.add_flow(Flow::immediate(vec![l1], 1000.0));
+        let out = sim.run();
+        let agg = sim.aggregate_throughput(&out);
+        assert!((agg - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn many_flows_through_bisection_hit_the_knee() {
+        // N node egress links (25 GB/s each) all funneling through a
+        // bisection of 100 GB/s: aggregate saturates at the bisection.
+        let mut spec = NetSpec::new();
+        let bisect = spec.add_link(100.0e9);
+        let mut links = Vec::new();
+        for _ in 0..16 {
+            links.push(spec.add_link(25.0e9));
+        }
+        let mut sim = NetSim::new(spec);
+        for l in links {
+            sim.add_flow(Flow::immediate(vec![l, bisect], 1.0e9));
+        }
+        let out = sim.run();
+        let agg = sim.aggregate_throughput(&out);
+        assert!((agg - 100.0e9).abs() / 100.0e9 < 1e-6);
+    }
+}

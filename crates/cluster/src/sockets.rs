@@ -1,0 +1,136 @@
+//! Open-socket accounting for collective bootstrap.
+//!
+//! §IV-D of the paper: *"The all-to-all communication between PyTorch DDP
+//! ranks using the N/RCCL backend hits system limitations on the possible
+//! number of open sockets beyond 100 nodes."* We reproduce the failure mode:
+//! the socket-based bootstrap opens a mesh of connections per node, and the
+//! per-process/node descriptor budget caps the world size.
+
+/// Per-node socket/file-descriptor budget and bootstrap topology.
+#[derive(Debug, Clone, Copy)]
+pub struct SocketBudget {
+    /// Sockets a node may hold open (ulimit-style budget shared by the
+    /// ranks on that node).
+    pub per_node_limit: usize,
+    /// Ranks per node participating in the collective.
+    pub ranks_per_node: usize,
+    /// Sockets each rank pair needs (NCCL opens several rings/channels).
+    pub sockets_per_pair: usize,
+}
+
+impl SocketBudget {
+    /// A configuration calibrated so that bootstrap fails just beyond 100
+    /// nodes with 4 training ranks per node — the regime the paper reports.
+    pub fn frontier_nccl_default() -> Self {
+        Self {
+            per_node_limit: 65_536,
+            ranks_per_node: 4,
+            sockets_per_pair: 40,
+        }
+    }
+
+    /// Sockets one node must hold for a world of `nodes` nodes.
+    ///
+    /// Every local rank talks to every remote rank in the bootstrap
+    /// all-to-all: `ranks_per_node · (total_ranks − ranks_per_node)` pairs
+    /// terminate on this node.
+    pub fn sockets_needed(&self, nodes: usize) -> usize {
+        let total_ranks = nodes * self.ranks_per_node;
+        let remote = total_ranks.saturating_sub(self.ranks_per_node);
+        self.ranks_per_node * remote * self.sockets_per_pair
+    }
+
+    /// Attempt a bootstrap; `Err` carries the shortfall diagnostics.
+    pub fn try_bootstrap(&self, nodes: usize) -> Result<(), SocketExhaustion> {
+        let needed = self.sockets_needed(nodes);
+        if needed > self.per_node_limit {
+            Err(SocketExhaustion {
+                nodes,
+                needed,
+                limit: self.per_node_limit,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Largest node count that still bootstraps.
+    pub fn max_nodes(&self) -> usize {
+        let mut lo = 1usize;
+        let mut hi = 1_000_000usize;
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if self.try_bootstrap(mid).is_ok() {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        lo
+    }
+}
+
+/// Bootstrap failure: the node ran out of socket descriptors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SocketExhaustion {
+    /// World size attempted, nodes.
+    pub nodes: usize,
+    /// Sockets one node would need.
+    pub needed: usize,
+    /// The per-node budget.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for SocketExhaustion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "socket exhaustion at {} nodes: need {} sockets per node, limit {}",
+            self.nodes, self.needed, self.limit
+        )
+    }
+}
+
+impl std::error::Error for SocketExhaustion {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_fails_just_beyond_100_nodes() {
+        let b = SocketBudget::frontier_nccl_default();
+        assert!(b.try_bootstrap(96).is_ok());
+        assert!(b.try_bootstrap(100).is_ok());
+        assert!(b.try_bootstrap(128).is_err());
+        let max = b.max_nodes();
+        assert!(
+            (100..128).contains(&max),
+            "paper: limit hits beyond 100 nodes, got {max}"
+        );
+    }
+
+    #[test]
+    fn socket_need_grows_quadratically_with_nothing_shared() {
+        let b = SocketBudget::frontier_nccl_default();
+        let n50 = b.sockets_needed(50);
+        let n100 = b.sockets_needed(100);
+        // Linear in nodes for a fixed node's viewpoint.
+        assert!(n100 > 19 * n50 / 10 && n100 < 21 * n50 / 10);
+    }
+
+    #[test]
+    fn single_node_needs_no_remote_sockets() {
+        let b = SocketBudget::frontier_nccl_default();
+        assert_eq!(b.sockets_needed(1), 0);
+        assert!(b.try_bootstrap(1).is_ok());
+    }
+
+    #[test]
+    fn error_is_displayable() {
+        let b = SocketBudget::frontier_nccl_default();
+        let err = b.try_bootstrap(1000).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("1000 nodes"));
+    }
+}

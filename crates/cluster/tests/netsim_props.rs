@@ -1,0 +1,69 @@
+//! Property-based tests of the flow-level network simulator.
+
+use as_cluster::netsim::{Flow, NetSim, NetSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// All bytes drain through a single shared link at exactly its
+    /// capacity, and no flow beats the line rate.
+    #[test]
+    fn completion_bounds(
+        sizes in prop::collection::vec(1.0f64..1e6, 1..6),
+        cap in 10.0f64..1e6,
+    ) {
+        let mut spec = NetSpec::new();
+        let link = spec.add_link(cap);
+        let mut sim = NetSim::new(spec);
+        for s in &sizes {
+            sim.add_flow(Flow::immediate(vec![link], *s));
+        }
+        let out = sim.run();
+        let total: f64 = sizes.iter().sum();
+        let makespan = out.iter().map(|o| o.completion).fold(0.0, f64::max);
+        prop_assert!((makespan - total / cap).abs() <= 1e-6 * makespan.max(1e-12));
+        for (o, s) in out.iter().zip(&sizes) {
+            prop_assert!(o.completion + 1e-9 >= s / cap, "faster than line rate");
+            prop_assert!(o.mean_rate <= cap * (1.0 + 1e-6));
+        }
+    }
+
+    /// Adding flows never speeds up existing flows (congestion
+    /// monotonicity).
+    #[test]
+    fn more_flows_never_speed_things_up(
+        n in 1usize..5,
+        size in 10.0f64..1e5,
+    ) {
+        let build = |k: usize| {
+            let mut spec = NetSpec::new();
+            let link = spec.add_link(1000.0);
+            let mut sim = NetSim::new(spec);
+            for _ in 0..k {
+                sim.add_flow(Flow::immediate(vec![link], size));
+            }
+            sim.run()[0].completion
+        };
+        let alone = build(1);
+        let crowded = build(n + 1);
+        prop_assert!(crowded + 1e-9 >= alone);
+    }
+
+    /// Flows on disjoint links do not interact.
+    #[test]
+    fn disjoint_links_are_independent(
+        s1 in 1.0f64..1e5,
+        s2 in 1.0f64..1e5,
+    ) {
+        let mut spec = NetSpec::new();
+        let l1 = spec.add_link(100.0);
+        let l2 = spec.add_link(100.0);
+        let mut sim = NetSim::new(spec);
+        sim.add_flow(Flow::immediate(vec![l1], s1));
+        sim.add_flow(Flow::immediate(vec![l2], s2));
+        let out = sim.run();
+        prop_assert!((out[0].completion - s1 / 100.0).abs() < 1e-6);
+        prop_assert!((out[1].completion - s2 / 100.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,158 @@
+//! Workflow configuration.
+
+use crate::encode::EncodeConfig;
+use as_nn::model::ModelConfig;
+use as_nn::optim::AdamConfig;
+use as_pic::grid::GridSpec;
+use as_pic::khi::KhiSetup;
+use as_radiation::detector::Detector;
+use as_replay::buffer::BufferConfig;
+use as_staging::dataplane::DataPlane;
+
+/// Where producer and consumer ranks live relative to each other
+/// (Fig. 3(c)). Intra-node shares every node between 4 simulation GCDs
+/// and 4 training GCDs so data exchange "mostly does not need to leave
+/// the node"; inter-node gives whole nodes to one side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Simulation and MLapp share each node (the paper's choice).
+    IntraNode,
+    /// Disjoint node sets (easier to schedule in Slurm, more fabric
+    /// traffic).
+    InterNode,
+}
+
+impl Placement {
+    /// Fraction of the stream that must cross the network fabric.
+    pub fn fabric_fraction(&self) -> f64 {
+        match self {
+            // Reader loads "are configured such that data is shared within
+            // node boundaries" — only halo leftovers leave the node.
+            Placement::IntraNode => 0.1,
+            Placement::InterNode => 1.0,
+        }
+    }
+}
+
+/// Everything needed to run the end-to-end workflow.
+#[derive(Debug, Clone)]
+pub struct WorkflowConfig {
+    /// PIC grid.
+    pub grid: GridSpec,
+    /// KHI scenario parameters.
+    pub khi: KhiSetup,
+    /// Radiation detector geometry.
+    pub detector: Detector,
+    /// Vortex band half-width for region classification.
+    pub shear_width: f64,
+    /// PIC steps between emitted training samples (radiation accumulates
+    /// over the window).
+    pub steps_per_sample: usize,
+    /// Total PIC steps to run.
+    pub total_steps: usize,
+    /// ML model configuration.
+    pub model: ModelConfig,
+    /// Encoding (normalisation) parameters.
+    pub encode: EncodeConfig,
+    /// Training buffer configuration.
+    pub buffer: BufferConfig,
+    /// Training iterations per streamed sample (n_rep).
+    pub n_rep: u32,
+    /// Adam configuration for the INN group.
+    pub adam: AdamConfig,
+    /// VAE learning-rate multiplier m_VAE.
+    pub m_vae: f32,
+    /// Producer/consumer placement.
+    pub placement: Placement,
+    /// Staging data plane.
+    pub plane: DataPlane,
+    /// Staging queue limit (in-flight steps before the producer stalls).
+    pub queue_limit: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl WorkflowConfig {
+    /// A CPU-scale configuration that exercises the full pipeline in
+    /// seconds (tests, quickstart example).
+    pub fn small() -> Self {
+        let grid = GridSpec::cubic(12, 24, 4, 0.5, 0.5);
+        let khi = KhiSetup {
+            beta: 0.2,
+            ppc: 4,
+            ..KhiSetup::default()
+        };
+        let model = ModelConfig::small();
+        let detector = Detector::along_x(0.2, 20.0, model.spectrum_dim);
+        Self {
+            grid,
+            khi,
+            detector,
+            shear_width: 0.06,
+            steps_per_sample: 4,
+            total_steps: 40,
+            encode: EncodeConfig::default(),
+            buffer: BufferConfig::default(),
+            n_rep: 4,
+            adam: AdamConfig {
+                lr: 5e-4,
+                weight_decay: 0.0,
+                ..AdamConfig::default()
+            },
+            m_vae: 4.0,
+            placement: Placement::IntraNode,
+            plane: DataPlane::Mpi,
+            queue_limit: 2,
+            seed: 1,
+            model,
+        }
+    }
+
+    /// The paper-fidelity configuration (Frontier-scale; listed for
+    /// completeness and used by the scaling models — do not run on a
+    /// laptop).
+    pub fn paper() -> Self {
+        let mut cfg = Self::small();
+        cfg.grid = KhiSetup::paper_grid();
+        cfg.khi = KhiSetup::default();
+        cfg.model = ModelConfig::paper();
+        cfg.detector = Detector::along_x(0.1, 100.0, cfg.model.spectrum_dim);
+        cfg.encode.sample_points = 30_000;
+        cfg.n_rep = 48;
+        cfg.adam = AdamConfig::default();
+        cfg.total_steps = 2000;
+        cfg
+    }
+
+    /// Samples emitted per streamed window (one per flow region).
+    pub fn samples_per_window(&self) -> usize {
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_config_is_consistent() {
+        let c = WorkflowConfig::small();
+        c.grid.validate();
+        assert_eq!(c.detector.n_freqs(), c.model.spectrum_dim);
+        assert!(c.n_rep >= 1);
+    }
+
+    #[test]
+    fn paper_config_matches_headline_numbers() {
+        let c = WorkflowConfig::paper();
+        assert_eq!((c.grid.nx, c.grid.ny, c.grid.nz), (192, 256, 12));
+        assert_eq!(c.encode.sample_points, 30_000);
+        assert_eq!(c.model.vae.latent, 544);
+        assert_eq!(c.n_rep, 48);
+    }
+
+    #[test]
+    fn placement_fabric_fractions() {
+        assert!(Placement::IntraNode.fabric_fraction() < Placement::InterNode.fabric_fraction());
+    }
+}

@@ -1,0 +1,186 @@
+//! The consumer: the MLapp side of the pipeline.
+//!
+//! Receives particle and radiation iterations, encodes per-region
+//! training samples, feeds the experience-replay buffer and trains the
+//! VAE+INN `n_rep` iterations per streamed window (§IV-C).
+
+use crate::config::WorkflowConfig;
+use crate::encode::{batch_to_tensors, Sample};
+use as_nn::model::{ArtificialScientistModel, LossReport, ModelOptimizer};
+use as_openpmd::reader::OpenPmdReader;
+use as_pic::diag::FlowRegion;
+use as_radiation::spectrum::Spectrum;
+use as_replay::buffer::TrainingBuffer;
+use as_replay::scheduler::{ReplaySchedule, StallPolicy};
+use as_staging::engine::SstReader;
+use as_tensor::TensorRng;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Consumer-side outcome.
+pub struct ConsumerReport {
+    /// The trained model.
+    pub model: ArtificialScientistModel,
+    /// Loss after every training iteration.
+    pub losses: Vec<LossReport>,
+    /// Windows received from the stream.
+    pub windows: u64,
+    /// Samples pushed into the training buffer.
+    pub samples: u64,
+    /// Wall seconds spent in training iterations.
+    pub train_seconds: f64,
+    /// Bytes fetched from the particle stream.
+    pub particle_bytes: u64,
+}
+
+/// Run the consumer until the streams end.
+pub fn run_consumer(
+    cfg: &WorkflowConfig,
+    particle_stream: SstReader,
+    radiation_stream: SstReader,
+) -> ConsumerReport {
+    let mut p_reader = OpenPmdReader::new(particle_stream);
+    let mut r_reader = OpenPmdReader::new(radiation_stream);
+    let mut model = ArtificialScientistModel::new(cfg.model.clone(), cfg.seed);
+    let mut opt = ModelOptimizer::new(cfg.adam, cfg.m_vae);
+    let mut buffer: TrainingBuffer<Sample> = TrainingBuffer::new(cfg.buffer, cfg.seed ^ 0xEB);
+    let mut schedule = ReplaySchedule::new(cfg.n_rep, StallPolicy::StallProducer);
+    let mut enc_rng = StdRng::seed_from_u64(cfg.seed ^ 0xE0C0DE);
+    let mut train_rng = TensorRng::seeded(cfg.seed ^ 0x7241);
+
+    let mut report_losses = Vec::new();
+    let mut windows = 0u64;
+    let mut samples = 0u64;
+    let mut train_seconds = 0.0;
+
+    loop {
+        let p_it = p_reader.next_iteration();
+        let r_it = r_reader.next_iteration();
+        let (mut p_it, mut r_it) = match (p_it, r_it) {
+            (Some(a), Some(b)) => (a, b),
+            (None, None) => break,
+            _ => panic!("particle and radiation streams ended out of sync"),
+        };
+        windows += 1;
+
+        // Fetch phase space.
+        let xs = p_it.particles("e", "position", "x");
+        let ys = p_it.particles("e", "position", "y");
+        let zs = p_it.particles("e", "position", "z");
+        let uxs = p_it.particles("e", "momentum", "x");
+        let uys = p_it.particles("e", "momentum", "y");
+        let uzs = p_it.particles("e", "momentum", "z");
+        let step = p_it.iteration;
+
+        // Build one sample per flow region.
+        let (_, ly, _) = cfg.grid.extents();
+        for (region_idx, _region) in FlowRegion::all().iter().enumerate() {
+            let idx: Vec<usize> = (0..xs.len())
+                .filter(|&i| {
+                    region_of(ys[i], ly, cfg.shear_width) == region_idx
+                })
+                .collect();
+            if idx.is_empty() {
+                continue;
+            }
+            let pick = |src: &[f64]| -> Vec<f64> { idx.iter().map(|&i| src[i]).collect() };
+            let (rx, ry, rz) = (pick(&xs), pick(&ys), pick(&zs));
+            let (rux, ruy, ruz) = (pick(&uxs), pick(&uys), pick(&uzs));
+            let (center, half) = bounding_box(&rx, &ry, &rz);
+            let points = cfg.encode.encode_points(
+                &rx, &ry, &rz, &rux, &ruy, &ruz, center, half, &mut enc_rng,
+            );
+            let flat = r_it.f32_array(&format!("radiation/region{region_idx}/intensity"));
+            // First direction's spectrum conditions the INN.
+            let n_f = cfg.detector.n_freqs();
+            let intensity: Vec<f64> = flat[..n_f].iter().map(|&v| v as f64).collect();
+            let spec = Spectrum::new(cfg.detector.frequencies.clone(), intensity);
+            let spectrum = cfg.encode.encode_spectrum(&spec, cfg.model.spectrum_dim);
+            buffer.push(Sample {
+                points,
+                spectrum,
+                region: region_idx,
+                step,
+            });
+            samples += 1;
+        }
+        p_reader.close_iteration(p_it);
+        r_reader.close_iteration(r_it);
+
+        // Train n_rep iterations for this window.
+        schedule.on_step();
+        while schedule.should_train() && buffer.ready() {
+            let t0 = std::time::Instant::now();
+            let batch = buffer.sample_batch();
+            let (points, spectra) = batch_to_tensors(&batch, &cfg.model);
+            model.zero_grad();
+            let report = model.accumulate_gradients(&points, &spectra, &mut train_rng);
+            opt.step(&mut model);
+            train_seconds += t0.elapsed().as_secs_f64();
+            report_losses.push(report);
+            schedule.on_iteration();
+        }
+    }
+
+    let particle_bytes = p_reader.stats().total_bytes();
+    ConsumerReport {
+        model,
+        losses: report_losses,
+        windows,
+        samples,
+        train_seconds,
+        particle_bytes,
+    }
+}
+
+fn region_of(y: f64, ly: f64, shear_width: f64) -> usize {
+    match FlowRegion::classify(y, ly, shear_width) {
+        FlowRegion::Approaching => 0,
+        FlowRegion::Receding => 1,
+        FlowRegion::Vortex => 2,
+    }
+}
+
+/// Axis-aligned bounding box of a point set: `(center, half_extents)`.
+pub fn bounding_box(xs: &[f64], ys: &[f64], zs: &[f64]) -> ([f64; 3], [f64; 3]) {
+    let minmax = |v: &[f64]| {
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        (lo, hi)
+    };
+    let (x0, x1) = minmax(xs);
+    let (y0, y1) = minmax(ys);
+    let (z0, z1) = minmax(zs);
+    let center = [(x0 + x1) / 2.0, (y0 + y1) / 2.0, (z0 + z1) / 2.0];
+    let half = [
+        ((x1 - x0) / 2.0).max(1e-6),
+        ((y1 - y0) / 2.0).max(1e-6),
+        ((z1 - z0) / 2.0).max(1e-6),
+    ];
+    (center, half)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounding_box_of_unit_cube() {
+        let xs = [0.0, 1.0];
+        let ys = [2.0, 4.0];
+        let zs = [1.0, 1.0];
+        let (c, h) = bounding_box(&xs, &ys, &zs);
+        assert_eq!(c, [0.5, 3.0, 1.0]);
+        assert!((h[0] - 0.5).abs() < 1e-12);
+        assert!((h[1] - 1.0).abs() < 1e-12);
+        assert!(h[2] >= 1e-6, "degenerate axis gets a floor");
+    }
+
+    #[test]
+    fn region_indexing_matches_flow_region_order() {
+        let ly = 8.0;
+        assert_eq!(region_of(4.0, ly, 0.05), 0);
+        assert_eq!(region_of(0.4, ly, 0.05), 1);
+        assert_eq!(region_of(2.0, ly, 0.05), 2);
+    }
+}

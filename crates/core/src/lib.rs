@@ -1,0 +1,46 @@
+//! The Artificial Scientist: orchestration of the loosely-coupled
+//! in-transit workflow.
+//!
+//! The paper's pipeline (§III-B), reproduced end to end:
+//!
+//! ```text
+//!  PIConGPU-like PIC sim ──(openPMD particles)──┐
+//!        │ radiation plugin                     ├─► SST staging ─► MLapp
+//!        └───────(openPMD radiation)────────────┘      (in-memory,      │
+//!                                                      back-pressured)  ▼
+//!                                              training buffer (now/EP) ─► VAE+INN
+//! ```
+//!
+//! - [`producer`] runs the KHI simulation with the in-situ radiation
+//!   plugin and streams particle phase space + per-region radiation
+//!   amplitudes through two parallel openPMD streams (the paper: "two
+//!   parallel data streams are opened between PIConGPU and the MLapp");
+//! - [`consumer`] receives both streams, encodes sub-volume point clouds
+//!   and log-spectra, feeds the experience-replay buffer and trains the
+//!   VAE+INN `n_rep` iterations per streamed step;
+//! - [`noop`] is the synthetic no-op consumer of §IV-B used for the
+//!   streaming scaling study (it only measures and discards);
+//! - [`workflow`] wires producer and consumer threads together under a
+//!   placement policy (intra-node vs inter-node, Fig. 3(c)) and runs the
+//!   whole thing with zero filesystem involvement.
+
+pub mod config;
+pub mod consumer;
+pub mod encode;
+pub mod eval;
+pub mod noop;
+pub mod producer;
+pub mod workflow;
+
+pub use config::{Placement, WorkflowConfig};
+pub use encode::{EncodeConfig, Sample};
+pub use eval::InversionEval;
+pub use workflow::{run_workflow, WorkflowReport};
+
+pub mod prelude {
+    //! Common imports for workflow consumers.
+    pub use crate::config::{Placement, WorkflowConfig};
+    pub use crate::encode::{EncodeConfig, Sample};
+    pub use crate::eval::InversionEval;
+    pub use crate::workflow::{run_workflow, WorkflowReport};
+}

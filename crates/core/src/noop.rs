@@ -1,0 +1,106 @@
+//! The synthetic no-op consumer of §IV-B.
+//!
+//! *"…streams its particle data into a synthetic no-op consumer that
+//! performs no computation beside measuring the performance of this I/O
+//! operation and only discards received data."* Used by the streaming
+//! scaling study (Fig. 6): fetch everything, time it, drop it.
+
+use as_staging::engine::SstReader;
+
+/// Measurements of a no-op drain.
+#[derive(Debug, Clone)]
+pub struct NoopReport {
+    /// Steps consumed.
+    pub steps: u64,
+    /// Total bytes fetched.
+    pub bytes: u64,
+    /// Wall seconds per step (fetch time only).
+    pub step_seconds: Vec<f64>,
+    /// Simulated wire seconds per step (data-plane model).
+    pub simulated_seconds: Vec<f64>,
+}
+
+impl NoopReport {
+    /// Mean measured throughput, bytes/second.
+    pub fn mean_throughput(&self) -> f64 {
+        let t: f64 = self.step_seconds.iter().sum();
+        if t > 0.0 {
+            self.bytes as f64 / t
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean modelled throughput using the data-plane wire time.
+    pub fn simulated_throughput(&self) -> f64 {
+        let t: f64 = self.simulated_seconds.iter().sum();
+        if t > 0.0 {
+            self.bytes as f64 / t
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Drain a stream to completion, fetching every variable of every step.
+pub fn run_noop_consumer(mut reader: SstReader) -> NoopReport {
+    let mut report = NoopReport {
+        steps: 0,
+        bytes: 0,
+        step_seconds: Vec::new(),
+        simulated_seconds: Vec::new(),
+    };
+    while let Some(mut step) = reader.begin_step() {
+        let t0 = std::time::Instant::now();
+        for name in step.variable_names() {
+            if name == "__attributes__" {
+                continue;
+            }
+            let var = step.variable(&name).expect("listed variable").clone();
+            match var.dtype {
+                as_staging::variable::Dtype::F64 => {
+                    let v = step.get_f64(&name);
+                    std::hint::black_box(&v);
+                }
+                as_staging::variable::Dtype::F32 => {
+                    let v = step.get_f32(&name);
+                    std::hint::black_box(&v);
+                }
+                _ => {}
+            }
+        }
+        report.step_seconds.push(t0.elapsed().as_secs_f64());
+        report.simulated_seconds.push(step.simulated_seconds);
+        report.bytes += step.bytes_fetched;
+        report.steps += 1;
+        reader.end_step(step);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use as_staging::engine::{open_stream, StreamConfig};
+
+    #[test]
+    fn noop_drains_and_measures() {
+        let (mut writers, mut readers) = open_stream(StreamConfig::default());
+        let mut w = writers.remove(0);
+        let producer = std::thread::spawn(move || {
+            for s in 0..5 {
+                w.begin_step();
+                w.put_f64("particles/e/position/x", 1000, 0, &vec![s as f64; 1000]);
+                w.end_step();
+            }
+            w.close();
+        });
+        let report = run_noop_consumer(readers.remove(0));
+        producer.join().unwrap();
+        assert_eq!(report.steps, 5);
+        assert_eq!(report.bytes, 5 * 8000);
+        assert_eq!(report.step_seconds.len(), 5);
+        assert!(report.mean_throughput() > 0.0);
+        assert!(report.simulated_throughput() > 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! The producer: PIC simulation + in-situ radiation, streaming openPMD.
+//!
+//! Mirrors PIConGPU's role in the paper: per emission window it publishes
+//! the full particle phase space on one stream and the windowed per-region
+//! radiation amplitudes on a second stream ("two parallel data streams"),
+//! then drops its local copies — the filesystem is never touched. If the
+//! consumer falls behind, the bounded staging queue stalls the simulation
+//! (measured and reported).
+
+use crate::config::WorkflowConfig;
+use as_openpmd::attribute::{UnitDimension, Value};
+use as_openpmd::writer::OpenPmdWriter;
+use as_pic::plugin::Plugin;
+use as_pic::sim::Simulation;
+use as_radiation::plugin::{RadiationPlugin, RegionMode};
+use as_staging::engine::SstWriter;
+use std::time::Instant;
+
+/// Producer-side outcome.
+#[derive(Debug, Clone)]
+pub struct ProducerReport {
+    /// PIC steps completed.
+    pub steps: u64,
+    /// Emission windows published.
+    pub windows: u64,
+    /// Total payload bytes published across both streams.
+    pub bytes: u64,
+    /// Wall seconds in the PIC step loop.
+    pub sim_seconds: f64,
+    /// Wall seconds blocked on staging back-pressure.
+    pub stall_seconds: f64,
+}
+
+/// Run the producer to completion.
+pub fn run_producer(
+    cfg: &WorkflowConfig,
+    particle_stream: SstWriter,
+    radiation_stream: SstWriter,
+) -> ProducerReport {
+    let mut sim = cfg.khi.build(cfg.grid);
+    let mut radiation = RadiationPlugin::new(
+        cfg.detector.clone(),
+        RegionMode::FlowRegions {
+            shear_width: cfg.shear_width,
+        },
+        0,
+    );
+    let mut pw = OpenPmdWriter::new(particle_stream);
+    let mut rw = OpenPmdWriter::new(radiation_stream);
+
+    let mut report = ProducerReport {
+        steps: 0,
+        windows: 0,
+        bytes: 0,
+        sim_seconds: 0.0,
+        stall_seconds: 0.0,
+    };
+
+    for step in 0..cfg.total_steps {
+        let t0 = Instant::now();
+        sim.step();
+        radiation.after_step(&sim);
+        report.sim_seconds += t0.elapsed().as_secs_f64();
+        report.steps += 1;
+
+        if (step + 1) % cfg.steps_per_sample == 0 {
+            let t1 = Instant::now();
+            emit_window(cfg, &sim, &mut radiation, &mut pw, &mut rw);
+            report.stall_seconds += t1.elapsed().as_secs_f64();
+            report.windows += 1;
+        }
+    }
+    pw.close();
+    rw.close();
+    report.bytes = 0; // filled by caller from stream stats if needed
+    report
+}
+
+/// Publish one emission window on both streams.
+fn emit_window(
+    cfg: &WorkflowConfig,
+    sim: &Simulation,
+    radiation: &mut RadiationPlugin,
+    pw: &mut OpenPmdWriter,
+    rw: &mut OpenPmdWriter,
+) {
+    let it = sim.step_index;
+    let sp = &sim.species[0];
+    let n = sp.len() as u64;
+
+    // Particle stream: full phase space of the electrons.
+    pw.begin_iteration(it, sim.time, sim.spec.dt);
+    pw.set_attribute("beta", Value::F64(cfg.khi.beta));
+    let u = as_pic::units::UnitSystem::paper();
+    pw.write_particles("e", "position", "x", UnitDimension::length(), u.skin_depth, n, 0, &sp.x);
+    pw.write_particles("e", "position", "y", UnitDimension::length(), u.skin_depth, n, 0, &sp.y);
+    pw.write_particles("e", "position", "z", UnitDimension::length(), u.skin_depth, n, 0, &sp.z);
+    let p_si = as_pic::units::M_E * as_pic::units::C;
+    pw.write_particles("e", "momentum", "x", UnitDimension::momentum(), p_si, n, 0, &sp.ux);
+    pw.write_particles("e", "momentum", "y", UnitDimension::momentum(), p_si, n, 0, &sp.uy);
+    pw.write_particles("e", "momentum", "z", UnitDimension::momentum(), p_si, n, 0, &sp.uz);
+    pw.write_particles("e", "weighting", "w", UnitDimension::none(), 1.0, n, 0, &sp.w);
+    pw.end_iteration();
+
+    // Radiation stream: windowed per-region intensity spectra
+    // (dirs × freqs, flattened).
+    rw.begin_iteration(it, sim.time, sim.spec.dt);
+    let spectra = radiation.spectra();
+    for (r, region) in spectra.iter().enumerate() {
+        let mut flat: Vec<f64> = Vec::with_capacity(region.len() * cfg.detector.n_freqs());
+        for dir in region {
+            flat.extend_from_slice(&dir.intensity);
+        }
+        let name = format!("radiation/region{r}/intensity");
+        let len = flat.len() as u64;
+        rw.write_f32_array(&name, len, 0, &flat.iter().map(|&v| v as f32).collect::<Vec<f32>>());
+    }
+    rw.set_attribute("n_regions", Value::I64(spectra.len() as i64));
+    rw.set_attribute("window_steps", Value::I64(radiation.window_len() as i64));
+    rw.end_iteration();
+    let _ = radiation.take_window();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use as_staging::engine::{open_stream, StreamConfig};
+
+    #[test]
+    fn producer_publishes_expected_window_count() {
+        let mut cfg = WorkflowConfig::small();
+        cfg.total_steps = 8;
+        cfg.steps_per_sample = 4;
+        let (mut pw, mut pr) = open_stream(StreamConfig::default());
+        let (mut rw, mut rr) = open_stream(StreamConfig::default());
+        let (pw, rw) = (pw.remove(0), rw.remove(0));
+        let cfg2 = cfg.clone();
+        let producer = std::thread::spawn(move || run_producer(&cfg2, pw, rw));
+        // Drain both streams.
+        let mut p_reader = pr.remove(0);
+        let mut r_reader = rr.remove(0);
+        let mut windows = 0;
+        loop {
+            let ps = p_reader.begin_step();
+            let rs = r_reader.begin_step();
+            match (ps, rs) {
+                (Some(mut a), Some(mut b)) => {
+                    let x = a.get_f64("particles/e/position/x");
+                    assert!(!x.is_empty());
+                    let i0 = b.get_f32("radiation/region0/intensity");
+                    assert_eq!(i0.len(), cfg.detector.n_freqs());
+                    p_reader.end_step(a);
+                    r_reader.end_step(b);
+                    windows += 1;
+                }
+                (None, None) => break,
+                _ => panic!("streams out of sync"),
+            }
+        }
+        assert_eq!(windows, 2);
+        let report = producer.join().unwrap();
+        assert_eq!(report.steps, 8);
+        assert_eq!(report.windows, 2);
+        assert!(report.sim_seconds > 0.0);
+    }
+}

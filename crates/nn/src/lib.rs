@@ -1,0 +1,47 @@
+//! The MLapp: neural-network layers, the VAE+INN model of the paper, its
+//! point-cloud losses, the Adam optimiser and data-parallel training.
+//!
+//! Architecture (paper Fig. 7):
+//! - a **PointNet-style encoder** turns a 6-D point cloud of particle
+//!   positions+momenta into a latent vector (1×1 convolutions
+//!   6→16→32→64→128→256→608, max-pool over particles, two MLP heads for
+//!   μ and σ);
+//! - a **deconvolution decoder** reconstructs a point cloud from the latent
+//!   (FC → (4,4,4,16) → two stride-2³ transposed 3-D convolutions → 4096
+//!   particles);
+//! - an **INN** of four GLOW coupling blocks maps the latent to the
+//!   concatenation of the radiation spectrum `I` and a normal residual `N`,
+//!   invertibly, so sampling `N` inverts radiation back to latents.
+//!
+//! The total loss is Eq. (1) of the paper:
+//! `L = L_CD + 0.001·L_KL + 0.3·L_MSE + 40·L_MMD(z,z′) + 0.03·L_MMD(N,N′)`.
+//!
+//! Gradients are exact manual backward passes; every layer is
+//! finite-difference checked in its unit tests. There is no autograd tape:
+//! each `forward` returns a context object consumed by `backward`, which
+//! lets the INN subnets run a forward *and* an inverse pass in the same
+//! step while accumulating into the same parameter gradients.
+
+pub mod contrastive;
+pub mod ddp;
+pub mod init;
+pub mod inn;
+pub mod layers;
+pub mod loss;
+pub mod model;
+pub mod optim;
+pub mod vae;
+
+pub use inn::{CouplingBlock, Inn};
+pub use layers::{Activation, Linear, Mlp};
+pub use model::{ArtificialScientistModel, LossReport, ModelConfig};
+pub use optim::{Adam, AdamConfig, ParamVisitor};
+pub use vae::{Decoder, Encoder, Vae};
+
+pub mod prelude {
+    //! Common imports for model consumers.
+    pub use crate::ddp::DdpConfig;
+    pub use crate::loss;
+    pub use crate::model::{ArtificialScientistModel, LossReport, ModelConfig};
+    pub use crate::optim::{Adam, AdamConfig};
+}

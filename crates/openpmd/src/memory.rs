@@ -1,0 +1,104 @@
+//! The in-memory "file-like" backend.
+//!
+//! openPMD is backend-agnostic; the paper's point is that switching from
+//! file-based I/O (HDF5/ADIOS2-BP) to streaming (ADIOS2-SST) is a backend
+//! swap, not an application change. `MemorySeries` stands in for the file
+//! backends: it stores whole iterations for later random access, which is
+//! exactly what streaming mode *cannot* afford at the paper's scale.
+
+use crate::attribute::{Attributes, Value};
+use std::collections::BTreeMap;
+
+/// One stored iteration.
+#[derive(Debug, Clone, Default)]
+pub struct StoredIteration {
+    /// Iteration-level attributes.
+    pub attributes: Attributes,
+    /// Named flat arrays (`meshes/E/x`, `particles/e/position/y`, …).
+    pub arrays: BTreeMap<String, Vec<f64>>,
+}
+
+/// An in-memory series of iterations with random access.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySeries {
+    iterations: BTreeMap<u64, StoredIteration>,
+}
+
+impl MemorySeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write (or overwrite) an array in iteration `it`.
+    pub fn write(&mut self, it: u64, name: &str, data: Vec<f64>) {
+        self.iterations
+            .entry(it)
+            .or_default()
+            .arrays
+            .insert(name.to_string(), data);
+    }
+
+    /// Set an attribute on iteration `it`.
+    pub fn set_attribute(&mut self, it: u64, key: &str, value: Value) {
+        self.iterations
+            .entry(it)
+            .or_default()
+            .attributes
+            .set(key, value);
+    }
+
+    /// Read an array (random access — the luxury of a file backend).
+    pub fn read(&self, it: u64, name: &str) -> Option<&[f64]> {
+        self.iterations
+            .get(&it)
+            .and_then(|s| s.arrays.get(name))
+            .map(|v| v.as_slice())
+    }
+
+    /// Attribute lookup.
+    pub fn attribute(&self, it: u64, key: &str) -> Option<&Value> {
+        self.iterations.get(&it).and_then(|s| s.attributes.get(key))
+    }
+
+    /// Iteration indices present.
+    pub fn iterations(&self) -> Vec<u64> {
+        self.iterations.keys().copied().collect()
+    }
+
+    /// Total stored bytes (the capacity problem the paper routes around:
+    /// storing every step quickly exceeds any filesystem).
+    pub fn stored_bytes(&self) -> u64 {
+        self.iterations
+            .values()
+            .flat_map(|s| s.arrays.values())
+            .map(|v| (v.len() * 8) as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_access_read_back() {
+        let mut s = MemorySeries::new();
+        s.write(0, "meshes/E/x", vec![1.0, 2.0]);
+        s.write(5, "meshes/E/x", vec![3.0]);
+        s.set_attribute(5, "time", Value::F64(2.5));
+        assert_eq!(s.read(0, "meshes/E/x"), Some(&[1.0, 2.0][..]));
+        assert_eq!(s.read(5, "meshes/E/x"), Some(&[3.0][..]));
+        assert_eq!(s.read(1, "meshes/E/x"), None);
+        assert_eq!(s.attribute(5, "time"), Some(&Value::F64(2.5)));
+        assert_eq!(s.iterations(), vec![0, 5]);
+    }
+
+    #[test]
+    fn stored_bytes_accumulate() {
+        let mut s = MemorySeries::new();
+        s.write(0, "a", vec![0.0; 100]);
+        s.write(1, "b", vec![0.0; 50]);
+        assert_eq!(s.stored_bytes(), 1200);
+    }
+}

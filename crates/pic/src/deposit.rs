@@ -1,0 +1,289 @@
+//! Charge-conserving current deposition (Esirkepov 2001, CIC order).
+//!
+//! The density decomposition scheme: for a particle moving `x⁰ → x¹`
+//! (strictly less than one cell per axis, guaranteed by the CFL check),
+//! per-axis CIC shape vectors `S⁰`, `S¹` over a 4-point support are
+//! combined into the W-brackets
+//!
+//! `Wx(r,s,t) = ΔSx(r)·[S⁰y S⁰z + ½ΔSy S⁰z + ½S⁰y ΔSz + ⅓ΔSy ΔSz]`
+//!
+//! and currents accumulate along each axis as a running prefix sum, which
+//! satisfies the discrete continuity equation `∂ρ/∂t + ∇·J = 0` **to
+//! machine precision** (asserted in the tests). This is the same scheme
+//! PIConGPU uses by default.
+
+use crate::field::VecField3;
+use crate::grid::GridSpec;
+
+/// CIC (first-order b-spline) shape function.
+#[inline]
+fn cic(u: f64) -> f64 {
+    let a = 1.0 - u.abs();
+    if a > 0.0 {
+        a
+    } else {
+        0.0
+    }
+}
+
+/// Deposit the current of one particle moving from `(x0,y0,z0)` to
+/// `(x1,y1,z1)` with charge `q` (units e) and weight `w` into `j`.
+///
+/// `x_origin_cell` is the slab origin (global x cell of local cell 0).
+#[allow(clippy::too_many_arguments)]
+pub fn deposit_current(
+    j: &mut VecField3,
+    g: &GridSpec,
+    q: f64,
+    w: f64,
+    x0: f64,
+    y0: f64,
+    z0: f64,
+    x1: f64,
+    y1: f64,
+    z1: f64,
+    x_origin_cell: f64,
+) {
+    let c0x = x0 / g.dx - x_origin_cell;
+    let c0y = y0 / g.dy;
+    let c0z = z0 / g.dz;
+    let c1x = x1 / g.dx - x_origin_cell;
+    let c1y = y1 / g.dy;
+    let c1z = z1 / g.dz;
+    debug_assert!((c1x - c0x).abs() <= 1.0, "x displacement exceeds one cell");
+    debug_assert!((c1y - c0y).abs() <= 1.0, "y displacement exceeds one cell");
+    debug_assert!((c1z - c0z).abs() <= 1.0, "z displacement exceeds one cell");
+
+    let i0 = c0x.floor() as isize;
+    let j0 = c0y.floor() as isize;
+    let k0 = c0z.floor() as isize;
+
+    // 4-point support per axis: absolute index = base + r, r ∈ 0..4.
+    let (bi, bj, bk) = (i0 - 1, j0 - 1, k0 - 1);
+    let mut s0x = [0.0f64; 4];
+    let mut s1x = [0.0f64; 4];
+    let mut s0y = [0.0f64; 4];
+    let mut s1y = [0.0f64; 4];
+    let mut s0z = [0.0f64; 4];
+    let mut s1z = [0.0f64; 4];
+    for r in 0..4 {
+        s0x[r] = cic(c0x - (bi + r as isize) as f64);
+        s1x[r] = cic(c1x - (bi + r as isize) as f64);
+        s0y[r] = cic(c0y - (bj + r as isize) as f64);
+        s1y[r] = cic(c1y - (bj + r as isize) as f64);
+        s0z[r] = cic(c0z - (bk + r as isize) as f64);
+        s1z[r] = cic(c1z - (bk + r as isize) as f64);
+    }
+    let ds = |s1: &[f64; 4], s0: &[f64; 4], r: usize| s1[r] - s0[r];
+
+    let vol = g.dx * g.dy * g.dz;
+    let qw = q * w / vol;
+
+    // Jx: prefix over r for each (s,t).
+    let fx = -qw * g.dx / g.dt;
+    for s in 0..4 {
+        for t in 0..4 {
+            let bracket = |sy0: f64, dsy: f64, sz0: f64, dsz: f64| {
+                sy0 * sz0 + 0.5 * dsy * sz0 + 0.5 * sy0 * dsz + dsy * dsz / 3.0
+            };
+            let wyz = bracket(s0y[s], ds(&s1y, &s0y, s), s0z[t], ds(&s1z, &s0z, t));
+            if wyz == 0.0 && s0y[s] == 0.0 && s0z[t] == 0.0 {
+                continue;
+            }
+            let mut running = 0.0;
+            for r in 0..4 {
+                running += ds(&s1x, &s0x, r) * wyz;
+                if running != 0.0 {
+                    j.x.add(bi + r as isize, bj + s as isize, bk + t as isize, fx * running);
+                }
+            }
+        }
+    }
+    // Jy: prefix over s for each (r,t).
+    let fy = -qw * g.dy / g.dt;
+    for r in 0..4 {
+        for t in 0..4 {
+            let wxz = s0x[r] * s0z[t]
+                + 0.5 * ds(&s1x, &s0x, r) * s0z[t]
+                + 0.5 * s0x[r] * ds(&s1z, &s0z, t)
+                + ds(&s1x, &s0x, r) * ds(&s1z, &s0z, t) / 3.0;
+            let mut running = 0.0;
+            for s in 0..4 {
+                running += ds(&s1y, &s0y, s) * wxz;
+                if running != 0.0 {
+                    j.y.add(bi + r as isize, bj + s as isize, bk + t as isize, fy * running);
+                }
+            }
+        }
+    }
+    // Jz: prefix over t for each (r,s).
+    let fz = -qw * g.dz / g.dt;
+    for r in 0..4 {
+        for s in 0..4 {
+            let wxy = s0x[r] * s0y[s]
+                + 0.5 * ds(&s1x, &s0x, r) * s0y[s]
+                + 0.5 * s0x[r] * ds(&s1y, &s0y, s)
+                + ds(&s1x, &s0x, r) * ds(&s1y, &s0y, s) / 3.0;
+            let mut running = 0.0;
+            for t in 0..4 {
+                running += ds(&s1z, &s0z, t) * wxy;
+                if running != 0.0 {
+                    j.z.add(bi + r as isize, bj + s as isize, bk + t as isize, fz * running);
+                }
+            }
+        }
+    }
+}
+
+/// CIC charge-density deposition (diagnostics and the continuity test).
+#[allow(clippy::too_many_arguments)]
+pub fn deposit_charge(
+    rho: &mut crate::field::ScalarField3,
+    g: &GridSpec,
+    q: f64,
+    w: f64,
+    x: f64,
+    y: f64,
+    z: f64,
+    x_origin_cell: f64,
+) {
+    let cx = x / g.dx - x_origin_cell;
+    let cy = y / g.dy;
+    let cz = z / g.dz;
+    let i0 = cx.floor() as isize;
+    let j0 = cy.floor() as isize;
+    let k0 = cz.floor() as isize;
+    let wx = cx - i0 as f64;
+    let wy = cy - j0 as f64;
+    let wz = cz - k0 as f64;
+    let qv = q * w / (g.dx * g.dy * g.dz);
+    for (di, vx) in [(0isize, 1.0 - wx), (1, wx)] {
+        for (dj, vy) in [(0isize, 1.0 - wy), (1, wy)] {
+            for (dk, vz) in [(0isize, 1.0 - wz), (1, wz)] {
+                rho.add(i0 + di, j0 + dj, k0 + dk, qv * vx * vy * vz);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::{ScalarField3, VecField3};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The headline property: discrete continuity to machine precision.
+    #[test]
+    fn esirkepov_satisfies_discrete_continuity() {
+        let g = GridSpec::cubic(8, 8, 8, 1.0, 0.9);
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..50 {
+            let mut j = VecField3::zeros(8, 8, 8);
+            let mut rho0 = ScalarField3::zeros(8, 8, 8);
+            let mut rho1 = ScalarField3::zeros(8, 8, 8);
+            // Keep positions away from the x-ghost boundary so all support
+            // cells stay in the addressable range (interior test).
+            let x0 = rng.gen_range(2.0..6.0);
+            let y0 = rng.gen_range(0.0..8.0);
+            let z0 = rng.gen_range(0.0..8.0);
+            let dx = rng.gen_range(-0.9..0.9);
+            let dy = rng.gen_range(-0.9..0.9);
+            let dz = rng.gen_range(-0.9..0.9);
+            let (x1, y1, z1) = (x0 + dx, y0 + dy, z0 + dz);
+            let q = if trial % 2 == 0 { -1.0 } else { 1.0 };
+            let w = rng.gen_range(0.5..2.0);
+            deposit_current(&mut j, &g, q, w, x0, y0, z0, x1, y1, z1, 0.0);
+            deposit_charge(&mut rho0, &g, q, w, x0, y0, z0, 0.0);
+            deposit_charge(&mut rho1, &g, q, w, x1, y1, z1, 0.0);
+            // Continuity at every interior cell: (ρ¹−ρ⁰)/dt + ∇·J = 0.
+            for i in 1..7isize {
+                for jj in 0..8isize {
+                    for k in 0..8isize {
+                        let drho = (rho1.get(i, jj, k) - rho0.get(i, jj, k)) / g.dt;
+                        let divj = (j.x.get(i, jj, k) - j.x.get(i - 1, jj, k)) / g.dx
+                            + (j.y.get(i, jj, k) - j.y.get(i, jj - 1, k)) / g.dy
+                            + (j.z.get(i, jj, k) - j.z.get(i, jj, k - 1)) / g.dz;
+                        assert!(
+                            (drho + divj).abs() < 1e-12,
+                            "continuity violated at ({i},{jj},{k}): {}",
+                            drho + divj
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_particle_deposits_no_current() {
+        let g = GridSpec::cubic(8, 8, 8, 1.0, 0.9);
+        let mut j = VecField3::zeros(8, 8, 8);
+        deposit_current(&mut j, &g, -1.0, 1.0, 3.3, 4.4, 5.5, 3.3, 4.4, 5.5, 0.0);
+        assert_eq!(j.x.sq_sum_interior(), 0.0);
+        assert_eq!(j.y.sq_sum_interior(), 0.0);
+        assert_eq!(j.z.sq_sum_interior(), 0.0);
+    }
+
+    #[test]
+    fn total_current_matches_q_w_v() {
+        // Σ_cells J·V_cell = q w v for a single particle (first moment).
+        let g = GridSpec::cubic(8, 8, 8, 0.5, 0.9);
+        let mut j = VecField3::zeros(8, 8, 8);
+        let (x0, y0, z0) = (2.0, 2.0, 2.0);
+        let v = (0.3, -0.1, 0.2);
+        let (x1, y1, z1) = (x0 + v.0 * g.dt, y0 + v.1 * g.dt, z0 + v.2 * g.dt);
+        let q = -1.0;
+        let w = 1.7;
+        deposit_current(&mut j, &g, q, w, x0, y0, z0, x1, y1, z1, 0.0);
+        let vol = g.dx * g.dy * g.dz;
+        let sum = |f: &ScalarField3| {
+            let mut acc = 0.0;
+            for i in -2..10 {
+                for jj in 0..8 {
+                    for k in 0..8 {
+                        acc += f.get(i, jj, k);
+                    }
+                }
+            }
+            acc * vol
+        };
+        assert!((sum(&j.x) - q * w * v.0).abs() < 1e-12, "{}", sum(&j.x));
+        assert!((sum(&j.y) - q * w * v.1).abs() < 1e-12);
+        assert!((sum(&j.z) - q * w * v.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_deposition_sums_to_total_charge() {
+        let g = GridSpec::cubic(4, 4, 4, 0.5, 0.9);
+        let mut rho = ScalarField3::zeros(4, 4, 4);
+        deposit_charge(&mut rho, &g, -1.0, 2.0, 1.1, 0.7, 0.9, 0.0);
+        let vol = g.dx * g.dy * g.dz;
+        let mut total = 0.0;
+        for i in -2..6 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    total += rho.get(i, j, k) * vol;
+                }
+            }
+        }
+        assert!((total + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slab_origin_shifts_deposition() {
+        let g = GridSpec::cubic(4, 4, 4, 1.0, 0.9);
+        let mut j = VecField3::zeros(4, 4, 4);
+        // Global x≈5 on a slab with origin at global cell 4 → local cell 1.
+        deposit_current(&mut j, &g, -1.0, 1.0, 5.2, 1.0, 1.0, 5.4, 1.0, 1.0, 4.0);
+        let mut near = 0.0;
+        for i in 0..3isize {
+            for jj in 0..3 {
+                for k in 0..3 {
+                    near += j.x.get(i, jj, k).abs();
+                }
+            }
+        }
+        assert!(near > 0.0, "current must land in local cells");
+    }
+}

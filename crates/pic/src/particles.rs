@@ -1,0 +1,300 @@
+//! Structure-of-arrays particle storage with supercell sorting.
+//!
+//! PIConGPU organises particles into *supercells* to optimise data access
+//! patterns [Hönig et al. 2010]; on the CPU the analogue is keeping the SoA
+//! buffer sorted by supercell index so gather/deposit walk memory almost
+//! linearly. Sorting is a counting sort, O(N), run every few steps.
+
+/// SoA buffer of macro-particles of one species.
+///
+/// Positions are *global* normalised coordinates; momenta are `u = γβ` in
+/// units of mc. `weight` is the phase-space volume each macro-particle
+/// carries: a cell at reference density holds `ppc` particles of weight
+/// `n̂·V_cell/ppc`, so depositions divided by `V_cell` recover `n̂`.
+#[derive(Debug, Clone, Default)]
+pub struct ParticleBuffer {
+    /// x positions.
+    pub x: Vec<f64>,
+    /// y positions.
+    pub y: Vec<f64>,
+    /// z positions.
+    pub z: Vec<f64>,
+    /// x momenta (γβₓ).
+    pub ux: Vec<f64>,
+    /// y momenta.
+    pub uy: Vec<f64>,
+    /// z momenta.
+    pub uz: Vec<f64>,
+    /// Macro-particle weights.
+    pub w: Vec<f64>,
+    /// Species charge in units of e (electrons: −1).
+    pub charge: f64,
+    /// Species mass in units of mₑ.
+    pub mass: f64,
+}
+
+impl ParticleBuffer {
+    /// Empty buffer for a species.
+    pub fn new(charge: f64, mass: f64) -> Self {
+        Self {
+            charge,
+            mass,
+            ..Self::default()
+        }
+    }
+
+    /// Particle count.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when the buffer holds no particles.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Append one particle.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push(&mut self, x: f64, y: f64, z: f64, ux: f64, uy: f64, uz: f64, w: f64) {
+        self.x.push(x);
+        self.y.push(y);
+        self.z.push(z);
+        self.ux.push(ux);
+        self.uy.push(uy);
+        self.uz.push(uz);
+        self.w.push(w);
+    }
+
+    /// Reserve capacity for `n` additional particles.
+    pub fn reserve(&mut self, n: usize) {
+        self.x.reserve(n);
+        self.y.reserve(n);
+        self.z.reserve(n);
+        self.ux.reserve(n);
+        self.uy.reserve(n);
+        self.uz.reserve(n);
+        self.w.reserve(n);
+    }
+
+    /// Lorentz factor of particle `i`.
+    #[inline]
+    pub fn gamma(&self, i: usize) -> f64 {
+        (1.0 + self.ux[i] * self.ux[i] + self.uy[i] * self.uy[i] + self.uz[i] * self.uz[i]).sqrt()
+    }
+
+    /// Velocity (β) of particle `i`.
+    #[inline]
+    pub fn velocity(&self, i: usize) -> (f64, f64, f64) {
+        let g = self.gamma(i);
+        (self.ux[i] / g, self.uy[i] / g, self.uz[i] / g)
+    }
+
+    /// Total kinetic energy `Σ w·m·(γ−1)` (units of mₑc²·n₀·V).
+    pub fn kinetic_energy(&self) -> f64 {
+        (0..self.len())
+            .map(|i| self.w[i] * self.mass * (self.gamma(i) - 1.0))
+            .sum()
+    }
+
+    /// Take (remove and return) every particle whose x lies outside
+    /// `[x_lo, x_hi)` — the migration step of the slab decomposition.
+    pub fn drain_outside_x(&mut self, x_lo: f64, x_hi: f64) -> ParticleBuffer {
+        let mut out = ParticleBuffer::new(self.charge, self.mass);
+        let mut keep = 0usize;
+        for i in 0..self.len() {
+            if self.x[i] >= x_lo && self.x[i] < x_hi {
+                if keep != i {
+                    self.x[keep] = self.x[i];
+                    self.y[keep] = self.y[i];
+                    self.z[keep] = self.z[i];
+                    self.ux[keep] = self.ux[i];
+                    self.uy[keep] = self.uy[i];
+                    self.uz[keep] = self.uz[i];
+                    self.w[keep] = self.w[i];
+                }
+                keep += 1;
+            } else {
+                out.push(
+                    self.x[i], self.y[i], self.z[i], self.ux[i], self.uy[i], self.uz[i],
+                    self.w[i],
+                );
+            }
+        }
+        self.truncate(keep);
+        out
+    }
+
+    /// Append all particles of `other`.
+    pub fn extend_from(&mut self, other: &ParticleBuffer) {
+        self.x.extend_from_slice(&other.x);
+        self.y.extend_from_slice(&other.y);
+        self.z.extend_from_slice(&other.z);
+        self.ux.extend_from_slice(&other.ux);
+        self.uy.extend_from_slice(&other.uy);
+        self.uz.extend_from_slice(&other.uz);
+        self.w.extend_from_slice(&other.w);
+    }
+
+    fn truncate(&mut self, n: usize) {
+        self.x.truncate(n);
+        self.y.truncate(n);
+        self.z.truncate(n);
+        self.ux.truncate(n);
+        self.uy.truncate(n);
+        self.uz.truncate(n);
+        self.w.truncate(n);
+    }
+
+    /// Wrap positions into the periodic box `[0,lx)×[0,ly)×[0,lz)`.
+    pub fn apply_periodic(&mut self, lx: f64, ly: f64, lz: f64) {
+        for v in &mut self.x {
+            *v = v.rem_euclid(lx);
+        }
+        for v in &mut self.y {
+            *v = v.rem_euclid(ly);
+        }
+        for v in &mut self.z {
+            *v = v.rem_euclid(lz);
+        }
+    }
+
+    /// Wrap only y/z periodically (x handled by slab migration).
+    pub fn apply_periodic_yz(&mut self, ly: f64, lz: f64) {
+        for v in &mut self.y {
+            *v = v.rem_euclid(ly);
+        }
+        for v in &mut self.z {
+            *v = v.rem_euclid(lz);
+        }
+    }
+
+    /// Counting sort by supercell index (supercells of `edge` cells per
+    /// axis on a grid of `dx/dy/dz`-sized cells, `nx×ny×nz` total).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sort_by_supercell(
+        &mut self,
+        edge: usize,
+        dx: f64,
+        dy: f64,
+        dz: f64,
+        nx: usize,
+        ny: usize,
+        nz: usize,
+    ) {
+        let scx = nx.div_ceil(edge);
+        let scy = ny.div_ceil(edge);
+        let scz = nz.div_ceil(edge);
+        let n_sc = scx * scy * scz;
+        let sc_of = |i: usize| -> usize {
+            let cx = ((self.x[i] / dx) as usize).min(nx - 1) / edge;
+            let cy = ((self.y[i] / dy) as usize).min(ny - 1) / edge;
+            let cz = ((self.z[i] / dz) as usize).min(nz - 1) / edge;
+            (cx * scy + cy) * scz + cz
+        };
+        let n = self.len();
+        let mut counts = vec![0usize; n_sc + 1];
+        for i in 0..n {
+            counts[sc_of(i) + 1] += 1;
+        }
+        for s in 1..=n_sc {
+            counts[s] += counts[s - 1];
+        }
+        let mut perm = vec![0usize; n];
+        let mut cursor = counts.clone();
+        for i in 0..n {
+            let s = sc_of(i);
+            perm[cursor[s]] = i;
+            cursor[s] += 1;
+        }
+        let reorder = |v: &Vec<f64>| -> Vec<f64> { perm.iter().map(|&i| v[i]).collect() };
+        self.x = reorder(&self.x);
+        self.y = reorder(&self.y);
+        self.z = reorder(&self.z);
+        self.ux = reorder(&self.ux);
+        self.uy = reorder(&self.uy);
+        self.uz = reorder(&self.uz);
+        self.w = reorder(&self.w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ParticleBuffer {
+        let mut p = ParticleBuffer::new(-1.0, 1.0);
+        p.push(0.1, 0.2, 0.3, 0.0, 0.0, 0.0, 1.0);
+        p.push(1.5, 0.8, 0.1, 1.0, 0.0, 0.0, 2.0);
+        p.push(2.9, 1.9, 0.9, 0.0, 2.0, 0.0, 3.0);
+        p
+    }
+
+    #[test]
+    fn gamma_and_velocity() {
+        let p = sample();
+        assert_eq!(p.gamma(0), 1.0);
+        assert!((p.gamma(1) - 2f64.sqrt()).abs() < 1e-12);
+        let (vx, _, _) = p.velocity(1);
+        assert!((vx - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kinetic_energy_weighted() {
+        let p = sample();
+        let expect = 2.0 * (2f64.sqrt() - 1.0) + 3.0 * (5f64.sqrt() - 1.0);
+        assert!((p.kinetic_energy() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drain_outside_partitions_exactly() {
+        let mut p = sample();
+        let out = p.drain_outside_x(0.0, 2.0);
+        assert_eq!(p.len(), 2);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.x[0], 2.9);
+        assert_eq!(out.w[0], 3.0);
+        assert_eq!(p.x, vec![0.1, 1.5]);
+    }
+
+    #[test]
+    fn periodic_wrap() {
+        let mut p = ParticleBuffer::new(-1.0, 1.0);
+        p.push(-0.5, 2.5, 1.0, 0.0, 0.0, 0.0, 1.0);
+        p.apply_periodic(2.0, 2.0, 2.0);
+        assert!((p.x[0] - 1.5).abs() < 1e-12);
+        assert!((p.y[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn supercell_sort_groups_neighbours() {
+        let mut p = ParticleBuffer::new(-1.0, 1.0);
+        // Two particles in supercell (1,*) then one in (0,*): after sorting
+        // the (0,*) particle must come first.
+        p.push(3.5, 0.1, 0.1, 0.0, 0.0, 0.0, 1.0);
+        p.push(3.6, 0.2, 0.2, 0.0, 0.0, 0.0, 2.0);
+        p.push(0.1, 0.1, 0.1, 0.0, 0.0, 0.0, 3.0);
+        p.sort_by_supercell(2, 1.0, 1.0, 1.0, 4, 4, 4);
+        assert_eq!(p.w, vec![3.0, 1.0, 2.0], "stable counting sort expected");
+    }
+
+    #[test]
+    fn sort_preserves_all_particles() {
+        let mut p = ParticleBuffer::new(-1.0, 1.0);
+        for i in 0..100 {
+            let f = i as f64;
+            p.push(
+                (f * 0.37) % 4.0,
+                (f * 0.73) % 4.0,
+                (f * 0.11) % 4.0,
+                f,
+                -f,
+                0.5 * f,
+                f + 1.0,
+            );
+        }
+        let w_sum: f64 = p.w.iter().sum();
+        p.sort_by_supercell(2, 1.0, 1.0, 1.0, 4, 4, 4);
+        assert_eq!(p.len(), 100);
+        assert!((p.w.iter().sum::<f64>() - w_sum).abs() < 1e-9);
+    }
+}

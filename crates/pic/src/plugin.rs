@@ -1,0 +1,69 @@
+//! In-situ plugin interface.
+//!
+//! PIConGPU exposes diagnostics (the far-field radiation calculator, the
+//! openPMD writer, …) as output plugins invoked after each step. The same
+//! pattern here: anything implementing [`Plugin`] can be attached to a
+//! driver loop via [`run_with_plugins`]; the radiation crate and the
+//! orchestration producer both hook in this way, keeping the simulation
+//! core free of I/O and analysis concerns.
+
+use crate::sim::Simulation;
+
+/// An in-situ observer invoked after every completed step.
+pub trait Plugin: Send {
+    /// Called once after each step with read access to the state.
+    fn after_step(&mut self, sim: &Simulation);
+
+    /// Optional name for diagnostics.
+    fn name(&self) -> &str {
+        "plugin"
+    }
+}
+
+/// Drive `sim` for `steps` steps, invoking every plugin after each one.
+pub fn run_with_plugins(sim: &mut Simulation, steps: usize, plugins: &mut [&mut dyn Plugin]) {
+    for _ in 0..steps {
+        sim.step();
+        for p in plugins.iter_mut() {
+            p.after_step(sim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridSpec;
+    use crate::particles::ParticleBuffer;
+    use crate::sim::SimulationBuilder;
+
+    struct Counter {
+        calls: usize,
+        last_step: u64,
+    }
+
+    impl Plugin for Counter {
+        fn after_step(&mut self, sim: &Simulation) {
+            self.calls += 1;
+            self.last_step = sim.step_index;
+        }
+        fn name(&self) -> &str {
+            "counter"
+        }
+    }
+
+    #[test]
+    fn plugins_run_once_per_step() {
+        let g = GridSpec::cubic(4, 4, 4, 0.5, 0.5);
+        let mut sim = SimulationBuilder::new(g)
+            .species(ParticleBuffer::new(-1.0, 1.0))
+            .build();
+        let mut c1 = Counter { calls: 0, last_step: 0 };
+        let mut c2 = Counter { calls: 0, last_step: 0 };
+        run_with_plugins(&mut sim, 5, &mut [&mut c1, &mut c2]);
+        assert_eq!(c1.calls, 5);
+        assert_eq!(c2.calls, 5);
+        assert_eq!(c1.last_step, 5);
+        assert_eq!(c1.name(), "counter");
+    }
+}

@@ -1,0 +1,106 @@
+//! TWEAC-like Figure-of-Merit benchmark workload.
+//!
+//! Fig. 4 uses *"a more challenging test case than the KHI as a scaling
+//! benchmark, with a higher particle-per-cell ratio"* (the public
+//! TWEAC-FOM case from the PIConGPU repository). What matters for the
+//! benchmark is the arithmetic intensity: a dense, warm, drifting plasma
+//! at high ppc. This module reproduces that workload shape.
+
+use crate::grid::GridSpec;
+use crate::particles::ParticleBuffer;
+use crate::sim::{Simulation, SimulationBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Benchmark workload: uniform warm plasma at high particle density.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TweacSetup {
+    /// Macro-particles per cell (the paper's Frontier run averaged
+    /// 2.7e13 particles / 1e12 cells = 27 ppc).
+    pub ppc: usize,
+    /// Drift momentum (γβ) along x.
+    pub drift_u: f64,
+    /// Thermal momentum spread.
+    pub thermal_u: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TweacSetup {
+    fn default() -> Self {
+        Self {
+            ppc: 27,
+            drift_u: 0.1,
+            thermal_u: 0.02,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+impl TweacSetup {
+    /// Build the benchmark simulation on `g`.
+    pub fn build(&self, g: GridSpec) -> Simulation {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut p = ParticleBuffer::new(-1.0, 1.0);
+        p.reserve(g.cells() * self.ppc);
+        let w = g.dx * g.dy * g.dz / self.ppc as f64;
+        for cx in 0..g.nx {
+            for cy in 0..g.ny {
+                for cz in 0..g.nz {
+                    for _ in 0..self.ppc {
+                        p.push(
+                            (cx as f64 + rng.gen_range(0.0..1.0)) * g.dx,
+                            (cy as f64 + rng.gen_range(0.0..1.0)) * g.dy,
+                            (cz as f64 + rng.gen_range(0.0..1.0)) * g.dz,
+                            self.drift_u + rng.gen_range(-self.thermal_u..self.thermal_u),
+                            rng.gen_range(-self.thermal_u..self.thermal_u),
+                            rng.gen_range(-self.thermal_u..self.thermal_u),
+                            w,
+                        );
+                    }
+                }
+            }
+        }
+        SimulationBuilder::new(g).species(p).build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fom::FomCounter;
+
+    #[test]
+    fn default_matches_frontier_run_density() {
+        assert_eq!(TweacSetup::default().ppc, 27);
+    }
+
+    #[test]
+    fn builds_and_steps() {
+        let g = GridSpec::cubic(6, 6, 6, 0.5, 0.5);
+        let mut sim = TweacSetup {
+            ppc: 8,
+            ..TweacSetup::default()
+        }
+        .build(g);
+        assert_eq!(sim.particle_count(), 6 * 6 * 6 * 8);
+        sim.run(3);
+        assert_eq!(sim.step_index, 3);
+    }
+
+    #[test]
+    fn fom_measurement_is_positive_and_particle_dominated() {
+        let g = GridSpec::cubic(6, 6, 6, 0.5, 0.5);
+        let mut sim = TweacSetup {
+            ppc: 12,
+            ..TweacSetup::default()
+        }
+        .build(g);
+        let mut fom = FomCounter::new();
+        fom.start();
+        sim.run(5);
+        fom.stop(5, sim.particle_count() as u64, g.cells() as u64);
+        assert!(fom.fom() > 0.0);
+        assert!(fom.particle_rate() > fom.cell_rate(), "ppc > 1 ⇒ particle work dominates");
+    }
+}

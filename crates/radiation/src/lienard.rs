@@ -1,0 +1,329 @@
+//! The Liénard-Wiechert far-field amplitude accumulator.
+
+use crate::detector::Detector;
+use rayon::prelude::*;
+
+/// Complex vector amplitude per (direction, frequency), accumulated over
+/// time steps and particles.
+///
+/// Storage layout: `[dir][freq][re_x, im_x, re_y, im_y, re_z, im_z]`.
+/// Macro-particle weights multiply the *amplitude* (macro-particles
+/// radiate coherently within themselves — the standard PIC form-factor
+/// treatment at frequencies below the macro-particle scale).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadiationAccumulator {
+    n_dirs: usize,
+    n_freqs: usize,
+    amp: Vec<f64>,
+}
+
+/// One particle's kinematic state at a time step, as seen by the
+/// accumulator.
+#[derive(Debug, Clone, Copy)]
+pub struct ParticleState {
+    /// Position (normalised units).
+    pub r: [f64; 3],
+    /// Velocity β.
+    pub beta: [f64; 3],
+    /// Acceleration dβ/dt.
+    pub beta_dot: [f64; 3],
+    /// Macro-particle weight.
+    pub weight: f64,
+}
+
+impl RadiationAccumulator {
+    /// Zeroed accumulator matching `det`.
+    pub fn new(det: &Detector) -> Self {
+        Self {
+            n_dirs: det.n_dirs(),
+            n_freqs: det.n_freqs(),
+            amp: vec![0.0; det.n_dirs() * det.n_freqs() * 6],
+        }
+    }
+
+    /// Direction count.
+    pub fn n_dirs(&self) -> usize {
+        self.n_dirs
+    }
+
+    /// Frequency count.
+    pub fn n_freqs(&self) -> usize {
+        self.n_freqs
+    }
+
+    /// Raw amplitude storage (for cross-rank reduction).
+    pub fn amplitudes(&self) -> &[f64] {
+        &self.amp
+    }
+
+    /// Mutable raw amplitude storage (for cross-rank reduction).
+    pub fn amplitudes_mut(&mut self) -> &mut [f64] {
+        &mut self.amp
+    }
+
+    /// Merge another accumulator (sum of amplitudes — radiation from
+    /// different ranks superposes coherently).
+    pub fn merge(&mut self, other: &RadiationAccumulator) {
+        assert_eq!(self.amp.len(), other.amp.len(), "accumulator shape mismatch");
+        for (a, b) in self.amp.iter_mut().zip(&other.amp) {
+            *a += b;
+        }
+    }
+
+    /// Accumulate one step's contributions from `particles` at simulation
+    /// time `t`, integrating with weight `dt`.
+    ///
+    /// Parallelises over particles with per-thread partial amplitudes.
+    pub fn accumulate(&mut self, det: &Detector, particles: &[ParticleState], t: f64, dt: f64) {
+        let n_dirs = self.n_dirs;
+        let n_freqs = self.n_freqs;
+        let stride = n_freqs * 6;
+        let partial = particles
+            .par_iter()
+            .fold(
+                || vec![0.0f64; n_dirs * stride],
+                |mut acc, p| {
+                    add_particle(&mut acc, det, p, t, dt);
+                    acc
+                },
+            )
+            .reduce(
+                || vec![0.0f64; n_dirs * stride],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        for (a, b) in self.amp.iter_mut().zip(partial) {
+            *a += b;
+        }
+    }
+
+    /// Observed intensity `|A|²` per (direction, frequency).
+    pub fn intensity(&self) -> Vec<Vec<f64>> {
+        (0..self.n_dirs)
+            .map(|d| {
+                (0..self.n_freqs)
+                    .map(|f| {
+                        let o = (d * self.n_freqs + f) * 6;
+                        self.amp[o..o + 6].iter().map(|v| v * v).sum()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Add one particle's Liénard-Wiechert contribution to a raw amplitude
+/// buffer.
+fn add_particle(acc: &mut [f64], det: &Detector, p: &ParticleState, t: f64, dt: f64) {
+    let n_freqs = det.n_freqs();
+    for (d, n) in det.directions.iter().enumerate() {
+        let n_dot_beta = n[0] * p.beta[0] + n[1] * p.beta[1] + n[2] * p.beta[2];
+        let denom = 1.0 - n_dot_beta;
+        // Guard against the exact light-cone singularity.
+        let denom2 = (denom * denom).max(1e-12);
+        // G = n × ((n − β) × β̇) = (n·β̇)(n − β) − (n·(n−β)) β̇
+        //   = (n·β̇)(n − β) − (1 − n·β) β̇   (since n·n = 1)
+        let n_dot_bdot = n[0] * p.beta_dot[0] + n[1] * p.beta_dot[1] + n[2] * p.beta_dot[2];
+        let gx = n_dot_bdot * (n[0] - p.beta[0]) - denom * p.beta_dot[0];
+        let gy = n_dot_bdot * (n[1] - p.beta[1]) - denom * p.beta_dot[1];
+        let gz = n_dot_bdot * (n[2] - p.beta[2]) - denom * p.beta_dot[2];
+        let scale = p.weight * dt / denom2;
+        let retard = t - (n[0] * p.r[0] + n[1] * p.r[1] + n[2] * p.r[2]);
+        for (f, &omega) in det.frequencies.iter().enumerate() {
+            let phase = omega * retard;
+            let (s, c) = phase.sin_cos();
+            let o = (d * n_freqs + f) * 6;
+            acc[o] += scale * gx * c;
+            acc[o + 1] += scale * gx * s;
+            acc[o + 2] += scale * gy * c;
+            acc[o + 3] += scale * gy * s;
+            acc[o + 4] += scale * gz * c;
+            acc[o + 5] += scale * gz * s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::Detector;
+
+    fn single_x_detector(freqs: Vec<f64>) -> Detector {
+        Detector::new(vec![[1.0, 0.0, 0.0]], freqs)
+    }
+
+    /// Simulate an oscillating particle analytically and return its
+    /// spectrum: y-oscillation at frequency `omega0` with drift `beta_d`
+    /// along x.
+    fn oscillator_spectrum(
+        det: &Detector,
+        beta_d: f64,
+        omega0: f64,
+        amp: f64,
+        steps: usize,
+        dt: f64,
+    ) -> Vec<Vec<f64>> {
+        let mut acc = RadiationAccumulator::new(det);
+        for s in 0..steps {
+            let t = s as f64 * dt;
+            let p = ParticleState {
+                r: [beta_d * t, 0.0, 0.0],
+                beta: [beta_d, amp * (omega0 * t).cos(), 0.0],
+                beta_dot: [0.0, -amp * omega0 * (omega0 * t).sin(), 0.0],
+                weight: 1.0,
+            };
+            acc.accumulate(det, &[p], t, dt);
+        }
+        acc.intensity()
+    }
+
+    fn peak_index(spec: &[f64]) -> usize {
+        spec.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("nonempty")
+    }
+
+    #[test]
+    fn no_acceleration_no_radiation() {
+        let det = single_x_detector(vec![0.5, 1.0, 2.0]);
+        let mut acc = RadiationAccumulator::new(&det);
+        for s in 0..100 {
+            let t = s as f64 * 0.1;
+            let p = ParticleState {
+                r: [0.3 * t, 0.0, 0.0],
+                beta: [0.3, 0.0, 0.0],
+                beta_dot: [0.0, 0.0, 0.0],
+                weight: 1.0,
+            };
+            acc.accumulate(&det, &[p], t, 0.1);
+        }
+        let total: f64 = acc.intensity().iter().flatten().sum();
+        assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    fn oscillator_peaks_at_its_frequency() {
+        // No drift: spectrum peaks at ω = ω₀.
+        let freqs: Vec<f64> = (1..=40).map(|i| i as f64 * 0.25).collect();
+        let det = single_x_detector(freqs.clone());
+        let spec = oscillator_spectrum(&det, 0.0, 3.0, 0.05, 4000, 0.02);
+        let peak = freqs[peak_index(&spec[0])];
+        assert!(
+            (peak - 3.0).abs() <= 0.3,
+            "oscillator at ω=3 peaked at {peak}"
+        );
+    }
+
+    #[test]
+    fn doppler_shift_between_approaching_and_receding() {
+        // The Fig. 9(a) physics: same oscillator, drifting towards vs away
+        // from the detector; peak frequencies must differ by
+        // (1+β)/(1−β) = 1.5 at β = 0.2.
+        let freqs: Vec<f64> = (1..=120).map(|i| i as f64 * 0.05).collect();
+        let det = single_x_detector(freqs.clone());
+        let beta = 0.2;
+        let towards = oscillator_spectrum(&det, beta, 2.0, 0.02, 8000, 0.01);
+        let away = oscillator_spectrum(&det, -beta, 2.0, 0.02, 8000, 0.01);
+        let f_towards = freqs[peak_index(&towards[0])];
+        let f_away = freqs[peak_index(&away[0])];
+        let expect_towards = 2.0 / (1.0 - beta);
+        let expect_away = 2.0 / (1.0 + beta);
+        assert!(
+            (f_towards - expect_towards).abs() < 0.15,
+            "approaching peak {f_towards} vs {expect_towards}"
+        );
+        assert!(
+            (f_away - expect_away).abs() < 0.15,
+            "receding peak {f_away} vs {expect_away}"
+        );
+        let ratio = f_towards / f_away;
+        let expect_ratio = (1.0 + beta) / (1.0 - beta);
+        assert!(
+            (ratio - expect_ratio).abs() < 0.12,
+            "Doppler ratio {ratio} vs {expect_ratio}"
+        );
+    }
+
+    #[test]
+    fn intensity_scales_quadratically_with_acceleration() {
+        let freqs: Vec<f64> = (1..=20).map(|i| i as f64 * 0.3).collect();
+        let det = single_x_detector(freqs);
+        let weak = oscillator_spectrum(&det, 0.0, 2.0, 0.01, 2000, 0.02);
+        let strong = oscillator_spectrum(&det, 0.0, 2.0, 0.02, 2000, 0.02);
+        let sw: f64 = weak[0].iter().sum();
+        let ss: f64 = strong[0].iter().sum();
+        assert!(
+            (ss / sw - 4.0).abs() < 0.3,
+            "Larmor scaling |a|²: ratio {}",
+            ss / sw
+        );
+    }
+
+    #[test]
+    fn weight_scales_amplitude_coherently() {
+        let freqs = vec![1.0, 2.0];
+        let det = single_x_detector(freqs);
+        let mut a1 = RadiationAccumulator::new(&det);
+        let mut a2 = RadiationAccumulator::new(&det);
+        let p = |w: f64| ParticleState {
+            r: [0.0, 0.0, 0.0],
+            beta: [0.0, 0.1, 0.0],
+            beta_dot: [0.0, 0.5, 0.0],
+            weight: w,
+        };
+        a1.accumulate(&det, &[p(1.0)], 0.0, 0.1);
+        a2.accumulate(&det, &[p(3.0)], 0.0, 0.1);
+        let i1: f64 = a1.intensity()[0].iter().sum();
+        let i2: f64 = a2.intensity()[0].iter().sum();
+        assert!((i2 / i1 - 9.0).abs() < 1e-9, "coherent w² scaling");
+    }
+
+    #[test]
+    fn merge_superposes_amplitudes() {
+        let det = single_x_detector(vec![1.0]);
+        let p = ParticleState {
+            r: [0.0; 3],
+            beta: [0.0, 0.1, 0.0],
+            beta_dot: [0.0, 1.0, 0.0],
+            weight: 1.0,
+        };
+        let mut a = RadiationAccumulator::new(&det);
+        a.accumulate(&det, &[p], 0.0, 0.1);
+        let mut b = a.clone();
+        b.merge(&a);
+        let ia: f64 = a.intensity()[0].iter().sum();
+        let ib: f64 = b.intensity()[0].iter().sum();
+        assert!((ib / ia - 4.0).abs() < 1e-9, "doubled amplitude → 4× intensity");
+    }
+
+    #[test]
+    fn perpendicular_observation_sees_unshifted_frequency() {
+        // Observe along z while drifting along x: no first-order Doppler.
+        let freqs: Vec<f64> = (1..=60).map(|i| i as f64 * 0.1).collect();
+        let det = Detector::new(vec![[0.0, 0.0, 1.0]], freqs.clone());
+        let mut acc = RadiationAccumulator::new(&det);
+        let (omega0, amp, beta_d) = (2.0, 0.02, 0.2);
+        for s in 0..8000 {
+            let t = s as f64 * 0.01;
+            let p = ParticleState {
+                r: [beta_d * t, 0.0, 0.0],
+                beta: [beta_d, amp * (omega0 * t).cos(), 0.0],
+                beta_dot: [0.0, -amp * omega0 * (omega0 * t).sin(), 0.0],
+                weight: 1.0,
+            };
+            acc.accumulate(&det, &[p], t, 0.01);
+        }
+        let spec = acc.intensity();
+        let peak = freqs[peak_index(&spec[0])];
+        assert!(
+            (peak - omega0).abs() < 0.15,
+            "transverse observation shifted: {peak} vs {omega0}"
+        );
+    }
+}

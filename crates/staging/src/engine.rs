@@ -1,0 +1,566 @@
+//! The staging engine: step-based writer/reader groups.
+//!
+//! Semantics follow ADIOS2 SST (§IV-D of the paper):
+//! - each writer rank `put`s its local blocks between `begin_step` and
+//!   `end_step`; on `end_step` the last writer aggregates the metadata
+//!   (ADIOS2 gathers it to rank 0) and *publishes* the step;
+//! - every reader rank sees every step, decides for itself which blocks
+//!   to fetch ("each reader application decides on its own which remote
+//!   datasets to load"), and closes the step, "indicating to the writer
+//!   that the data can now be dropped";
+//! - a bounded queue of in-flight steps back-pressures the producer.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::dataplane::DataPlane;
+use crate::stats::ThroughputRecorder;
+use crate::variable::{
+    bytes_to_f32, bytes_to_f64, f32_to_bytes, f64_to_bytes, Block, Dtype, VariableMeta,
+};
+
+/// Stream configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Writer (producer) rank count.
+    pub writers: usize,
+    /// Reader (consumer) rank count.
+    pub readers: usize,
+    /// Maximum published-but-unclosed steps before `begin_step` blocks
+    /// (ADIOS2 `QueueLimit`).
+    pub queue_limit: usize,
+    /// The transport whose timing model annotates reads.
+    pub plane: DataPlane,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            writers: 1,
+            readers: 1,
+            queue_limit: 2,
+            plane: DataPlane::Mpi,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct StepData {
+    step: u64,
+    vars: HashMap<String, VariableMeta>,
+}
+
+#[derive(Default)]
+struct StreamState {
+    /// Step being assembled (writers contribute blocks).
+    pending: HashMap<u64, HashMap<String, VariableMeta>>,
+    /// Writers that called `end_step` for a given step.
+    end_arrivals: HashMap<u64, usize>,
+    /// Published, not yet fully-closed steps (FIFO).
+    queue: VecDeque<Arc<StepData>>,
+    /// Readers that closed a given step.
+    closed: HashMap<u64, usize>,
+    /// Total published steps.
+    published: u64,
+    /// Writers that closed the stream entirely.
+    writers_closed: usize,
+}
+
+struct StreamCore {
+    cfg: StreamConfig,
+    state: Mutex<StreamState>,
+    cond: Condvar,
+}
+
+/// One writer rank's endpoint.
+pub struct SstWriter {
+    core: Arc<StreamCore>,
+    rank: usize,
+    current_step: Option<u64>,
+    next_step: u64,
+    closed: bool,
+    /// Throughput accounting of published payload.
+    pub stats: ThroughputRecorder,
+}
+
+/// One reader rank's endpoint.
+pub struct SstReader {
+    core: Arc<StreamCore>,
+    rank: usize,
+    cursor: u64,
+    /// Throughput accounting of fetched payload.
+    pub stats: ThroughputRecorder,
+}
+
+/// A step held open by a reader.
+pub struct ReadStep {
+    data: Arc<StepData>,
+    plane: DataPlane,
+    /// Simulated wire seconds accumulated by fetches in this step.
+    pub simulated_seconds: f64,
+    /// Bytes fetched in this step.
+    pub bytes_fetched: u64,
+}
+
+/// Open a stream, returning per-rank writer and reader endpoints.
+pub fn open_stream(cfg: StreamConfig) -> (Vec<SstWriter>, Vec<SstReader>) {
+    assert!(cfg.writers >= 1 && cfg.readers >= 1 && cfg.queue_limit >= 1);
+    let core = Arc::new(StreamCore {
+        cfg,
+        state: Mutex::new(StreamState::default()),
+        cond: Condvar::new(),
+    });
+    let writers = (0..cfg.writers)
+        .map(|rank| SstWriter {
+            core: core.clone(),
+            rank,
+            current_step: None,
+            next_step: 0,
+            closed: false,
+            stats: ThroughputRecorder::new(),
+        })
+        .collect();
+    let readers = (0..cfg.readers)
+        .map(|rank| SstReader {
+            core: core.clone(),
+            rank,
+            cursor: 0,
+            stats: ThroughputRecorder::new(),
+        })
+        .collect();
+    (writers, readers)
+}
+
+impl SstWriter {
+    /// Writer rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Begin the next step; blocks while the queue is at its limit.
+    pub fn begin_step(&mut self) -> u64 {
+        assert!(!self.closed, "begin_step on closed writer");
+        assert!(self.current_step.is_none(), "step already open");
+        let step = self.next_step;
+        let mut st = self.core.state.lock();
+        while st.queue.len() >= self.core.cfg.queue_limit {
+            self.core.cond.wait(&mut st);
+        }
+        st.pending.entry(step).or_default();
+        self.current_step = Some(step);
+        step
+    }
+
+    /// Publish one block of an `f64` variable.
+    pub fn put_f64(&mut self, name: &str, global_count: u64, offset: u64, data: &[f64]) {
+        self.put_bytes(name, Dtype::F64, global_count, offset, data.len() as u64, f64_to_bytes(data));
+    }
+
+    /// Publish one block of an `f32` variable.
+    pub fn put_f32(&mut self, name: &str, global_count: u64, offset: u64, data: &[f32]) {
+        self.put_bytes(name, Dtype::F32, global_count, offset, data.len() as u64, f32_to_bytes(data));
+    }
+
+    /// Publish a raw block.
+    pub fn put_bytes(
+        &mut self,
+        name: &str,
+        dtype: Dtype,
+        global_count: u64,
+        offset: u64,
+        count: u64,
+        data: bytes::Bytes,
+    ) {
+        let step = self.current_step.expect("put outside begin/end step");
+        self.stats.add_bytes(data.len() as u64);
+        let mut st = self.core.state.lock();
+        let vars = st.pending.get_mut(&step).expect("pending step exists");
+        let var = vars.entry(name.to_string()).or_insert_with(|| VariableMeta {
+            name: name.to_string(),
+            dtype,
+            global_count,
+            blocks: Vec::new(),
+        });
+        assert_eq!(var.dtype, dtype, "dtype mismatch on {name}");
+        assert_eq!(var.global_count, global_count, "global count mismatch on {name}");
+        var.blocks.push(Block {
+            writer_rank: self.rank,
+            offset,
+            count,
+            data,
+        });
+    }
+
+    /// Close the step; the last writer to arrive validates and publishes.
+    pub fn end_step(&mut self) {
+        let step = self.current_step.take().expect("end_step without begin_step");
+        self.next_step = step + 1;
+        let mut st = self.core.state.lock();
+        let arrivals = st.end_arrivals.entry(step).or_insert(0);
+        *arrivals += 1;
+        if *arrivals == self.core.cfg.writers {
+            st.end_arrivals.remove(&step);
+            let vars = st.pending.remove(&step).expect("pending step exists");
+            for v in vars.values() {
+                v.validate();
+            }
+            st.queue.push_back(Arc::new(StepData { step, vars }));
+            st.published += 1;
+            self.core.cond.notify_all();
+        } else {
+            // Wait until the step is actually published (writer-side
+            // synchronisation point, like ADIOS2's collective end_step).
+            let target = step + 1;
+            while st.published < target {
+                self.core.cond.wait(&mut st);
+            }
+        }
+    }
+
+    /// Close the stream; when every writer closed, readers see EOF.
+    pub fn close(&mut self) {
+        if !self.closed {
+            self.closed = true;
+            let mut st = self.core.state.lock();
+            st.writers_closed += 1;
+            self.core.cond.notify_all();
+        }
+    }
+}
+
+impl Drop for SstWriter {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl SstReader {
+    /// Reader rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Wait for the next step; `None` after the writers closed and all
+    /// published steps were consumed.
+    pub fn begin_step(&mut self) -> Option<ReadStep> {
+        let mut st = self.core.state.lock();
+        loop {
+            if let Some(sd) = st.queue.iter().find(|s| s.step == self.cursor) {
+                let data = sd.clone();
+                self.cursor += 1;
+                return Some(ReadStep {
+                    data,
+                    plane: self.core.cfg.plane,
+                    simulated_seconds: 0.0,
+                    bytes_fetched: 0,
+                });
+            }
+            if st.writers_closed == self.core.cfg.writers && st.published <= self.cursor {
+                return None;
+            }
+            self.core.cond.wait(&mut st);
+        }
+    }
+
+    /// Close a step; when all readers closed it, the writer may drop it.
+    pub fn end_step(&mut self, step: ReadStep) {
+        self.stats.add_bytes(step.bytes_fetched);
+        self.stats.add_simulated(step.simulated_seconds);
+        let idx = step.data.step;
+        drop(step);
+        let mut st = self.core.state.lock();
+        let closed = st.closed.entry(idx).or_insert(0);
+        *closed += 1;
+        if *closed == self.core.cfg.readers {
+            st.closed.remove(&idx);
+            // Steps close in order (every reader consumes every step).
+            if let Some(front) = st.queue.front() {
+                if front.step == idx {
+                    st.queue.pop_front();
+                }
+            }
+            st.queue.retain(|s| s.step != idx);
+            self.core.cond.notify_all();
+        }
+    }
+}
+
+impl ReadStep {
+    /// The step index.
+    pub fn step(&self) -> u64 {
+        self.data.step
+    }
+
+    /// Names of the variables in this step.
+    pub fn variable_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.data.vars.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Metadata of one variable.
+    pub fn variable(&self, name: &str) -> Option<&VariableMeta> {
+        self.data.vars.get(name)
+    }
+
+    /// Fetch the full global `f64` array, assembling all blocks (counts
+    /// simulated wire time on this reader).
+    pub fn get_f64(&mut self, name: &str) -> Vec<f64> {
+        let var = self.data.vars.get(name).unwrap_or_else(|| panic!("no variable {name}"));
+        assert_eq!(var.dtype, Dtype::F64, "variable {name} is not f64");
+        let mut out = vec![0.0f64; var.global_count as usize];
+        let mut bytes = 0u64;
+        let ops = var.blocks.len();
+        for b in &var.blocks {
+            let vals = bytes_to_f64(&b.data);
+            out[b.offset as usize..(b.offset + b.count) as usize].copy_from_slice(&vals);
+            bytes += b.data.len() as u64;
+        }
+        self.bytes_fetched += bytes;
+        self.simulated_seconds += self.plane.read_time(bytes as f64, ops, 25.0e9);
+        out
+    }
+
+    /// Fetch the full global `f32` array.
+    pub fn get_f32(&mut self, name: &str) -> Vec<f32> {
+        let var = self.data.vars.get(name).unwrap_or_else(|| panic!("no variable {name}"));
+        assert_eq!(var.dtype, Dtype::F32, "variable {name} is not f32");
+        let mut out = vec![0.0f32; var.global_count as usize];
+        let mut bytes = 0u64;
+        let ops = var.blocks.len();
+        for b in &var.blocks {
+            let vals = bytes_to_f32(&b.data);
+            out[b.offset as usize..(b.offset + b.count) as usize].copy_from_slice(&vals);
+            bytes += b.data.len() as u64;
+        }
+        self.bytes_fetched += bytes;
+        self.simulated_seconds += self.plane.read_time(bytes as f64, ops, 25.0e9);
+        out
+    }
+
+    /// Fetch only the blocks written by `writer_rank` (the intra-node
+    /// locality pattern of §IV-D: "data is shared within node boundaries").
+    pub fn get_f64_from_rank(&mut self, name: &str, writer_rank: usize) -> Vec<(u64, Vec<f64>)> {
+        let var = self.data.vars.get(name).unwrap_or_else(|| panic!("no variable {name}"));
+        assert_eq!(var.dtype, Dtype::F64);
+        let mut out = Vec::new();
+        let mut bytes = 0u64;
+        let mut ops = 0usize;
+        for b in &var.blocks {
+            if b.writer_rank == writer_rank {
+                out.push((b.offset, bytes_to_f64(&b.data)));
+                bytes += b.data.len() as u64;
+                ops += 1;
+            }
+        }
+        self.bytes_fetched += bytes;
+        self.simulated_seconds += self.plane.read_time(bytes as f64, ops.max(1), 25.0e9);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn single_writer_single_reader_round_trip() {
+        let (mut writers, mut readers) = open_stream(StreamConfig::default());
+        let mut w = writers.remove(0);
+        let mut r = readers.remove(0);
+        let producer = thread::spawn(move || {
+            for s in 0..3 {
+                w.begin_step();
+                let data: Vec<f64> = (0..10).map(|i| (s * 10 + i) as f64).collect();
+                w.put_f64("x", 10, 0, &data);
+                w.end_step();
+            }
+            w.close();
+        });
+        let mut steps = 0;
+        while let Some(mut step) = r.begin_step() {
+            let x = step.get_f64("x");
+            assert_eq!(x.len(), 10);
+            assert_eq!(x[3], (step.step() * 10 + 3) as f64);
+            r.end_step(step);
+            steps += 1;
+        }
+        assert_eq!(steps, 3);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn multi_writer_blocks_assemble_in_offset_order() {
+        let cfg = StreamConfig {
+            writers: 3,
+            ..StreamConfig::default()
+        };
+        let (writers, mut readers) = open_stream(cfg);
+        let handles: Vec<_> = writers
+            .into_iter()
+            .map(|mut w| {
+                thread::spawn(move || {
+                    let rank = w.rank() as u64;
+                    w.begin_step();
+                    let data: Vec<f64> = (0..4).map(|i| (rank * 4 + i) as f64).collect();
+                    w.put_f64("x", 12, rank * 4, &data);
+                    w.end_step();
+                    w.close();
+                })
+            })
+            .collect();
+        let mut r = readers.remove(0);
+        let mut step = r.begin_step().expect("one step");
+        let x = step.get_f64("x");
+        assert_eq!(x, (0..12).map(|v| v as f64).collect::<Vec<_>>());
+        r.end_step(step);
+        assert!(r.begin_step().is_none());
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn queue_limit_back_pressures_the_writer() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let cfg = StreamConfig {
+            queue_limit: 1,
+            ..StreamConfig::default()
+        };
+        let (mut writers, mut readers) = open_stream(cfg);
+        let mut w = writers.remove(0);
+        let published = Arc::new(AtomicU64::new(0));
+        let p2 = published.clone();
+        let producer = thread::spawn(move || {
+            for s in 0..4 {
+                w.begin_step();
+                w.put_f64("x", 1, 0, &[s as f64]);
+                w.end_step();
+                p2.store(s + 1, Ordering::SeqCst);
+            }
+            w.close();
+        });
+        // Give the producer time: with queue_limit 1 it cannot publish
+        // step 2 before we consume step 0.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        assert!(
+            published.load(Ordering::SeqCst) <= 2,
+            "producer ran ahead of the queue limit"
+        );
+        let mut r = readers.remove(0);
+        let mut seen = 0;
+        while let Some(step) = r.begin_step() {
+            seen += 1;
+            r.end_step(step);
+        }
+        assert_eq!(seen, 4);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn multiple_readers_each_see_every_step() {
+        let cfg = StreamConfig {
+            readers: 2,
+            ..StreamConfig::default()
+        };
+        let (mut writers, readers) = open_stream(cfg);
+        let mut w = writers.remove(0);
+        let producer = thread::spawn(move || {
+            for s in 0..5 {
+                w.begin_step();
+                w.put_f64("v", 2, 0, &[s as f64, -(s as f64)]);
+                w.end_step();
+            }
+            w.close();
+        });
+        let consumers: Vec<_> = readers
+            .into_iter()
+            .map(|mut r| {
+                thread::spawn(move || {
+                    let mut count = 0;
+                    while let Some(mut step) = r.begin_step() {
+                        let v = step.get_f64("v");
+                        assert_eq!(v[0], step.step() as f64);
+                        r.end_step(step);
+                        count += 1;
+                    }
+                    count
+                })
+            })
+            .collect();
+        for c in consumers {
+            assert_eq!(c.join().unwrap(), 5);
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn f32_and_rank_selected_reads() {
+        let cfg = StreamConfig {
+            writers: 2,
+            ..StreamConfig::default()
+        };
+        let (writers, mut readers) = open_stream(cfg);
+        let handles: Vec<_> = writers
+            .into_iter()
+            .map(|mut w| {
+                thread::spawn(move || {
+                    let rank = w.rank();
+                    w.begin_step();
+                    w.put_f32("s", 4, rank as u64 * 2, &[rank as f32; 2]);
+                    w.put_f64("d", 4, rank as u64 * 2, &[rank as f64; 2]);
+                    w.end_step();
+                    w.close();
+                })
+            })
+            .collect();
+        let mut r = readers.remove(0);
+        let mut step = r.begin_step().expect("step");
+        assert_eq!(step.get_f32("s"), vec![0.0, 0.0, 1.0, 1.0]);
+        let from1 = step.get_f64_from_rank("d", 1);
+        assert_eq!(from1.len(), 1);
+        assert_eq!(from1[0], (2, vec![1.0, 1.0]));
+        assert!(step.simulated_seconds > 0.0);
+        assert!(step.bytes_fetched > 0);
+        r.end_step(step);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn stats_account_published_and_fetched_bytes() {
+        let (mut writers, mut readers) = open_stream(StreamConfig::default());
+        let mut w = writers.remove(0);
+        let mut r = readers.remove(0);
+        let producer = thread::spawn(move || {
+            w.begin_step();
+            w.put_f64("x", 100, 0, &vec![0.0; 100]);
+            w.end_step();
+            w.close();
+            w.stats.total_bytes()
+        });
+        let mut step = r.begin_step().expect("step");
+        let _ = step.get_f64("x");
+        r.end_step(step);
+        assert!(r.begin_step().is_none());
+        let written = producer.join().unwrap();
+        assert_eq!(written, 800);
+        assert_eq!(r.stats.total_bytes(), 800);
+    }
+
+    #[test]
+    #[should_panic(expected = "gap or overlap")]
+    fn bad_tiling_is_rejected_at_publish() {
+        let (mut writers, _readers) = open_stream(StreamConfig::default());
+        let mut w = writers.remove(0);
+        w.begin_step();
+        w.put_f64("x", 10, 0, &[0.0; 4]);
+        w.put_f64("x", 10, 5, &[0.0; 5]);
+        w.end_step();
+    }
+}

@@ -1,0 +1,222 @@
+//! Fan-in staging: an intermediate reduction stage between producer and
+//! consumer.
+//!
+//! §IV-B closes with: *"this I/O approach naturally extends towards
+//! patterns such as staging within a neighborhood of nodes (for
+//! scheduling reasons or for implicit load balancing via streaming) or a
+//! fan-in pattern (for data reduction purposes), both of which are
+//! potential directions to pursue."* This module pursues the fan-in: a
+//! relay drains an upstream stream, applies a reduction to each step's
+//! variables, and republishes the reduced step downstream — still fully
+//! in-memory and back-pressured on both sides.
+
+use crate::engine::{SstReader, SstWriter};
+use crate::variable::Dtype;
+
+/// A per-variable reduction applied in transit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reduction {
+    /// Pass through unchanged.
+    Identity,
+    /// Keep every `n`-th element (subsampling, e.g. particle thinning).
+    Stride(usize),
+    /// Mean-pool blocks of `n` elements (e.g. spectral rebinning).
+    MeanPool(usize),
+}
+
+impl Reduction {
+    /// Apply to a flat array.
+    pub fn apply(&self, data: &[f64]) -> Vec<f64> {
+        match self {
+            Reduction::Identity => data.to_vec(),
+            Reduction::Stride(n) => {
+                let n = (*n).max(1);
+                data.iter().step_by(n).copied().collect()
+            }
+            Reduction::MeanPool(n) => {
+                let n = (*n).max(1);
+                data.chunks(n)
+                    .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+                    .collect()
+            }
+        }
+    }
+
+    /// Output length for an input of `len` elements.
+    pub fn output_len(&self, len: usize) -> usize {
+        match self {
+            Reduction::Identity => len,
+            Reduction::Stride(n) => len.div_ceil((*n).max(1)),
+            Reduction::MeanPool(n) => len.div_ceil((*n).max(1)),
+        }
+    }
+}
+
+/// Outcome of a fan-in relay run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FanInReport {
+    /// Steps relayed.
+    pub steps: u64,
+    /// Bytes received from upstream.
+    pub bytes_in: u64,
+    /// Bytes republished downstream.
+    pub bytes_out: u64,
+}
+
+impl FanInReport {
+    /// Achieved reduction ratio (input/output).
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.bytes_out == 0 {
+            f64::INFINITY
+        } else {
+            self.bytes_in as f64 / self.bytes_out as f64
+        }
+    }
+}
+
+/// Drain `upstream` to completion, applying `reduce(name) -> Reduction`
+/// per variable and republishing every step on `downstream`.
+///
+/// Only `f64` variables are reduced; other payloads pass through
+/// untouched. The relay preserves step indices and ordering.
+pub fn run_fanin_relay(
+    mut upstream: SstReader,
+    mut downstream: SstWriter,
+    reduce: impl Fn(&str) -> Reduction,
+) -> FanInReport {
+    let mut report = FanInReport {
+        steps: 0,
+        bytes_in: 0,
+        bytes_out: 0,
+    };
+    while let Some(mut step) = upstream.begin_step() {
+        downstream.begin_step();
+        for name in step.variable_names() {
+            let var = step.variable(&name).expect("listed").clone();
+            match var.dtype {
+                Dtype::F64 => {
+                    let data = step.get_f64(&name);
+                    report.bytes_in += (data.len() * 8) as u64;
+                    let reduced = reduce(&name).apply(&data);
+                    report.bytes_out += (reduced.len() * 8) as u64;
+                    downstream.put_f64(&name, reduced.len() as u64, 0, &reduced);
+                }
+                Dtype::F32 => {
+                    let data = step.get_f32(&name);
+                    report.bytes_in += (data.len() * 4) as u64;
+                    report.bytes_out += (data.len() * 4) as u64;
+                    downstream.put_f32(&name, data.len() as u64, 0, &data);
+                }
+                _ => {
+                    // Metadata blobs pass through as single blocks.
+                    for b in &var.blocks {
+                        report.bytes_in += b.data.len() as u64;
+                        report.bytes_out += b.data.len() as u64;
+                        downstream.put_bytes(
+                            &name,
+                            var.dtype,
+                            var.global_count,
+                            b.offset,
+                            b.count,
+                            b.data.clone(),
+                        );
+                    }
+                }
+            }
+        }
+        upstream.end_step(step);
+        downstream.end_step();
+        report.steps += 1;
+    }
+    downstream.close();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{open_stream, StreamConfig};
+
+    #[test]
+    fn reductions_behave() {
+        let data: Vec<f64> = (0..10).map(|v| v as f64).collect();
+        assert_eq!(Reduction::Identity.apply(&data), data);
+        assert_eq!(Reduction::Stride(3).apply(&data), vec![0.0, 3.0, 6.0, 9.0]);
+        assert_eq!(
+            Reduction::MeanPool(5).apply(&data),
+            vec![2.0, 7.0],
+            "mean of 0..5 and 5..10"
+        );
+        assert_eq!(Reduction::Stride(3).output_len(10), 4);
+        assert_eq!(Reduction::MeanPool(5).output_len(10), 2);
+    }
+
+    #[test]
+    fn relay_reduces_in_transit() {
+        // producer → relay (4× thinning) → consumer.
+        let (mut pw, mut pr) = open_stream(StreamConfig::default());
+        let (mut rw, mut rr) = open_stream(StreamConfig::default());
+        let mut producer_end = pw.remove(0);
+        let upstream = pr.remove(0);
+        let downstream = rw.remove(0);
+        let mut consumer_end = rr.remove(0);
+
+        let producer = std::thread::spawn(move || {
+            for s in 0..3 {
+                producer_end.begin_step();
+                let data: Vec<f64> = (0..64).map(|i| (s * 64 + i) as f64).collect();
+                producer_end.put_f64("particles/e/position/x", 64, 0, &data);
+                producer_end.end_step();
+            }
+            producer_end.close();
+        });
+        let relay = std::thread::spawn(move || {
+            run_fanin_relay(upstream, downstream, |name| {
+                if name.starts_with("particles/") {
+                    Reduction::Stride(4)
+                } else {
+                    Reduction::Identity
+                }
+            })
+        });
+        let mut steps = 0u64;
+        while let Some(mut step) = consumer_end.begin_step() {
+            let x = step.get_f64("particles/e/position/x");
+            assert_eq!(x.len(), 16, "4× thinning");
+            assert_eq!(x[1] - x[0], 4.0, "stride preserved ordering");
+            consumer_end.end_step(step);
+            steps += 1;
+        }
+        producer.join().unwrap();
+        let report = relay.join().unwrap();
+        assert_eq!(steps, 3);
+        assert_eq!(report.steps, 3);
+        assert!((report.reduction_ratio() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_relay_is_transparent() {
+        let (mut pw, mut pr) = open_stream(StreamConfig::default());
+        let (mut rw, mut rr) = open_stream(StreamConfig::default());
+        let mut w = pw.remove(0);
+        let producer = std::thread::spawn(move || {
+            w.begin_step();
+            w.put_f64("a", 4, 0, &[1.0, 2.0, 3.0, 4.0]);
+            w.put_f32("b", 2, 0, &[5.0, 6.0]);
+            w.end_step();
+            w.close();
+        });
+        let upstream = pr.remove(0);
+        let downstream = rw.remove(0);
+        let relay =
+            std::thread::spawn(move || run_fanin_relay(upstream, downstream, |_| Reduction::Identity));
+        let mut r = rr.remove(0);
+        let mut step = r.begin_step().expect("step");
+        assert_eq!(step.get_f64("a"), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(step.get_f32("b"), vec![5.0, 6.0]);
+        r.end_step(step);
+        producer.join().unwrap();
+        let report = relay.join().unwrap();
+        assert!((report.reduction_ratio() - 1.0).abs() < 1e-9);
+    }
+}

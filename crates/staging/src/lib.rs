@@ -1,0 +1,36 @@
+//! SST-like in-transit staging engine.
+//!
+//! Reimplements the semantics of ADIOS2's **Sustainable Staging Transport**
+//! (§IV-B): a parallel producer publishes *steps* of named global-array
+//! variables; any number of parallel consumers open the same stream and
+//! perform block-wise remote reads; the producer keeps a step's data alive
+//! until every reader has closed it; a bounded step queue applies
+//! back-pressure to the producer ("some leeway to stall the running
+//! simulation if need be", §IV-C). Nothing ever touches a filesystem.
+//!
+//! Remote one-sided reads are emulated by reference-counted buffers
+//! ([`bytes::Bytes`]): a writer *publishes* its block, a reader *fetches*
+//! it, and the configured [`dataplane`] charges the modelled wire time —
+//! the same separation of control metadata vs data plane as SST, with the
+//! paper's three planes (TCP fallback, MPI, libfabric with its enqueue-all
+//! vs batched read strategies) as timing models.
+
+pub mod dataplane;
+pub mod engine;
+pub mod fanin;
+pub mod stats;
+pub mod variable;
+
+pub use dataplane::{DataPlane, ReadStrategy};
+pub use engine::{open_stream, SstReader, SstWriter, StreamConfig};
+pub use fanin::{run_fanin_relay, FanInReport, Reduction};
+pub use stats::ThroughputRecorder;
+pub use variable::{Block, Dtype, VariableMeta};
+
+pub mod prelude {
+    //! Common imports for staging consumers.
+    pub use crate::dataplane::{DataPlane, ReadStrategy};
+    pub use crate::engine::{open_stream, SstReader, SstWriter, StreamConfig};
+    pub use crate::stats::ThroughputRecorder;
+    pub use crate::variable::{Block, Dtype, VariableMeta};
+}

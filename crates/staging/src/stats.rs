@@ -1,0 +1,131 @@
+//! Throughput accounting for the streaming benchmarks.
+
+use std::time::Instant;
+
+/// Records bytes moved and both wall-clock and simulated wire time.
+#[derive(Debug)]
+pub struct ThroughputRecorder {
+    bytes: u64,
+    wall_seconds: f64,
+    simulated_seconds: f64,
+    samples: Vec<f64>,
+    window_start: Option<Instant>,
+    window_bytes: u64,
+}
+
+impl Default for ThroughputRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThroughputRecorder {
+    /// Fresh recorder.
+    pub fn new() -> Self {
+        Self {
+            bytes: 0,
+            wall_seconds: 0.0,
+            simulated_seconds: 0.0,
+            samples: Vec::new(),
+            window_start: None,
+            window_bytes: 0,
+        }
+    }
+
+    /// Account `n` bytes.
+    pub fn add_bytes(&mut self, n: u64) {
+        self.bytes += n;
+        self.window_bytes += n;
+    }
+
+    /// Account simulated wire seconds.
+    pub fn add_simulated(&mut self, s: f64) {
+        self.simulated_seconds += s;
+    }
+
+    /// Start a measurement window (one step, typically).
+    pub fn window_begin(&mut self) {
+        self.window_start = Some(Instant::now());
+        self.window_bytes = 0;
+    }
+
+    /// Close the window; records a bytes/second sample from the bytes
+    /// accounted since `window_begin`.
+    pub fn window_end(&mut self) {
+        let start = self.window_start.take().expect("window_end without begin");
+        let dt = start.elapsed().as_secs_f64();
+        self.wall_seconds += dt;
+        if dt > 0.0 && self.window_bytes > 0 {
+            self.samples.push(self.window_bytes as f64 / dt);
+        }
+    }
+
+    /// Total bytes accounted.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total simulated wire seconds.
+    pub fn simulated_seconds(&self) -> f64 {
+        self.simulated_seconds
+    }
+
+    /// Total measured wall seconds inside windows.
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall_seconds
+    }
+
+    /// Per-window throughput samples (bytes/second).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Mean throughput over all windows, bytes/second.
+    pub fn mean_throughput(&self) -> f64 {
+        if self.wall_seconds == 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.wall_seconds
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_collect_samples() {
+        let mut r = ThroughputRecorder::new();
+        r.window_begin();
+        r.add_bytes(1000);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        r.window_end();
+        assert_eq!(r.total_bytes(), 1000);
+        assert_eq!(r.samples().len(), 1);
+        assert!(r.samples()[0] > 0.0);
+        assert!(r.mean_throughput() > 0.0);
+    }
+
+    #[test]
+    fn empty_windows_record_no_samples() {
+        let mut r = ThroughputRecorder::new();
+        r.window_begin();
+        r.window_end();
+        assert!(r.samples().is_empty());
+    }
+
+    #[test]
+    fn simulated_time_accumulates() {
+        let mut r = ThroughputRecorder::new();
+        r.add_simulated(0.5);
+        r.add_simulated(0.25);
+        assert_eq!(r.simulated_seconds(), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "without begin")]
+    fn window_end_requires_begin() {
+        ThroughputRecorder::new().window_end();
+    }
+}

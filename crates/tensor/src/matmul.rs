@@ -1,0 +1,196 @@
+//! Matrix multiplication kernels.
+//!
+//! Three variants cover every contraction the model's forward and backward
+//! passes need without materialising transposes:
+//! - [`matmul`]       — `C = A·B`    for `A:[m,k] B:[k,n]`
+//! - [`matmul_a_bt`]  — `C = A·Bᵀ`   for `A:[m,k] B:[n,k]`
+//! - [`matmul_at_b`]  — `C = Aᵀ·B`   for `A:[k,m] B:[k,n]`
+//!
+//! Rows of the output are computed independently and parallelised with
+//! rayon above a size threshold; each row kernel walks contiguous memory.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Below this many output elements the serial kernel wins.
+const PAR_THRESHOLD: usize = 32 * 1024;
+
+/// `C = A·B` with `A:[m,k]`, `B:[k,n]` → `C:[m,n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = mat_dims(a, "A");
+    let (kb, n) = mat_dims(b, "B");
+    assert_eq!(k, kb, "matmul inner dimensions differ: {k} vs {kb}");
+    let mut out = Tensor::zeros([m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let kernel = |(i, row): (usize, &mut [f32])| {
+        let arow = &ad[i * k..(i + 1) * k];
+        // Accumulate rank-1 updates: row += a[i][p] * B[p][:]. Inner loop is
+        // contiguous over both `row` and `brow`, which vectorises well.
+        for (p, &apv) in arow.iter().enumerate() {
+            if apv == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in row.iter_mut().zip(brow) {
+                *o += apv * bv;
+            }
+        }
+    };
+    if m * n >= PAR_THRESHOLD {
+        out.data_mut().par_chunks_mut(n).enumerate().for_each(kernel);
+    } else {
+        out.data_mut().chunks_mut(n).enumerate().for_each(kernel);
+    }
+    out
+}
+
+/// `C = A·Bᵀ` with `A:[m,k]`, `B:[n,k]` → `C:[m,n]` (dot-product form).
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = mat_dims(a, "A");
+    let (n, kb) = mat_dims(b, "B");
+    assert_eq!(k, kb, "matmul_a_bt inner dimensions differ: {k} vs {kb}");
+    let mut out = Tensor::zeros([m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let kernel = |(i, row): (usize, &mut [f32])| {
+        let arow = &ad[i * k..(i + 1) * k];
+        for (j, o) in row.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    };
+    if m * n >= PAR_THRESHOLD {
+        out.data_mut().par_chunks_mut(n).enumerate().for_each(kernel);
+    } else {
+        out.data_mut().chunks_mut(n).enumerate().for_each(kernel);
+    }
+    out
+}
+
+/// `C = Aᵀ·B` with `A:[k,m]`, `B:[k,n]` → `C:[m,n]` (outer-product form;
+/// this is the weight-gradient contraction `dW = Xᵀ·dY`).
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = mat_dims(a, "A");
+    let (kb, n) = mat_dims(b, "B");
+    assert_eq!(k, kb, "matmul_at_b inner dimensions differ: {k} vs {kb}");
+    let mut out = Tensor::zeros([m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let kernel = |(i, row): (usize, &mut [f32])| {
+        // out[i][:] = sum_p A[p][i] * B[p][:]
+        for p in 0..k {
+            let apv = ad[p * m + i];
+            if apv == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in row.iter_mut().zip(brow) {
+                *o += apv * bv;
+            }
+        }
+    };
+    if m * n >= PAR_THRESHOLD {
+        out.data_mut().par_chunks_mut(n).enumerate().for_each(kernel);
+    } else {
+        out.data_mut().chunks_mut(n).enumerate().for_each(kernel);
+    }
+    out
+}
+
+fn mat_dims(t: &Tensor, name: &str) -> (usize, usize) {
+    assert_eq!(t.shape().rank(), 2, "{name} must be a matrix, got {}", t.shape());
+    (t.shape().dim(0), t.shape().dim(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TensorRng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut c = Tensor::zeros([m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                *c.at_mut(&[i, j]) = acc;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec([2, 2], vec![1., 2., 3., 4.]);
+        let b = Tensor::from_vec([2, 2], vec![5., 6., 7., 8.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut eye = Tensor::zeros([3, 3]);
+        for i in 0..3 {
+            *eye.at_mut(&[i, i]) = 1.0;
+        }
+        let a = Tensor::from_vec([3, 3], (0..9).map(|v| v as f32).collect());
+        assert_eq!(matmul(&a, &eye), a);
+        assert_eq!(matmul(&eye, &a), a);
+    }
+
+    #[test]
+    fn variants_agree_with_naive_on_random_input() {
+        let mut rng = TensorRng::seeded(42);
+        for (m, k, n) in [(3, 4, 5), (7, 1, 2), (16, 16, 16)] {
+            let a = rng.standard_normal([m, k]);
+            let b = rng.standard_normal([k, n]);
+            let c = matmul(&a, &b);
+            let cn = naive(&a, &b);
+            for (x, y) in c.data().iter().zip(cn.data()) {
+                assert!((x - y).abs() < 1e-4);
+            }
+            // A·Bᵀ against naive on transposed B.
+            let bt = b.transpose2();
+            let c2 = matmul_a_bt(&a, &bt);
+            for (x, y) in c2.data().iter().zip(cn.data()) {
+                assert!((x - y).abs() < 1e-4);
+            }
+            // Aᵀ·B against naive on transposed A.
+            let at = a.transpose2();
+            let c3 = matmul_at_b(&at, &b);
+            for (x, y) in c3.data().iter().zip(cn.data()) {
+                assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        let mut rng = TensorRng::seeded(7);
+        // Big enough to trigger the rayon path.
+        let a = rng.standard_normal([256, 64]);
+        let b = rng.standard_normal([64, 256]);
+        let big = matmul(&a, &b);
+        let small = naive(&a, &b);
+        for (x, y) in big.data().iter().zip(small.data()) {
+            assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn dimension_mismatch_panics() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        let _ = matmul(&a, &b);
+    }
+}

@@ -1,0 +1,123 @@
+//! Shape bookkeeping for row-major tensors.
+
+use std::fmt;
+
+/// Row-major tensor shape (up to the dimensionality the model needs).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Construct from dimension sizes.
+    pub fn new(dims: &[usize]) -> Self {
+        Self(dims.to_vec())
+    }
+
+    /// Dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total element count (1 for a scalar/empty shape).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Size of dimension `d`.
+    pub fn dim(&self, d: usize) -> usize {
+        self.0[d]
+    }
+
+    /// Row-major strides (in elements).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of the multi-index `idx`.
+    ///
+    /// # Panics
+    /// Panics (debug) if `idx` is out of bounds or has the wrong rank.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.0.len(), "index rank mismatch");
+        let strides = self.strides();
+        idx.iter()
+            .zip(&strides)
+            .zip(&self.0)
+            .map(|((&i, &s), &d)| {
+                debug_assert!(i < d, "index {i} out of bounds for dim of size {d}");
+                i * s
+            })
+            .sum()
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dim(1), 3);
+    }
+
+    #[test]
+    fn row_major_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn offset_matches_manual_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.rank(), 0);
+    }
+
+    #[test]
+    fn display_matches_debug() {
+        let s = Shape::new(&[5, 7]);
+        assert_eq!(format!("{s}"), format!("{s:?}"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests of the tensor core.
+
+use as_tensor::{matmul, matmul_a_bt, matmul_at_b, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-100.0f32..100.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec([rows, cols], v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ for all matrices.
+    #[test]
+    fn matmul_transpose_identity(a in tensor_strategy(3, 4), b in tensor_strategy(4, 5)) {
+        let left = matmul(&a, &b).transpose2();
+        let right = matmul(&b.transpose2(), &a.transpose2());
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() <= 1e-3 * x.abs().max(1.0));
+        }
+    }
+
+    /// The fused variants agree with explicit transposition.
+    #[test]
+    fn fused_variants_agree(a in tensor_strategy(4, 3), b in tensor_strategy(4, 5)) {
+        let fused = matmul_at_b(&a, &b);
+        let explicit = matmul(&a.transpose2(), &b);
+        for (x, y) in fused.data().iter().zip(explicit.data()) {
+            prop_assert!((x - y).abs() <= 1e-3 * x.abs().max(1.0));
+        }
+        // A·Bᵀ: the Gram matrix B·Bᵀ via fused and explicit forms.
+        let c = matmul_a_bt(&b, &b);
+        let d = matmul(&b, &b.transpose2());
+        for (x, y) in c.data().iter().zip(d.data()) {
+            prop_assert!((x - y).abs() <= 1e-2 * x.abs().max(1.0));
+        }
+    }
+
+    /// Matmul distributes over addition: A·(B+C) = A·B + A·C.
+    #[test]
+    fn matmul_distributes(
+        a in tensor_strategy(3, 3),
+        b in tensor_strategy(3, 3),
+        c in tensor_strategy(3, 3),
+    ) {
+        let lhs = matmul(&a, &b.add(&c));
+        let rhs = matmul(&a, &b).add(&matmul(&a, &c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() <= 1e-2 * x.abs().max(1.0));
+        }
+    }
+
+    /// concat_cols then split_cols round-trips for any widths.
+    #[test]
+    fn concat_split_roundtrip(a in tensor_strategy(2, 3), b in tensor_strategy(2, 5)) {
+        let cat = Tensor::concat_cols(&[&a, &b]);
+        let parts = cat.split_cols(&[3, 5]);
+        prop_assert_eq!(&parts[0], &a);
+        prop_assert_eq!(&parts[1], &b);
+    }
+
+    /// Softmax rows are probability vectors for any input.
+    #[test]
+    fn softmax_rows_are_distributions(t in tensor_strategy(4, 6)) {
+        let s = t.softmax_rows();
+        for row in s.data().chunks_exact(6) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|v| *v >= 0.0));
+        }
+    }
+
+    /// Transpose is an involution.
+    #[test]
+    fn transpose_involution(t in tensor_strategy(5, 7)) {
+        prop_assert_eq!(t.transpose2().transpose2(), t);
+    }
+}

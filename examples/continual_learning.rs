@@ -1,0 +1,114 @@
+//! Experience replay vs catastrophic forgetting — the §IV-C ablation.
+//!
+//! A non-steady data stream drifts through two phases (like the KHI
+//! evolving from linear growth to vortex mixing). A model trained only on
+//! the newest samples forgets phase 1; the paper's now/EP buffer keeps
+//! replaying old samples and suppresses the forgetting.
+//!
+//! Run with: `cargo run --release --example continual_learning`
+
+use artificial_scientist::nn::model::{ArtificialScientistModel, ModelConfig, ModelOptimizer};
+use artificial_scientist::nn::optim::AdamConfig;
+use artificial_scientist::replay::buffer::{BufferConfig, TrainingBuffer};
+use artificial_scientist::replay::forgetting::ForgettingMeter;
+use artificial_scientist::tensor::{Tensor, TensorRng};
+
+/// A synthetic two-phase stream: phase 0 clouds drift +x, phase 1 −x,
+/// with matching synthetic "spectra".
+fn make_sample(rng: &mut TensorRng, phase: usize, cfg: &ModelConfig) -> (Tensor, Tensor) {
+    let shift = if phase == 0 { 0.8 } else { -0.8 };
+    let mut points = rng.uniform([1, 32, 6], -0.5, 0.5);
+    for p in 0..32 {
+        *points.at_mut(&[0, p, 3]) += shift;
+    }
+    let mut spectrum = Tensor::zeros([1, cfg.spectrum_dim]);
+    for k in 0..cfg.spectrum_dim {
+        *spectrum.at_mut(&[0, k]) = shift * ((k as f32 + 1.0) / cfg.spectrum_dim as f32);
+    }
+    (points, spectrum)
+}
+
+fn run(replay: bool, cfg: &ModelConfig) -> (f64, ForgettingMeter) {
+    let mut rng = TensorRng::seeded(17);
+    let mut model = ArtificialScientistModel::new(cfg.clone(), 5);
+    let mut opt = ModelOptimizer::new(
+        AdamConfig {
+            lr: 1e-3,
+            weight_decay: 0.0,
+            ..AdamConfig::default()
+        },
+        4.0,
+    );
+    let buffer_cfg = if replay {
+        BufferConfig::default()
+    } else {
+        // No-replay ablation: batches drawn from the newest samples only.
+        BufferConfig {
+            n_now: 10,
+            n_ep: 1,
+            batch_now: 8,
+            batch_ep: 0,
+        }
+    };
+    let mut buffer: TrainingBuffer<(Vec<f32>, Vec<f32>)> = TrainingBuffer::new(buffer_cfg, 3);
+    let mut meter = ForgettingMeter::new();
+    // Frozen early-phase holdout.
+    let holdout: Vec<(Tensor, Tensor)> = (0..4).map(|_| make_sample(&mut rng, 0, cfg)).collect();
+
+    let total_steps = 80;
+    for step in 0..total_steps {
+        let phase = if step < total_steps / 2 { 0 } else { 1 };
+        let (p, s) = make_sample(&mut rng, phase, cfg);
+        buffer.push((p.data().to_vec(), s.data().to_vec()));
+        for _ in 0..4 {
+            if !buffer.ready() {
+                break;
+            }
+            let batch = buffer.sample_batch();
+            let b = batch.len();
+            let mut pts = Vec::new();
+            let mut specs = Vec::new();
+            for (pv, sv) in &batch {
+                pts.extend_from_slice(pv);
+                specs.extend_from_slice(sv);
+            }
+            let points = Tensor::from_vec([b, 32, 6], pts);
+            let spectra = Tensor::from_vec([b, cfg.spectrum_dim], specs);
+            model.zero_grad();
+            let _ = model.accumulate_gradients(&points, &spectra, &mut rng);
+            opt.step(&mut model);
+        }
+        // Evaluate on the frozen early-phase holdout every few steps.
+        if step % 8 == 7 {
+            let mut early = 0.0;
+            for (p, s) in &holdout {
+                early += model.evaluate(p, s, &mut rng).total;
+            }
+            let (pc, sc) = make_sample(&mut rng, phase, cfg);
+            let cur = model.evaluate(&pc, &sc, &mut rng).total;
+            meter.record(early / holdout.len() as f64, cur);
+        }
+    }
+    (meter.forgetting_score(), meter)
+}
+
+fn main() {
+    let cfg = ModelConfig::small();
+    println!("=== catastrophic forgetting: experience replay on vs off ===");
+    let (with_replay, m1) = run(true, &cfg);
+    let (without, m2) = run(false, &cfg);
+    println!("early-phase holdout loss over time:");
+    println!("  with replay   : {:?}", rounded(m1.early_history()));
+    println!("  without replay: {:?}", rounded(m2.early_history()));
+    println!();
+    println!("forgetting score (relative early-loss rebound):");
+    println!("  with replay   : {with_replay:.3}");
+    println!("  without replay: {without:.3}");
+    println!();
+    println!("the paper employs the now/EP buffer exactly to suppress this");
+    println!("rebound while learning from the non-steady KHI stream (§IV-C).");
+}
+
+fn rounded(v: &[f64]) -> Vec<f64> {
+    v.iter().map(|x| (x * 1000.0).round() / 1000.0).collect()
+}

@@ -1,0 +1,70 @@
+//! PIC weak scaling and the Figure of Merit (the Fig. 4 methodology at
+//! laptop scale): run the TWEAC-like workload on 1/2/4 communicator
+//! ranks, measure FOM, then extrapolate with the calibrated Frontier and
+//! Summit models.
+//!
+//! Run with: `cargo run --release --example fom_scaling`
+
+use artificial_scientist::cluster::comm::CommWorld;
+use artificial_scientist::cluster::fom::FomModel;
+use artificial_scientist::pic::domain::DistributedSim;
+use artificial_scientist::pic::fom::FomCounter;
+use artificial_scientist::pic::grid::GridSpec;
+use artificial_scientist::pic::tweac::TweacSetup;
+
+fn main() {
+    println!("=== measured: weak scaling on this machine ===");
+    let steps = 5usize;
+    for ranks in [1usize, 2, 4] {
+        let g = GridSpec::cubic(8 * ranks, 8, 4, 0.5, 0.5);
+        let setup = TweacSetup {
+            ppc: 8,
+            ..TweacSetup::default()
+        };
+        let endpoints = CommWorld::new(ranks).into_endpoints();
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .map(|comm| {
+                std::thread::spawn(move || {
+                    let sim0 = setup.build(g);
+                    let mut d = DistributedSim::new(comm, g, sim0.species);
+                    let particles = d.local.particle_count() as u64;
+                    let cells = (g.nx / d.world() * g.ny * g.nz) as u64;
+                    let mut fom = FomCounter::new();
+                    fom.start();
+                    for _ in 0..steps {
+                        d.step();
+                    }
+                    fom.stop(steps as u64, particles, cells);
+                    fom.fom()
+                })
+            })
+            .collect();
+        let total: f64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        println!(
+            "  {ranks} rank(s): FOM {:.2} MUpdates/s ({:.2} per rank)",
+            total / 1e6,
+            total / 1e6 / ranks as f64
+        );
+    }
+
+    println!();
+    println!("=== modelled: the Fig. 4 machines ===");
+    let frontier = FomModel::frontier_paper();
+    let summit = FomModel::summit_paper();
+    for nodes in [6usize, 96, 1536, 9216] {
+        println!(
+            "  Frontier {:>5} nodes ({:>6} GPUs): {:7.2} TeraUpdates/s  (efficiency {:.1}%)",
+            nodes,
+            nodes * 4,
+            frontier.fom(nodes) / 1e12,
+            frontier.efficiency(nodes) * 100.0
+        );
+    }
+    println!(
+        "  Summit    4608 nodes ( 27648 GPUs): {:7.2} TeraUpdates/s",
+        summit.fom(4608) / 1e12
+    );
+    println!();
+    println!("  paper: 65.3 TU/s (Frontier) vs 14.7 TU/s (Summit)");
+}

@@ -1,0 +1,205 @@
+//! Distributed-operation equivalence and failure-injection tests.
+
+use artificial_scientist::cluster::comm::CommWorld;
+use artificial_scientist::pic::domain::DistributedSim;
+use artificial_scientist::pic::gather::gather_eb;
+use artificial_scientist::pic::grid::GridSpec;
+use artificial_scientist::pic::khi::KhiSetup;
+use artificial_scientist::radiation::detector::Detector;
+use artificial_scientist::radiation::lienard::{ParticleState, RadiationAccumulator};
+use artificial_scientist::staging::engine::{open_stream, StreamConfig};
+
+/// Radiation accumulated per-rank and merged (amplitude superposition over
+/// the communicator) must equal the single-rank accumulation — the
+/// distributed radiation diagnostic of the paper's in-situ plugin.
+#[test]
+fn distributed_radiation_merge_matches_single_rank() {
+    let g = GridSpec::cubic(8, 8, 4, 0.5, 0.5);
+    let setup = KhiSetup {
+        ppc: 2,
+        ..KhiSetup::default()
+    };
+    let det = Detector::along_x(0.2, 10.0, 12);
+    let steps = 5usize;
+
+    // Helper: accumulate LW amplitudes for the electrons of a local sim.
+    let accumulate = |acc: &mut RadiationAccumulator,
+                      det: &Detector,
+                      sim: &artificial_scientist::pic::sim::Simulation,
+                      origin: f64| {
+        let sp = &sim.species[0];
+        let qm = sp.charge / sp.mass;
+        let mut states = Vec::with_capacity(sp.len());
+        for i in 0..sp.len() {
+            let gamma = sp.gamma(i);
+            let beta = [sp.ux[i] / gamma, sp.uy[i] / gamma, sp.uz[i] / gamma];
+            let (ex, ey, ez, bx, by, bz) =
+                gather_eb(&sim.e, &sim.b, &sim.spec, sp.x[i], sp.y[i], sp.z[i], origin);
+            let f = [
+                qm * (ex + beta[1] * bz - beta[2] * by),
+                qm * (ey + beta[2] * bx - beta[0] * bz),
+                qm * (ez + beta[0] * by - beta[1] * bx),
+            ];
+            let bf = beta[0] * f[0] + beta[1] * f[1] + beta[2] * f[2];
+            states.push(ParticleState {
+                r: [sp.x[i], sp.y[i], sp.z[i]],
+                beta,
+                beta_dot: [
+                    (f[0] - beta[0] * bf) / gamma,
+                    (f[1] - beta[1] * bf) / gamma,
+                    (f[2] - beta[2] * bf) / gamma,
+                ],
+                weight: sp.w[i],
+            });
+        }
+        acc.accumulate(det, &states, sim.time, sim.spec.dt);
+    };
+
+    // Reference: single-rank.
+    let comm1 = CommWorld::new(1).into_endpoints().remove(0);
+    let mut single = DistributedSim::new(comm1, g, setup.all_species(&g));
+    let mut ref_acc = RadiationAccumulator::new(&det);
+    for _ in 0..steps {
+        single.step();
+        single.refresh_ghosts();
+        accumulate(&mut ref_acc, &det, &single.local, 0.0);
+    }
+    let ref_intensity = ref_acc.intensity();
+
+    // Distributed: 2 ranks, merge amplitudes across the communicator.
+    let endpoints = CommWorld::new(2).into_endpoints();
+    let handles: Vec<_> = endpoints
+        .into_iter()
+        .map(|comm| {
+            let det = det.clone();
+            std::thread::spawn(move || {
+                let mut d = DistributedSim::new(comm, g, setup.all_species(&g));
+                let mut acc = RadiationAccumulator::new(&det);
+                for _ in 0..steps {
+                    d.step();
+                    d.refresh_ghosts();
+                    accumulate(&mut acc, &det, &d.local, d.offset_cells as f64);
+                }
+                // Amplitude superposition across ranks = allreduce sum.
+                d.comm().allreduce_sum_f64(acc.amplitudes_mut());
+                acc.intensity()
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // Both ranks hold the same merged spectrum; compare to the reference.
+    for (a, b) in results[0].iter().flatten().zip(results[1].iter().flatten()) {
+        assert!((a - b).abs() <= 1e-9 * a.abs().max(1e-12));
+    }
+    for (got, want) in results[0].iter().flatten().zip(ref_intensity.iter().flatten()) {
+        let scale = want.abs().max(1e-20);
+        assert!(
+            (got - want).abs() / scale < 1e-6,
+            "distributed radiation diverged: {got:.6e} vs {want:.6e}"
+        );
+    }
+}
+
+/// Four-rank distributed KHI conserves global energy bookkeeping across
+/// migrations and halo exchanges over a longer run.
+#[test]
+fn four_rank_khi_long_run_stays_consistent() {
+    let g = GridSpec::cubic(16, 8, 4, 0.5, 0.5);
+    let setup = KhiSetup {
+        ppc: 2,
+        ..KhiSetup::default()
+    };
+    let endpoints = CommWorld::new(4).into_endpoints();
+    let handles: Vec<_> = endpoints
+        .into_iter()
+        .map(|comm| {
+            std::thread::spawn(move || {
+                let mut d = DistributedSim::new(comm, g, setup.all_species(&g));
+                let n0 = d.global_particle_count();
+                for _ in 0..40 {
+                    d.step();
+                }
+                let n1 = d.global_particle_count();
+                let (e2, b2) = d.global_field_energy();
+                (n0, n1, e2, b2)
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let (n0, n1, e2, b2) = results[0];
+    assert_eq!(n0, n1, "no particles lost across 40 steps of migration");
+    assert!(e2.is_finite() && b2.is_finite());
+    for r in &results {
+        assert_eq!(r.0, n0);
+        assert_eq!(r.1, n1);
+    }
+}
+
+/// Failure injection: a writer dropped mid-stream (producer crash) must
+/// not wedge the reader — Drop closes the stream and the reader sees a
+/// clean end after the published steps.
+#[test]
+fn dropped_writer_terminates_reader_cleanly() {
+    let (mut writers, mut readers) = open_stream(StreamConfig::default());
+    let mut w = writers.remove(0);
+    let producer = std::thread::spawn(move || {
+        w.begin_step();
+        w.put_f64("x", 2, 0, &[1.0, 2.0]);
+        w.end_step();
+        // Simulated crash: drop without close() and without the second
+        // promised step.
+        drop(w);
+    });
+    let mut r = readers.remove(0);
+    let mut steps = 0;
+    while let Some(step) = r.begin_step() {
+        steps += 1;
+        r.end_step(step);
+    }
+    assert_eq!(steps, 1, "reader drains what was published, then stops");
+    producer.join().unwrap();
+}
+
+/// Failure injection: a reader that abandons a stream (drops its endpoint)
+/// must not deadlock the producer beyond the queue limit semantics —
+/// steps the reader never closes stay queued, and the producer notices by
+/// blocking, not crashing. Here the queue is large enough to finish.
+#[test]
+fn abandoned_reader_does_not_poison_the_stream() {
+    let cfg = StreamConfig {
+        queue_limit: 8,
+        ..StreamConfig::default()
+    };
+    let (mut writers, mut readers) = open_stream(cfg);
+    let mut w = writers.remove(0);
+    // Reader reads one step then abandons.
+    let r = readers.remove(0);
+    let reader = std::thread::spawn(move || {
+        let mut r = r;
+        let step = r.begin_step().expect("first step");
+        r.end_step(step);
+        drop(r);
+    });
+    for s in 0..4 {
+        w.begin_step();
+        w.put_f64("x", 1, 0, &[s as f64]);
+        w.end_step();
+    }
+    w.close();
+    reader.join().unwrap();
+}
+
+/// Failure injection: the socket budget gates a DDP bring-up exactly as
+/// §IV-D describes — below the limit training runs, above it bring-up
+/// fails before any gradient is exchanged.
+#[test]
+fn socket_budget_gates_ddp_bringup() {
+    use artificial_scientist::cluster::sockets::SocketBudget;
+    let budget = SocketBudget::frontier_nccl_default();
+    // A "96-node" bring-up is fine, "128-node" refuses.
+    assert!(budget.try_bootstrap(96).is_ok());
+    let err = budget.try_bootstrap(128).unwrap_err();
+    assert!(err.needed > err.limit);
+    // The error is actionable: it names the node count that failed.
+    assert!(format!("{err}").contains("128"));
+}

@@ -1,0 +1,117 @@
+//! Cross-crate integration: the complete in-transit workflow.
+
+use artificial_scientist::core::config::{Placement, WorkflowConfig};
+use artificial_scientist::core::noop::run_noop_consumer;
+use artificial_scientist::core::producer::run_producer;
+use artificial_scientist::core::workflow::run_workflow;
+use artificial_scientist::staging::dataplane::{DataPlane, ReadStrategy};
+use artificial_scientist::staging::engine::{open_stream, StreamConfig};
+
+fn fast_cfg() -> WorkflowConfig {
+    let mut cfg = WorkflowConfig::small();
+    cfg.total_steps = 16;
+    cfg.steps_per_sample = 4;
+    cfg.n_rep = 3;
+    cfg
+}
+
+#[test]
+fn pipeline_runs_and_produces_finite_losses() {
+    let report = run_workflow(&fast_cfg());
+    assert_eq!(report.producer.steps, 16);
+    assert_eq!(report.consumer.windows, 4);
+    assert!(report.consumer.samples >= 8);
+    assert!(!report.consumer.losses.is_empty());
+    assert!(report.consumer.losses.iter().all(|l| {
+        l.total.is_finite() && l.cd.is_finite() && l.mmd_z.is_finite()
+    }));
+}
+
+#[test]
+fn workflow_is_reproducible_for_fixed_seed() {
+    let cfg = fast_cfg();
+    let a = run_workflow(&cfg);
+    let b = run_workflow(&cfg);
+    assert_eq!(a.consumer.losses.len(), b.consumer.losses.len());
+    for (x, y) in a.consumer.losses.iter().zip(&b.consumer.losses) {
+        assert_eq!(x.total, y.total, "seeded run must be deterministic");
+    }
+}
+
+#[test]
+fn different_seeds_give_different_trajectories() {
+    let mut cfg = fast_cfg();
+    let a = run_workflow(&cfg);
+    cfg.seed = 999;
+    let b = run_workflow(&cfg);
+    let same = a
+        .consumer
+        .losses
+        .iter()
+        .zip(&b.consumer.losses)
+        .all(|(x, y)| x.total == y.total);
+    assert!(!same, "different seeds should differ");
+}
+
+#[test]
+fn noop_consumer_measures_the_producer_stream() {
+    let cfg = fast_cfg();
+    let stream_cfg = StreamConfig {
+        queue_limit: cfg.queue_limit,
+        plane: cfg.plane,
+        ..StreamConfig::default()
+    };
+    let (mut pw, mut pr) = open_stream(stream_cfg);
+    let (mut rw, mut rr) = open_stream(stream_cfg);
+    let (pw, rw) = (pw.remove(0), rw.remove(0));
+    let cfg2 = cfg.clone();
+    let producer = std::thread::spawn(move || run_producer(&cfg2, pw, rw));
+    let rad = {
+        let rr = rr.remove(0);
+        std::thread::spawn(move || run_noop_consumer(rr))
+    };
+    let report = run_noop_consumer(pr.remove(0));
+    rad.join().unwrap();
+    let prod = producer.join().unwrap();
+    assert_eq!(report.steps as u64, prod.windows);
+    // Particle stream: 7 arrays (x,y,z,ux,uy,uz,w) × N particles × 8 B.
+    let particles = (cfg.grid.cells() * cfg.khi.ppc) as u64;
+    assert_eq!(report.bytes, prod.windows * particles * 7 * 8);
+    assert!(report.mean_throughput() > 0.0);
+}
+
+#[test]
+fn data_plane_and_placement_are_configurable() {
+    for plane in [
+        DataPlane::Tcp,
+        DataPlane::Mpi,
+        DataPlane::Libfabric(ReadStrategy::Batched(10)),
+    ] {
+        let mut cfg = fast_cfg();
+        cfg.total_steps = 8;
+        cfg.steps_per_sample = 4;
+        cfg.n_rep = 1;
+        cfg.plane = plane;
+        cfg.placement = Placement::InterNode;
+        let report = run_workflow(&cfg);
+        assert_eq!(report.consumer.windows, 2, "plane {plane:?}");
+    }
+}
+
+#[test]
+fn longer_training_improves_over_short_training() {
+    let mut short = fast_cfg();
+    short.total_steps = 8;
+    short.n_rep = 1;
+    let mut long = fast_cfg();
+    long.total_steps = 40;
+    long.n_rep = 8;
+    let a = run_workflow(&short);
+    let b = run_workflow(&long);
+    assert!(
+        b.tail_loss(4) < a.tail_loss(2),
+        "more in-transit training should reach a lower loss: {} vs {}",
+        b.tail_loss(4),
+        a.tail_loss(2)
+    );
+}
