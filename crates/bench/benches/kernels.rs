@@ -49,6 +49,38 @@ fn bench_pic_step(c: &mut Criterion) {
     g.finish();
 }
 
+/// Fused supercell-tiled step vs the seed's push-then-serial-deposit
+/// reference, same warm plasma — the microbenchmark behind
+/// `fig_step_throughput`.
+fn bench_fused_vs_reference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pic_step_pipeline");
+    g.sample_size(10);
+    let grid = GridSpec::cubic(16, 16, 8, 0.5, 0.5);
+    let mut fused = KhiSetup {
+        ppc: 8,
+        ..KhiSetup::default()
+    }
+    .build(grid);
+    g.bench_function("fused_16x16x8_ppc8", |b| {
+        b.iter(|| {
+            fused.step();
+            black_box(fused.step_index);
+        })
+    });
+    let mut reference = KhiSetup {
+        ppc: 8,
+        ..KhiSetup::default()
+    }
+    .build(grid);
+    g.bench_function("reference_16x16x8_ppc8", |b| {
+        b.iter(|| {
+            reference.step_reference();
+            black_box(reference.step_index);
+        })
+    });
+    g.finish();
+}
+
 fn bench_radiation(c: &mut Criterion) {
     let mut g = c.benchmark_group("radiation_kernel");
     g.sample_size(10);
@@ -171,6 +203,7 @@ fn bench_allreduce(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_pic_step,
+    bench_fused_vs_reference,
     bench_radiation,
     bench_losses,
     bench_tensor,

@@ -19,7 +19,10 @@ use as_pic::tweac::TweacSetup;
 
 fn measured_weak_scaling() {
     println!("-- measured: CPU weak scaling of the PIC stack (TWEAC-like workload) --");
-    println!("{:>6} {:>12} {:>16} {:>14} {:>12}", "ranks", "particles", "FOM [MUp/s]", "per-rank", "efficiency");
+    println!(
+        "{:>6} {:>12} {:>16} {:>14} {:>12}",
+        "ranks", "particles", "FOM [MUp/s]", "per-rank", "efficiency"
+    );
     let steps = 6;
     let mut base_per_rank = 0.0;
     for ranks in [1usize, 2, 4] {
@@ -43,7 +46,11 @@ fn measured_weak_scaling() {
                     for _ in 0..steps {
                         d.step();
                     }
-                    fom.stop(steps as u64, local_particles, (g.nx / d.world() * g.ny * g.nz) as u64);
+                    fom.stop(
+                        steps as u64,
+                        local_particles,
+                        (g.nx / d.world() * g.ny * g.nz) as u64,
+                    );
                     (fom.fom(), local_particles)
                 })
             })
@@ -71,7 +78,10 @@ fn modelled_scaling() {
     println!("-- modelled: Fig. 4 series (weak scaling, FOM in TeraUpdates/s) --");
     let frontier = FomModel::frontier_paper();
     let summit = FomModel::summit_paper();
-    println!("{:>8} {:>8} {:>16} | {:>8} {:>8} {:>16}", "F nodes", "GPUs", "FOM [TU/s]", "S nodes", "GPUs", "FOM [TU/s]");
+    println!(
+        "{:>8} {:>8} {:>16} | {:>8} {:>8} {:>16}",
+        "F nodes", "GPUs", "FOM [TU/s]", "S nodes", "GPUs", "FOM [TU/s]"
+    );
     let f_nodes = [6usize, 24, 96, 384, 1536, 4096, 6144, 9216];
     let s_nodes = [6usize, 24, 96, 384, 1536, 3072, 4608, 4608];
     for (fn_, sn) in f_nodes.iter().zip(&s_nodes) {

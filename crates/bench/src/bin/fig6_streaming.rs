@@ -74,7 +74,10 @@ fn modelled_scaling() {
                         format_box_row(&plane.label(), &samples, 1e9, "GB/s/node")
                     );
                     let agg: Vec<f64> = samples.iter().map(|s| s * nodes as f64).collect();
-                    println!("    {}", format_box_row("  └ aggregate", &agg, 1e12, "TB/s "));
+                    println!(
+                        "    {}",
+                        format_box_row("  └ aggregate", &agg, 1e12, "TB/s ")
+                    );
                 }
                 None => println!(
                     "    {:<28} did not scale to this size (paper: outlier removed / no result)",

@@ -31,7 +31,10 @@ fn make_batches(n: usize, b: usize, points: usize, sdim: usize) -> Vec<(Tensor, 
 
 fn measured_ddp() {
     println!("-- measured: real DDP replicas on threads (batch 8 per replica) --");
-    println!("{:>9} {:>14} {:>12}", "replicas", "batch [ms]", "efficiency");
+    println!(
+        "{:>9} {:>14} {:>12}",
+        "replicas", "batch [ms]", "efficiency"
+    );
     let cfg = ModelConfig::small();
     let mut base = 0.0;
     for replicas in [1usize, 2, 4] {
@@ -64,7 +67,10 @@ fn measured_ddp() {
 fn modelled_scaling() {
     println!();
     println!("-- modelled: Fig. 8 series (Frontier, 4 training GCDs/node) --");
-    println!("{:>7} {:>7} {:>13} {:>12}", "nodes", "GCDs", "batch [ms]", "efficiency");
+    println!(
+        "{:>7} {:>7} {:>13} {:>12}",
+        "nodes", "GCDs", "batch [ms]", "efficiency"
+    );
     for (nodes, eff) in fig8_efficiency_series(PAPER_BATCH_COMPUTE, PAPER_GRAD_BYTES) {
         let t = fig8_batch_time(&FRONTIER, nodes, PAPER_BATCH_COMPUTE, PAPER_GRAD_BYTES);
         println!(

@@ -36,7 +36,12 @@ fn main() {
         "  {} samples streamed, {} training iterations, loss {:.4} → {:.4}",
         report.consumer.samples,
         report.consumer.losses.len(),
-        report.consumer.losses.first().map(|l| l.total).unwrap_or(f64::NAN),
+        report
+            .consumer
+            .losses
+            .first()
+            .map(|l| l.total)
+            .unwrap_or(f64::NAN),
         report.tail_loss(8),
     );
 
@@ -86,7 +91,8 @@ fn main() {
     println!();
     println!("(b,c) momentum p_x distributions (normalised bin weights):");
     for r in &eval.regions {
-        println!("  {:<26} GT mean {:+.3}  ML mean {:+.3}  GT modes {}  ML modes {}",
+        println!(
+            "  {:<26} GT mean {:+.3}  ML mean {:+.3}  GT modes {}  ML modes {}",
             r.label,
             r.gt_hist.mean(),
             r.pred_hist.mean(),
@@ -111,7 +117,9 @@ fn argmax(v: &[f32]) -> usize {
 
 fn print_series(prefix: &str, v: &[f32]) {
     let chars = b" .:-=+*#%@";
-    let (lo, hi) = v.iter().fold((f32::MAX, f32::MIN), |(l, h), &x| (l.min(x), h.max(x)));
+    let (lo, hi) = v
+        .iter()
+        .fold((f32::MAX, f32::MIN), |(l, h), &x| (l.min(x), h.max(x)));
     let span = (hi - lo).max(1e-6);
     let s: String = v
         .iter()

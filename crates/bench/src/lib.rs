@@ -147,8 +147,7 @@ mod tests {
     #[test]
     fn fig6_aggregate_lands_in_20_to_30_tb_per_s() {
         // The headline: 20–30 TB/s at full scale, beating Orion's 10 TB/s.
-        let s =
-            fig6_per_node_samples(DataPlane::Mpi, 9126, 5.86e9, 200, 3).expect("scales");
+        let s = fig6_per_node_samples(DataPlane::Mpi, 9126, 5.86e9, 200, 3).expect("scales");
         let mean_rate = s.iter().sum::<f64>() / s.len() as f64;
         let aggregate = mean_rate * 9126.0;
         assert!(

@@ -340,7 +340,10 @@ mod tests {
         F: Fn(Communicator) + Send + Sync + Copy + 'static,
     {
         let eps = CommWorld::new(n).into_endpoints();
-        let handles: Vec<_> = eps.into_iter().map(|c| thread::spawn(move || f(c))).collect();
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|c| thread::spawn(move || f(c)))
+            .collect();
         for h in handles {
             h.join().expect("rank thread panicked");
         }
@@ -412,12 +415,10 @@ mod tests {
         for n in [1usize, 2, 3, 4, 7] {
             run_world(n, move |c| {
                 let len = 13; // deliberately not divisible by world size
-                let mut buf: Vec<f32> =
-                    (0..len).map(|i| (c.rank() * 100 + i) as f32).collect();
+                let mut buf: Vec<f32> = (0..len).map(|i| (c.rank() * 100 + i) as f32).collect();
                 c.allreduce_sum_f32(&mut buf);
                 for (i, v) in buf.iter().enumerate() {
-                    let expect: f32 =
-                        (0..c.size()).map(|r| (r * 100 + i) as f32).sum();
+                    let expect: f32 = (0..c.size()).map(|r| (r * 100 + i) as f32).sum();
                     assert!((v - expect).abs() < 1e-3, "n={n} i={i}");
                 }
             });

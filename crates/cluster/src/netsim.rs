@@ -107,7 +107,10 @@ impl NetSim {
 
     /// Add a flow; returns its index into the outcome vector.
     pub fn add_flow(&mut self, flow: Flow) -> usize {
-        assert!(!flow.path.is_empty(), "flow must traverse at least one link");
+        assert!(
+            !flow.path.is_empty(),
+            "flow must traverse at least one link"
+        );
         assert!(flow.bytes > 0.0, "flow must carry bytes");
         self.flows.push(flow);
         self.flows.len() - 1

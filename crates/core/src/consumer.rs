@@ -76,9 +76,7 @@ pub fn run_consumer(
         let (_, ly, _) = cfg.grid.extents();
         for (region_idx, _region) in FlowRegion::all().iter().enumerate() {
             let idx: Vec<usize> = (0..xs.len())
-                .filter(|&i| {
-                    region_of(ys[i], ly, cfg.shear_width) == region_idx
-                })
+                .filter(|&i| region_of(ys[i], ly, cfg.shear_width) == region_idx)
                 .collect();
             if idx.is_empty() {
                 continue;
@@ -88,7 +86,15 @@ pub fn run_consumer(
             let (rux, ruy, ruz) = (pick(&uxs), pick(&uys), pick(&uzs));
             let (center, half) = bounding_box(&rx, &ry, &rz);
             let points = cfg.encode.encode_points(
-                &rx, &ry, &rz, &rux, &ruy, &ruz, center, half, &mut enc_rng,
+                &rx,
+                &ry,
+                &rz,
+                &rux,
+                &ruy,
+                &ruz,
+                center,
+                half,
+                &mut enc_rng,
             );
             let flat = r_it.f32_array(&format!("radiation/region{region_idx}/intensity"));
             // First direction's spectrum conditions the INN.

@@ -146,7 +146,12 @@ mod tests {
         let uys = vec![0.0, 0.0];
         let uzs = vec![0.0, 0.0];
         let pts = cfg.encode_points(
-            &xs, &ys, &zs, &uxs, &uys, &uzs,
+            &xs,
+            &ys,
+            &zs,
+            &uxs,
+            &uys,
+            &uzs,
             [2.0, 2.0, 0.5],
             [1.0, 1.0, 0.5],
             &mut rng,

@@ -77,7 +77,15 @@ impl InversionEval {
             // Encoded GT sample.
             let (center, half) = bounding_box(&rx, &ry, &rz);
             let points = cfg.encode.encode_points(
-                &rx, &ry, &rz, &rux, &ruy, &ruz, center, half, &mut enc_rng,
+                &rx,
+                &ry,
+                &rz,
+                &rux,
+                &ruy,
+                &ruz,
+                center,
+                half,
+                &mut enc_rng,
             );
             let spec = Spectrum::new(
                 cfg.detector.frequencies.clone(),

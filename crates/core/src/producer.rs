@@ -92,14 +92,77 @@ fn emit_window(
     pw.begin_iteration(it, sim.time, sim.spec.dt);
     pw.set_attribute("beta", Value::F64(cfg.khi.beta));
     let u = as_pic::units::UnitSystem::paper();
-    pw.write_particles("e", "position", "x", UnitDimension::length(), u.skin_depth, n, 0, &sp.x);
-    pw.write_particles("e", "position", "y", UnitDimension::length(), u.skin_depth, n, 0, &sp.y);
-    pw.write_particles("e", "position", "z", UnitDimension::length(), u.skin_depth, n, 0, &sp.z);
+    pw.write_particles(
+        "e",
+        "position",
+        "x",
+        UnitDimension::length(),
+        u.skin_depth,
+        n,
+        0,
+        &sp.x,
+    );
+    pw.write_particles(
+        "e",
+        "position",
+        "y",
+        UnitDimension::length(),
+        u.skin_depth,
+        n,
+        0,
+        &sp.y,
+    );
+    pw.write_particles(
+        "e",
+        "position",
+        "z",
+        UnitDimension::length(),
+        u.skin_depth,
+        n,
+        0,
+        &sp.z,
+    );
     let p_si = as_pic::units::M_E * as_pic::units::C;
-    pw.write_particles("e", "momentum", "x", UnitDimension::momentum(), p_si, n, 0, &sp.ux);
-    pw.write_particles("e", "momentum", "y", UnitDimension::momentum(), p_si, n, 0, &sp.uy);
-    pw.write_particles("e", "momentum", "z", UnitDimension::momentum(), p_si, n, 0, &sp.uz);
-    pw.write_particles("e", "weighting", "w", UnitDimension::none(), 1.0, n, 0, &sp.w);
+    pw.write_particles(
+        "e",
+        "momentum",
+        "x",
+        UnitDimension::momentum(),
+        p_si,
+        n,
+        0,
+        &sp.ux,
+    );
+    pw.write_particles(
+        "e",
+        "momentum",
+        "y",
+        UnitDimension::momentum(),
+        p_si,
+        n,
+        0,
+        &sp.uy,
+    );
+    pw.write_particles(
+        "e",
+        "momentum",
+        "z",
+        UnitDimension::momentum(),
+        p_si,
+        n,
+        0,
+        &sp.uz,
+    );
+    pw.write_particles(
+        "e",
+        "weighting",
+        "w",
+        UnitDimension::none(),
+        1.0,
+        n,
+        0,
+        &sp.w,
+    );
     pw.end_iteration();
 
     // Radiation stream: windowed per-region intensity spectra
@@ -113,7 +176,12 @@ fn emit_window(
         }
         let name = format!("radiation/region{r}/intensity");
         let len = flat.len() as u64;
-        rw.write_f32_array(&name, len, 0, &flat.iter().map(|&v| v as f32).collect::<Vec<f32>>());
+        rw.write_f32_array(
+            &name,
+            len,
+            0,
+            &flat.iter().map(|&v| v as f32).collect::<Vec<f32>>(),
+        );
     }
     rw.set_attribute("n_regions", Value::I64(spectra.len() as i64));
     rw.set_attribute("window_steps", Value::I64(radiation.window_len() as i64));

@@ -101,7 +101,11 @@ pub fn info_nce(za: &Tensor, zb: &Tensor, temperature: f32) -> (f64, Tensor, Ten
         }
         out
     };
-    (loss, denorm(&d_na, &na, &norms_a), denorm(&d_nb, &nb, &norms_b))
+    (
+        loss,
+        denorm(&d_na, &na, &norms_a),
+        denorm(&d_nb, &nb, &norms_b),
+    )
 }
 
 #[cfg(test)]

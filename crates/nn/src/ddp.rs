@@ -120,7 +120,8 @@ fn run_replica(
     let mut opt = ModelOptimizer::new(ddp.adam, ddp.m_vae);
     // Different data-noise streams per rank (reparameterisation, MMD
     // reference draws), identical weights.
-    let mut rng = TensorRng::seeded(ddp.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rank as u64 + 1)));
+    let mut rng =
+        TensorRng::seeded(ddp.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rank as u64 + 1)));
     let mut losses = Vec::with_capacity(batches.len());
     let mut times = Vec::with_capacity(batches.len());
 
@@ -281,7 +282,10 @@ mod tests {
         assert!(out.losses.iter().all(|l| l.is_finite()));
         let head: f64 = out.losses[..5].iter().sum::<f64>() / 5.0;
         let tail = tail_loss(&out, 5);
-        assert!(tail < head, "training should make progress: {head} → {tail}");
+        assert!(
+            tail < head,
+            "training should make progress: {head} → {tail}"
+        );
     }
 
     #[test]

@@ -197,11 +197,18 @@ impl Mlp {
         final_act: Activation,
         last_init: InitKind,
     ) -> Self {
-        assert!(widths.len() >= 2, "MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "MLP needs at least input and output widths"
+        );
         let n = widths.len() - 1;
         let layers = (0..n)
             .map(|i| {
-                let kind = if i + 1 == n { last_init } else { InitKind::Kaiming };
+                let kind = if i + 1 == n {
+                    last_init
+                } else {
+                    InitKind::Kaiming
+                };
                 Linear::new(rng, widths[i], widths[i + 1], kind)
             })
             .collect();

@@ -131,8 +131,7 @@ pub fn sinkhorn_emd(pred: &Tensor, target: &Tensor, epsilon: f32, iters: usize) 
                 }
             }
             // Scale ε by the mean cost for a dimensionless regulariser.
-            let mean_cost: f32 =
-                cost.iter().sum::<f32>() / (n * m) as f32;
+            let mean_cost: f32 = cost.iter().sum::<f32>() / (n * m) as f32;
             let eps = epsilon * mean_cost.max(1e-12);
             let k: Vec<f32> = cost.iter().map(|&c| (-c / eps).exp()).collect();
             // Sinkhorn iterations with uniform marginals 1/n, 1/m.

@@ -225,12 +225,7 @@ impl ArtificialScientistModel {
     }
 
     /// Evaluate the losses without touching gradients (validation).
-    pub fn evaluate(
-        &self,
-        points: &Tensor,
-        spectra: &Tensor,
-        rng: &mut TensorRng,
-    ) -> LossReport {
+    pub fn evaluate(&self, points: &Tensor, spectra: &Tensor, rng: &mut TensorRng) -> LossReport {
         let b = points.dims()[0];
         let d_n = self.cfg.residual_dim();
         let (mu, logvar, z, recon, _) = self.vae.forward_train(points, rng);
@@ -259,7 +254,12 @@ impl ArtificialScientistModel {
     /// Solve the inverse problem: sample particle clouds consistent with
     /// the observed `spectra:[B,spectrum_dim]`. Each row gets `samples`
     /// independent normal draws; returns `[B·samples, P_out, 6]` clouds.
-    pub fn invert_radiation(&self, spectra: &Tensor, samples: usize, rng: &mut TensorRng) -> Tensor {
+    pub fn invert_radiation(
+        &self,
+        spectra: &Tensor,
+        samples: usize,
+        rng: &mut TensorRng,
+    ) -> Tensor {
         let b = spectra.dims()[0];
         let d_n = self.cfg.residual_dim();
         let mut rows = Vec::with_capacity(b * samples);
@@ -436,10 +436,7 @@ mod tests {
             last = r.total;
         }
         let first = first.unwrap();
-        assert!(
-            last < first,
-            "loss should decrease: {first} → {last}"
-        );
+        assert!(last < first, "loss should decrease: {first} → {last}");
     }
 
     #[test]

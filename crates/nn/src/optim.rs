@@ -143,7 +143,11 @@ impl ParamVisitor for AdamShim<'_> {
         }
         let m = &mut self.m[idx];
         let v = &mut self.v[idx];
-        assert_eq!(m.len(), param.numel(), "parameter shape changed mid-training");
+        assert_eq!(
+            m.len(),
+            param.numel(),
+            "parameter shape changed mid-training"
+        );
         let c = self.cfg;
         let bc1 = 1.0 - c.beta1.powi(self.t as i32);
         let bc2 = 1.0 - c.beta2.powi(self.t as i32);

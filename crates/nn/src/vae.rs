@@ -217,7 +217,11 @@ struct Deconv3Ctx {
 
 impl Deconv3 {
     fn new(rng: &mut TensorRng, c_in: usize, c_out: usize, last: bool) -> Self {
-        let kind = if last { InitKind::Xavier } else { InitKind::Kaiming };
+        let kind = if last {
+            InitKind::Xavier
+        } else {
+            InitKind::Kaiming
+        };
         Self {
             lin: Linear::new(rng, c_in, 8 * c_out, kind),
             c_in,
@@ -291,8 +295,8 @@ impl Deconv3 {
                             for dy_ in 0..2 {
                                 for dz in 0..2 {
                                     let k = dx * 4 + dy_ * 2 + dz;
-                                    let ocell = ((2 * xi + dx) * e2 + (2 * yi + dy_)) * e2
-                                        + (2 * zi + dz);
+                                    let ocell =
+                                        ((2 * xi + dx) * e2 + (2 * yi + dy_)) * e2 + (2 * zi + dz);
                                     let src = (bi * e2 * e2 * e2 + ocell) * co;
                                     ld[dst + k * co..dst + (k + 1) * co]
                                         .copy_from_slice(&dd[src..src + co]);
@@ -450,12 +454,7 @@ impl Vae {
         let (mu, logvar, enc) = self.encoder.forward(points);
         let eps = rng.standard_normal(mu.shape().clone());
         let mut z = mu.clone();
-        for ((zv, &e), &lv) in z
-            .data_mut()
-            .iter_mut()
-            .zip(eps.data())
-            .zip(logvar.data())
-        {
+        for ((zv, &e), &lv) in z.data_mut().iter_mut().zip(eps.data()).zip(logvar.data()) {
             *zv += e * (0.5 * lv).exp();
         }
         let (recon, dec) = self.decoder.forward(&z);
@@ -544,7 +543,11 @@ mod tests {
     #[test]
     fn paper_config_dimensions() {
         let cfg = VaeConfig::paper();
-        assert_eq!(cfg.decoder_points(), 4096, "paper decoder emits 4096 particles");
+        assert_eq!(
+            cfg.decoder_points(),
+            4096,
+            "paper decoder emits 4096 particles"
+        );
         assert_eq!(cfg.latent, 544);
         assert_eq!(*cfg.encoder_channels.last().unwrap(), 608);
     }
@@ -632,9 +635,9 @@ mod tests {
         let x = rng.standard_normal([1, 8, 2]); // 2³ input cells
         let (y, _) = dc.forward(&x, 2);
         assert_eq!(y.dims(), &[1, 64, 3]); // 4³ output cells
-        // With bias zero and near-deterministic linear, no output cell stays
-        // exactly at the zero initialisation unless the product is zero —
-        // just verify the scatter produced a finite, non-trivially-zero map.
+                                           // With bias zero and near-deterministic linear, no output cell stays
+                                           // exactly at the zero initialisation unless the product is zero —
+                                           // just verify the scatter produced a finite, non-trivially-zero map.
         assert!(y.all_finite());
         let nonzero = y.data().iter().filter(|v| **v != 0.0).count();
         assert!(nonzero > 0);

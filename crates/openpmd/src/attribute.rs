@@ -179,7 +179,10 @@ mod tests {
         a.set("steps", Value::I64(42));
         a.set("dt", Value::F64(17.9e-15));
         a.set("software", Value::Str("artificial-scientist".into()));
-        a.set("gridSpacing", Value::VecF64(vec![93.5e-6, 93.5e-6, 93.5e-6]));
+        a.set(
+            "gridSpacing",
+            Value::VecF64(vec![93.5e-6, 93.5e-6, 93.5e-6]),
+        );
         let b = Attributes::decode(&a.encode());
         assert_eq!(a, b);
     }

@@ -35,11 +35,7 @@ impl OpenPmdReader {
         let attributes = if step.variable("__attributes__").is_some() {
             let var = step.variable("__attributes__").expect("checked").clone();
             // Attribute blob is metadata, not payload: read it directly.
-            let blob: Vec<u8> = var
-                .blocks
-                .iter()
-                .flat_map(|b| b.data.to_vec())
-                .collect();
+            let blob: Vec<u8> = var.blocks.iter().flat_map(|b| b.data.to_vec()).collect();
             Attributes::decode(&blob)
         } else {
             Attributes::new()
@@ -48,7 +44,10 @@ impl OpenPmdReader {
             .get("iteration")
             .and_then(|v| v.as_f64())
             .unwrap_or(step.step() as f64) as u64;
-        let time = attributes.get("time").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let time = attributes
+            .get("time")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
         let dt = attributes.get("dt").and_then(|v| v.as_f64()).unwrap_or(0.0);
         Some(IterationData {
             step,

@@ -65,8 +65,10 @@ impl OpenPmdWriter {
         self.sst.put_f64(&name, global_count, offset, data);
         self.attrs
             .set(&format!("{name}.unitSI"), Value::F64(unit_si));
-        self.attrs
-            .set(&format!("{name}.unitDimension"), Value::VecF64(unit.0.to_vec()));
+        self.attrs.set(
+            &format!("{name}.unitDimension"),
+            Value::VecF64(unit.0.to_vec()),
+        );
     }
 
     /// Write one particle record component block (e.g. species `"e"`,
@@ -88,8 +90,10 @@ impl OpenPmdWriter {
         self.sst.put_f64(&name, global_count, offset, data);
         self.attrs
             .set(&format!("{name}.unitSI"), Value::F64(unit_si));
-        self.attrs
-            .set(&format!("{name}.unitDimension"), Value::VecF64(unit.0.to_vec()));
+        self.attrs.set(
+            &format!("{name}.unitDimension"),
+            Value::VecF64(unit.0.to_vec()),
+        );
     }
 
     /// Write a flat `f32` auxiliary array (e.g. encoded radiation

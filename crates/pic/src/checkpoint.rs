@@ -51,9 +51,12 @@ fn vec_to_field(f: &mut crate::field::ScalarField3, data: &[f64]) {
 }
 
 fn store_vecfield(cp: &mut Checkpoint, name: &str, f: &VecField3) {
-    cp.arrays.insert(format!("meshes/{name}/x"), field_to_vec(&f.x));
-    cp.arrays.insert(format!("meshes/{name}/y"), field_to_vec(&f.y));
-    cp.arrays.insert(format!("meshes/{name}/z"), field_to_vec(&f.z));
+    cp.arrays
+        .insert(format!("meshes/{name}/x"), field_to_vec(&f.x));
+    cp.arrays
+        .insert(format!("meshes/{name}/y"), field_to_vec(&f.y));
+    cp.arrays
+        .insert(format!("meshes/{name}/z"), field_to_vec(&f.z));
 }
 
 fn load_vecfield(cp: &Checkpoint, name: &str, f: &mut VecField3) {
@@ -92,9 +95,12 @@ impl Checkpoint {
             cp.arrays.insert(format!("{base}/position/x"), sp.x.clone());
             cp.arrays.insert(format!("{base}/position/y"), sp.y.clone());
             cp.arrays.insert(format!("{base}/position/z"), sp.z.clone());
-            cp.arrays.insert(format!("{base}/momentum/x"), sp.ux.clone());
-            cp.arrays.insert(format!("{base}/momentum/y"), sp.uy.clone());
-            cp.arrays.insert(format!("{base}/momentum/z"), sp.uz.clone());
+            cp.arrays
+                .insert(format!("{base}/momentum/x"), sp.ux.clone());
+            cp.arrays
+                .insert(format!("{base}/momentum/y"), sp.uy.clone());
+            cp.arrays
+                .insert(format!("{base}/momentum/z"), sp.uz.clone());
             cp.arrays.insert(format!("{base}/weighting"), sp.w.clone());
         }
         cp

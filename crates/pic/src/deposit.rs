@@ -15,6 +15,37 @@
 use crate::field::VecField3;
 use crate::grid::GridSpec;
 
+/// Destination grid for Esirkepov current contributions.
+///
+/// [`deposit_current`] is generic over the sink so the same verified
+/// kernel serves both the global field (serial reference path) and the
+/// per-tile local accumulators of the fused parallel step
+/// ([`crate::tile::TileAccumulator`]), which index without periodic
+/// wrapping and are reduced into the global field afterwards.
+pub trait CurrentSink {
+    /// Accumulate into the x component at cell `(i, j, k)`.
+    fn add_jx(&mut self, i: isize, j: isize, k: isize, v: f64);
+    /// Accumulate into the y component.
+    fn add_jy(&mut self, i: isize, j: isize, k: isize, v: f64);
+    /// Accumulate into the z component.
+    fn add_jz(&mut self, i: isize, j: isize, k: isize, v: f64);
+}
+
+impl CurrentSink for VecField3 {
+    #[inline]
+    fn add_jx(&mut self, i: isize, j: isize, k: isize, v: f64) {
+        self.x.add(i, j, k, v);
+    }
+    #[inline]
+    fn add_jy(&mut self, i: isize, j: isize, k: isize, v: f64) {
+        self.y.add(i, j, k, v);
+    }
+    #[inline]
+    fn add_jz(&mut self, i: isize, j: isize, k: isize, v: f64) {
+        self.z.add(i, j, k, v);
+    }
+}
+
 /// CIC (first-order b-spline) shape function.
 #[inline]
 fn cic(u: f64) -> f64 {
@@ -31,8 +62,8 @@ fn cic(u: f64) -> f64 {
 ///
 /// `x_origin_cell` is the slab origin (global x cell of local cell 0).
 #[allow(clippy::too_many_arguments)]
-pub fn deposit_current(
-    j: &mut VecField3,
+pub fn deposit_current<S: CurrentSink>(
+    j: &mut S,
     g: &GridSpec,
     q: f64,
     w: f64,
@@ -94,7 +125,12 @@ pub fn deposit_current(
             for r in 0..4 {
                 running += ds(&s1x, &s0x, r) * wyz;
                 if running != 0.0 {
-                    j.x.add(bi + r as isize, bj + s as isize, bk + t as isize, fx * running);
+                    j.add_jx(
+                        bi + r as isize,
+                        bj + s as isize,
+                        bk + t as isize,
+                        fx * running,
+                    );
                 }
             }
         }
@@ -111,7 +147,12 @@ pub fn deposit_current(
             for s in 0..4 {
                 running += ds(&s1y, &s0y, s) * wxz;
                 if running != 0.0 {
-                    j.y.add(bi + r as isize, bj + s as isize, bk + t as isize, fy * running);
+                    j.add_jy(
+                        bi + r as isize,
+                        bj + s as isize,
+                        bk + t as isize,
+                        fy * running,
+                    );
                 }
             }
         }
@@ -128,7 +169,12 @@ pub fn deposit_current(
             for t in 0..4 {
                 running += ds(&s1z, &s0z, t) * wxy;
                 if running != 0.0 {
-                    j.z.add(bi + r as isize, bj + s as isize, bk + t as isize, fz * running);
+                    j.add_jz(
+                        bi + r as isize,
+                        bj + s as isize,
+                        bk + t as isize,
+                        fz * running,
+                    );
                 }
             }
         }

@@ -239,7 +239,11 @@ mod tests {
     #[test]
     fn field_energy_totals() {
         let g = GridSpec::cubic(4, 4, 4, 0.5, 0.5);
-        let sim = KhiSetup { ppc: 2, ..KhiSetup::default() }.build(g);
+        let sim = KhiSetup {
+            ppc: 2,
+            ..KhiSetup::default()
+        }
+        .build(g);
         let e = FieldEnergy::measure(&sim);
         assert!(e.kinetic > 0.0);
         assert!(e.total() >= e.kinetic);
@@ -248,7 +252,11 @@ mod tests {
     #[test]
     fn density_map_counts_all_weight() {
         let g = GridSpec::cubic(4, 4, 2, 0.5, 0.5);
-        let sim = KhiSetup { ppc: 3, ..KhiSetup::default() }.build(g);
+        let sim = KhiSetup {
+            ppc: 3,
+            ..KhiSetup::default()
+        }
+        .build(g);
         let map = density_map_xy(&sim);
         let total: f64 = map.iter().flatten().sum();
         let expect: f64 = sim.species[0].w.iter().sum();

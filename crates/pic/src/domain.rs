@@ -14,15 +14,12 @@
 //! A single-rank world degenerates to the periodic wraps of
 //! [`crate::sim::Simulation`]; the equivalence is asserted in the tests.
 
-use crate::deposit::deposit_current;
 use crate::field::{ScalarField3, VecField3, GHOSTS};
-use crate::gather::gather_eb;
 use crate::grid::GridSpec;
 use crate::particles::ParticleBuffer;
-use crate::pusher::boris;
 use crate::sim::{Simulation, SimulationBuilder};
+use crate::tile::{fused_push_deposit, wrap_coord, Wrap};
 use as_cluster::comm::Communicator;
-use rayon::prelude::*;
 
 const TAG_FIELD_L: u64 = 100;
 const TAG_FIELD_R: u64 = 101;
@@ -146,44 +143,24 @@ impl DistributedSim {
         self.exchange_vec_ghosts(Which::B, TAG_FIELD_R);
         self.local.j.clear();
 
-        for si in 0..self.local.species.len() {
-            let sp = &mut self.local.species[si];
-            let qm_dt_half = sp.charge / sp.mass * g.dt * 0.5;
-            let q = sp.charge;
-            let n = sp.len();
-            let e = &self.local.e;
-            let b = &self.local.b;
-            let moves: Vec<(f64, f64, f64, f64, f64, f64, f64)> = (0..n)
-                .into_par_iter()
-                .map(|i| {
-                    let (x0, y0, z0) = (sp.x[i], sp.y[i], sp.z[i]);
-                    let (ex, ey, ez, bx, by, bz) = gather_eb(e, b, &g, x0, y0, z0, origin);
-                    let (ux, uy, uz) = boris(
-                        sp.ux[i], sp.uy[i], sp.uz[i], ex, ey, ez, bx, by, bz, qm_dt_half,
-                    );
-                    let gamma = (1.0 + ux * ux + uy * uy + uz * uz).sqrt();
-                    (
-                        ux,
-                        uy,
-                        uz,
-                        x0 + g.dt * ux / gamma,
-                        y0 + g.dt * uy / gamma,
-                        z0 + g.dt * uz / gamma,
-                        sp.w[i],
-                    )
-                })
-                .collect();
-            for (i, (ux, uy, uz, x1, y1, z1, w)) in moves.into_iter().enumerate() {
-                let (x0, y0, z0) = (sp.x[i], sp.y[i], sp.z[i]);
-                deposit_current(&mut self.local.j, &g, q, w, x0, y0, z0, x1, y1, z1, origin);
-                sp.ux[i] = ux;
-                sp.uy[i] = uy;
-                sp.uz[i] = uz;
-                sp.x[i] = x1;
-                sp.y[i] = y1;
-                sp.z[i] = z1;
-            }
-            sp.apply_periodic_yz(gy, gz);
+        // Same fused supercell-tiled kernel as the single-domain driver,
+        // with the slab origin offsetting the x cell indices. Ghost-cell
+        // deposits land in the x halo and are shipped to the neighbours
+        // below.
+        let edge = self.local.supercell_edge.max(1);
+        let local = &mut self.local;
+        for sp in &mut local.species {
+            fused_push_deposit(
+                sp,
+                &local.e,
+                &local.b,
+                &mut local.j,
+                &g,
+                origin,
+                Wrap::PeriodicYz { ly: gy, lz: gz },
+                edge,
+                &mut local.tile_pool,
+            );
         }
 
         // Current halo reduction.
@@ -212,9 +189,10 @@ impl DistributedSim {
         let x_lo = self.offset_cells as f64 * self.global.dx;
         let x_hi = x_lo + self.local.spec.nx as f64 * self.global.dx;
         for si in 0..self.local.species.len() {
-            // Global periodic wrap in x first.
+            // Global periodic wrap in x first (same clamped wrap as the
+            // single-domain path, so single-rank runs stay bit-identical).
             for v in &mut self.local.species[si].x {
-                *v = v.rem_euclid(global_lx);
+                *v = wrap_coord(*v, global_lx);
             }
             if self.comm.size() == 1 {
                 continue;

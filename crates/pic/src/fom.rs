@@ -105,7 +105,8 @@ mod tests {
         c.stop(2, 10, 5);
         c.start();
         c.stop(3, 10, 5);
-        assert_eq!(c.particle_rate() * c.elapsed(), 50.0);
+        // rate·elapsed recovers the update count up to float round-trip.
+        assert!((c.particle_rate() * c.elapsed() - 50.0).abs() < 1e-9);
     }
 
     #[test]

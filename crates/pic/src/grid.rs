@@ -58,7 +58,10 @@ impl GridSpec {
 
     /// Panics if the configuration is unstable or degenerate.
     pub fn validate(&self) {
-        assert!(self.nx >= 2 && self.ny >= 2 && self.nz >= 2, "grid too small");
+        assert!(
+            self.nx >= 2 && self.ny >= 2 && self.nz >= 2,
+            "grid too small"
+        );
         assert!(self.dx > 0.0 && self.dy > 0.0 && self.dz > 0.0 && self.dt > 0.0);
         assert!(
             self.courant() < 1.0,

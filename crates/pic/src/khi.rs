@@ -106,8 +106,8 @@ impl KhiSetup {
                         let ux = gamma0 * beta + rng.gen_range(-self.thermal_u..self.thermal_u);
                         // Seeded perturbation localised at the shear
                         // surfaces (fastest-growing long modes).
-                        let envelope = ((y / ly - 0.25).abs().min((y / ly - 0.75).abs()) * 4.0)
-                            .min(1.0);
+                        let envelope =
+                            ((y / ly - 0.25).abs().min((y / ly - 0.75).abs()) * 4.0).min(1.0);
                         let seed_amp = self.perturbation * (1.0 - envelope);
                         let kx = 2.0 * std::f64::consts::PI * self.seed_modes as f64 / lx;
                         let uy = seed_amp * (kx * x).sin()
@@ -260,6 +260,9 @@ mod tests {
             "B energy must grow out of the noise: {start:.3e} → {end:.3e}"
         );
         let grew = b_energy.windows(2).filter(|w| w[1] > w[0]).count();
-        assert!(grew * 3 > b_energy.len() * 2, "growth should dominate: {b_energy:?}");
+        assert!(
+            grew * 3 > b_energy.len() * 2,
+            "growth should dominate: {b_energy:?}"
+        );
     }
 }

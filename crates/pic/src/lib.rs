@@ -18,6 +18,37 @@
 //! 1/ω_pe, momenta in mₑc, fields in mₑcω_pe/e, densities in n₀
 //! ([`units`] converts the paper's SI setup). In these units a uniform
 //! plasma of density 1 oscillates at ω = 1 — asserted in the tests.
+//!
+//! # Threading and tiling model
+//!
+//! The particle hot loop is a **fused, supercell-tiled, data-parallel
+//! pipeline** ([`tile`]), shared by the single-domain and distributed
+//! drivers:
+//!
+//! 1. Every step, each species is counting-sorted by supercell (O(N),
+//!    reusable scratch inside [`particles::ParticleBuffer`]); the sort's
+//!    offset table partitions the SoA buffer into contiguous per-tile
+//!    ranges.
+//! 2. Rayon workers claim whole tiles (dynamic scheduling). Per tile they
+//!    stage a [`tile::FieldPatch`] view of E/B (tile + 1-cell gather
+//!    halo), then run gather → Boris push → move → Esirkepov deposit per
+//!    particle, depositing into a [`tile::TileAccumulator`] (tile +
+//!    2-cell deposit halo). Tiles own disjoint particle ranges and
+//!    accumulators, so the pass needs no locks or atomics.
+//! 3. Accumulators reduce into the global `J` in **tile-index order**,
+//!    independent of worker count or schedule: steps are bit-reproducible
+//!    for a given particle order, and the fused path matches the serial
+//!    reference ([`sim::Simulation::step_reference`]) to ≤ 1e-12
+//!    (asserted in the tests).
+//!
+//! All scratch (sort buffers, tile accumulators, field patches) is pooled
+//! and reused: steady-state stepping performs no per-step heap
+//! allocation (asserted by the `alloc_free_step` integration test). The
+//! worker count follows `RAYON_NUM_THREADS` / available parallelism;
+//! reductions combine partials in a fixed order, so results are
+//! deterministic per configuration. `cargo run --release -p as-bench
+//! --bin fig_step_throughput` benchmarks the fused pipeline against the
+//! seed baseline and writes `BENCH_step.json`.
 
 pub mod checkpoint;
 pub mod deposit;
@@ -33,6 +64,7 @@ pub mod particles;
 pub mod plugin;
 pub mod pusher;
 pub mod sim;
+pub mod tile;
 pub mod tweac;
 pub mod units;
 

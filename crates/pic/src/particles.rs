@@ -3,7 +3,20 @@
 //! PIConGPU organises particles into *supercells* to optimise data access
 //! patterns [Hönig et al. 2010]; on the CPU the analogue is keeping the SoA
 //! buffer sorted by supercell index so gather/deposit walk memory almost
-//! linearly. Sorting is a counting sort, O(N), run every few steps.
+//! linearly. Sorting is a counting sort, O(N); the fused tiled step
+//! ([`crate::tile`]) re-bins every step and consumes the per-supercell
+//! offset table the sort produces, so the sort keeps all of its working
+//! buffers (keys, permutation, cursor, one apply-scratch) inside the
+//! [`ParticleBuffer`] — steady-state sorting performs no heap allocation.
+
+use rayon::prelude::*;
+
+/// Below this particle count the rayon map-reduce helpers run serially
+/// (fork-join overhead would dominate).
+const PAR_MIN: usize = 8_192;
+
+/// Chunk length for parallel in-place passes over the SoA arrays.
+const PAR_CHUNK: usize = 16_384;
 
 /// SoA buffer of macro-particles of one species.
 ///
@@ -31,6 +44,18 @@ pub struct ParticleBuffer {
     pub charge: f64,
     /// Species mass in units of mₑ.
     pub mass: f64,
+    /// Supercell key per particle (sort working buffer, reused).
+    sort_keys: Vec<u32>,
+    /// Counting-sort permutation (reused).
+    sort_perm: Vec<u32>,
+    /// Counting-sort write cursors (reused).
+    sort_cursor: Vec<usize>,
+    /// The one scratch array the permutation is applied through (reused
+    /// across all seven SoA arrays and across sorts).
+    sort_scratch: Vec<f64>,
+    /// Per-supercell offsets from the last sort: supercell `s` owns
+    /// particles `offsets[s]..offsets[s+1]` (length `n_supercells + 1`).
+    supercell_offsets: Vec<usize>,
 }
 
 impl ParticleBuffer {
@@ -90,10 +115,17 @@ impl ParticleBuffer {
     }
 
     /// Total kinetic energy `Σ w·m·(γ−1)` (units of mₑc²·n₀·V).
+    ///
+    /// Rayon map-reduce above [`PAR_MIN`] particles; partial sums combine
+    /// in chunk order, so the result is deterministic for a fixed worker
+    /// count.
     pub fn kinetic_energy(&self) -> f64 {
-        (0..self.len())
-            .map(|i| self.w[i] * self.mass * (self.gamma(i) - 1.0))
-            .sum()
+        let term = |i: usize| self.w[i] * self.mass * (self.gamma(i) - 1.0);
+        if self.len() < PAR_MIN {
+            (0..self.len()).map(term).sum()
+        } else {
+            (0..self.len()).into_par_iter().map(term).sum()
+        }
     }
 
     /// Take (remove and return) every particle whose x lies outside
@@ -115,8 +147,7 @@ impl ParticleBuffer {
                 keep += 1;
             } else {
                 out.push(
-                    self.x[i], self.y[i], self.z[i], self.ux[i], self.uy[i], self.uz[i],
-                    self.w[i],
+                    self.x[i], self.y[i], self.z[i], self.ux[i], self.uy[i], self.uz[i], self.w[i],
                 );
             }
         }
@@ -145,31 +176,43 @@ impl ParticleBuffer {
         self.w.truncate(n);
     }
 
+    /// Wrap one coordinate array into `[0, l)`, in parallel above
+    /// [`PAR_MIN`] elements. Uses [`crate::tile::wrap_coord`] so the
+    /// result is bit-identical to the fused kernel's inline wrapping.
+    fn wrap_axis(v: &mut [f64], l: f64) {
+        if v.len() < PAR_MIN {
+            for x in v {
+                *x = crate::tile::wrap_coord(*x, l);
+            }
+        } else {
+            v.par_chunks_mut(PAR_CHUNK).for_each(|chunk| {
+                for x in chunk {
+                    *x = crate::tile::wrap_coord(*x, l);
+                }
+            });
+        }
+    }
+
     /// Wrap positions into the periodic box `[0,lx)×[0,ly)×[0,lz)`.
     pub fn apply_periodic(&mut self, lx: f64, ly: f64, lz: f64) {
-        for v in &mut self.x {
-            *v = v.rem_euclid(lx);
-        }
-        for v in &mut self.y {
-            *v = v.rem_euclid(ly);
-        }
-        for v in &mut self.z {
-            *v = v.rem_euclid(lz);
-        }
+        Self::wrap_axis(&mut self.x, lx);
+        Self::wrap_axis(&mut self.y, ly);
+        Self::wrap_axis(&mut self.z, lz);
     }
 
     /// Wrap only y/z periodically (x handled by slab migration).
     pub fn apply_periodic_yz(&mut self, ly: f64, lz: f64) {
-        for v in &mut self.y {
-            *v = v.rem_euclid(ly);
-        }
-        for v in &mut self.z {
-            *v = v.rem_euclid(lz);
-        }
+        Self::wrap_axis(&mut self.y, ly);
+        Self::wrap_axis(&mut self.z, lz);
     }
 
     /// Counting sort by supercell index (supercells of `edge` cells per
     /// axis on a grid of `dx/dy/dz`-sized cells, `nx×ny×nz` total).
+    ///
+    /// Returns the per-supercell offset table: supercell `s` (index
+    /// `(cx·scy + cy)·scz + cz`) owns the contiguous particle range
+    /// `offsets[s]..offsets[s+1]`. All working storage is reused across
+    /// calls, so steady-state sorting is allocation-free.
     #[allow(clippy::too_many_arguments)]
     pub fn sort_by_supercell(
         &mut self,
@@ -180,40 +223,102 @@ impl ParticleBuffer {
         nx: usize,
         ny: usize,
         nz: usize,
-    ) {
-        let scx = nx.div_ceil(edge);
+    ) -> &[usize] {
+        self.sort_by_supercell_origin(edge, dx, dy, dz, nx, ny, nz, 0.0)
+    }
+
+    /// [`Self::sort_by_supercell`] with a slab origin: cell indices are
+    /// taken relative to `x_origin_cell` (the global x cell of local cell
+    /// 0), as the distributed slab decomposition requires.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sort_by_supercell_origin(
+        &mut self,
+        edge: usize,
+        dx: f64,
+        dy: f64,
+        dz: f64,
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        x_origin_cell: f64,
+    ) -> &[usize] {
         let scy = ny.div_ceil(edge);
         let scz = nz.div_ceil(edge);
-        let n_sc = scx * scy * scz;
-        let sc_of = |i: usize| -> usize {
-            let cx = ((self.x[i] / dx) as usize).min(nx - 1) / edge;
-            let cy = ((self.y[i] / dy) as usize).min(ny - 1) / edge;
-            let cz = ((self.z[i] / dz) as usize).min(nz - 1) / edge;
-            (cx * scy + cy) * scz + cz
-        };
+        let n_sc = nx.div_ceil(edge) * scy * scz;
         let n = self.len();
-        let mut counts = vec![0usize; n_sc + 1];
+
+        // Pass 1: cache each particle's supercell key and histogram them.
+        self.sort_keys.resize(n, 0);
+        self.supercell_offsets.clear();
+        self.supercell_offsets.resize(n_sc + 1, 0);
         for i in 0..n {
-            counts[sc_of(i) + 1] += 1;
+            let cx = ((self.x[i] / dx - x_origin_cell).max(0.0) as usize).min(nx - 1) / edge;
+            let cy = ((self.y[i] / dy).max(0.0) as usize).min(ny - 1) / edge;
+            let cz = ((self.z[i] / dz).max(0.0) as usize).min(nz - 1) / edge;
+            let s = (cx * scy + cy) * scz + cz;
+            self.sort_keys[i] = s as u32;
+            self.supercell_offsets[s + 1] += 1;
         }
         for s in 1..=n_sc {
-            counts[s] += counts[s - 1];
+            self.supercell_offsets[s] += self.supercell_offsets[s - 1];
         }
-        let mut perm = vec![0usize; n];
-        let mut cursor = counts.clone();
+
+        // Pass 2: stable placement into the permutation.
+        self.sort_perm.resize(n, 0);
+        self.sort_cursor.clear();
+        self.sort_cursor
+            .extend_from_slice(&self.supercell_offsets[..n_sc]);
         for i in 0..n {
-            let s = sc_of(i);
-            perm[cursor[s]] = i;
-            cursor[s] += 1;
+            let s = self.sort_keys[i] as usize;
+            self.sort_perm[self.sort_cursor[s]] = i as u32;
+            self.sort_cursor[s] += 1;
         }
-        let reorder = |v: &Vec<f64>| -> Vec<f64> { perm.iter().map(|&i| v[i]).collect() };
-        self.x = reorder(&self.x);
-        self.y = reorder(&self.y);
-        self.z = reorder(&self.z);
-        self.ux = reorder(&self.ux);
-        self.uy = reorder(&self.uy);
-        self.uz = reorder(&self.uz);
-        self.w = reorder(&self.w);
+
+        // Pass 3: apply the permutation to all seven SoA arrays through the
+        // single reusable scratch.
+        self.sort_scratch.resize(n, 0.0);
+        let perm = &self.sort_perm;
+        let scratch = &mut self.sort_scratch;
+        for arr in [
+            &mut self.x,
+            &mut self.y,
+            &mut self.z,
+            &mut self.ux,
+            &mut self.uy,
+            &mut self.uz,
+            &mut self.w,
+        ] {
+            for (dst, &src) in scratch.iter_mut().zip(perm.iter()) {
+                *dst = arr[src as usize];
+            }
+            std::mem::swap(arr, scratch);
+        }
+        &self.supercell_offsets
+    }
+
+    /// Offset table produced by the most recent sort (empty before any
+    /// sort). See [`Self::sort_by_supercell`].
+    pub fn supercell_offsets(&self) -> &[usize] {
+        &self.supercell_offsets
+    }
+
+    /// Mutable views of all seven SoA arrays plus the supercell offset
+    /// table, borrowed simultaneously (the tiled kernel updates particles
+    /// per tile while walking the offsets).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn soa_views_mut(&mut self) -> ([&mut [f64]; 7], &[usize]) {
+        (
+            [
+                &mut self.x,
+                &mut self.y,
+                &mut self.z,
+                &mut self.ux,
+                &mut self.uy,
+                &mut self.uz,
+                &mut self.w,
+            ],
+            &self.supercell_offsets,
+        )
     }
 }
 

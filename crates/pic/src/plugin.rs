@@ -58,8 +58,14 @@ mod tests {
         let mut sim = SimulationBuilder::new(g)
             .species(ParticleBuffer::new(-1.0, 1.0))
             .build();
-        let mut c1 = Counter { calls: 0, last_step: 0 };
-        let mut c2 = Counter { calls: 0, last_step: 0 };
+        let mut c1 = Counter {
+            calls: 0,
+            last_step: 0,
+        };
+        let mut c2 = Counter {
+            calls: 0,
+            last_step: 0,
+        };
         run_with_plugins(&mut sim, 5, &mut [&mut c1, &mut c2]);
         assert_eq!(c1.calls, 5);
         assert_eq!(c2.calls, 5);

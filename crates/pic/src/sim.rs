@@ -7,7 +7,11 @@
 //! 3. Esirkepov-deposit the half-step current `J^{n+½}`;
 //! 4. advance fields: `B` half step, `E` full step, `B` half step.
 //!
-//! Multi-rank runs wrap this logic in [`crate::domain::DistributedSim`].
+//! Steps 1–3 run as one fused, supercell-tiled, rayon-parallel pass
+//! ([`crate::tile::fused_push_deposit`]); [`Simulation::step_reference`]
+//! keeps the seed's push-then-serial-deposit pipeline as the equivalence
+//! and benchmark baseline. Multi-rank runs wrap the same fused kernel in
+//! [`crate::domain::DistributedSim`].
 
 use crate::deposit::deposit_current;
 use crate::field::VecField3;
@@ -16,6 +20,7 @@ use crate::grid::GridSpec;
 use crate::maxwell::{advance_b, advance_e};
 use crate::particles::ParticleBuffer;
 use crate::pusher::boris;
+use crate::tile::{fused_push_deposit, TilePool, Wrap};
 use rayon::prelude::*;
 
 /// A complete single-domain PIC simulation state.
@@ -34,10 +39,15 @@ pub struct Simulation {
     pub step_index: u64,
     /// Simulated time (1/ω_pe).
     pub time: f64,
-    /// Re-sort particles by supercell every this many steps (0 = never).
+    /// Re-sort interval of the *reference* path
+    /// ([`Self::step_reference`]); the fused tiled step re-bins every step
+    /// regardless. 0 = never.
     pub sort_interval: u64,
-    /// Supercell edge length in cells.
+    /// Supercell edge length in cells (tile size of the fused step).
     pub supercell_edge: usize,
+    /// Reusable tile accumulators of the fused step (crate-internal so the
+    /// distributed driver shares the same kernel and scratch).
+    pub(crate) tile_pool: TilePool,
 }
 
 /// Builder for [`Simulation`].
@@ -86,6 +96,7 @@ impl SimulationBuilder {
             time: 0.0,
             sort_interval: self.sort_interval,
             supercell_edge: self.supercell_edge,
+            tile_pool: TilePool::new(),
         }
     }
 }
@@ -96,11 +107,49 @@ impl Simulation {
         self.species.iter().map(|s| s.len()).sum()
     }
 
-    /// One full PIC step (periodic boundaries).
+    /// One full PIC step (periodic boundaries), using the fused
+    /// supercell-tiled parallel kernel for the particle phase.
+    ///
+    /// Steady-state calls perform no per-step heap allocation: the sort
+    /// scratch lives in each [`ParticleBuffer`] and the tile accumulators
+    /// in the simulation's [`TilePool`].
     pub fn step(&mut self) {
         let g = self.spec;
         let (lx, ly, lz) = g.extents();
         // Fresh ghosts for the gather.
+        self.e.wrap_ghosts_periodic();
+        self.b.wrap_ghosts_periodic();
+        self.j.clear();
+
+        let edge = self.supercell_edge.max(1);
+        for sp in &mut self.species {
+            fused_push_deposit(
+                sp,
+                &self.e,
+                &self.b,
+                &mut self.j,
+                &g,
+                0.0,
+                Wrap::Periodic3 { lx, ly, lz },
+                edge,
+                &mut self.tile_pool,
+            );
+        }
+        // Fold current contributions that landed in x-ghost cells.
+        self.j.reduce_ghosts_periodic();
+
+        self.advance_fields();
+        self.step_index += 1;
+        self.time += g.dt;
+    }
+
+    /// The seed's push-then-serial-deposit step, kept as the equivalence
+    /// and throughput baseline: a parallel Boris push materialises an O(N)
+    /// move list, then Esirkepov deposition runs serially in particle
+    /// order.
+    pub fn step_reference(&mut self) {
+        let g = self.spec;
+        let (lx, ly, lz) = g.extents();
         self.e.wrap_ghosts_periodic();
         self.b.wrap_ghosts_periodic();
         self.j.clear();
@@ -141,17 +190,9 @@ impl Simulation {
             }
             sp.apply_periodic(lx, ly, lz);
         }
-        // Fold current contributions that landed in x-ghost cells.
         self.j.reduce_ghosts_periodic();
 
-        // Field update: B half, E full, B half.
-        self.e.wrap_ghosts_periodic();
-        advance_b(&mut self.b, &self.e, &g, 0.5 * g.dt);
-        self.b.wrap_ghosts_periodic();
-        advance_e(&mut self.e, &self.b, &self.j, &g, g.dt);
-        self.e.wrap_ghosts_periodic();
-        advance_b(&mut self.b, &self.e, &g, 0.5 * g.dt);
-
+        self.advance_fields();
         self.step_index += 1;
         self.time += g.dt;
         if self.sort_interval > 0 && self.step_index.is_multiple_of(self.sort_interval) {
@@ -160,6 +201,17 @@ impl Simulation {
                 sp.sort_by_supercell(edge, g.dx, g.dy, g.dz, g.nx, g.ny, g.nz);
             }
         }
+    }
+
+    /// Field update shared by both step paths: B half, E full, B half.
+    fn advance_fields(&mut self) {
+        let g = self.spec;
+        self.e.wrap_ghosts_periodic();
+        advance_b(&mut self.b, &self.e, &g, 0.5 * g.dt);
+        self.b.wrap_ghosts_periodic();
+        advance_e(&mut self.e, &self.b, &self.j, &g, g.dt);
+        self.e.wrap_ghosts_periodic();
+        advance_b(&mut self.b, &self.e, &g, 0.5 * g.dt);
     }
 
     /// Run `n` steps.
@@ -286,6 +338,97 @@ mod tests {
             (e1 - e0).abs() / e0 < 0.1,
             "energy drifted more than 10%: {e0} → {e1}"
         );
+    }
+
+    /// Build a warm quasi-neutral plasma for the equivalence tests.
+    fn warm_plasma(g: GridSpec, ppc: usize, seed: u64) -> Simulation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut electrons = ParticleBuffer::new(-1.0, 1.0);
+        let w = g.dx * g.dy * g.dz / ppc as f64;
+        for cx in 0..g.nx {
+            for cy in 0..g.ny {
+                for cz in 0..g.nz {
+                    for _ in 0..ppc {
+                        electrons.push(
+                            (cx as f64 + rng.gen_range(0.0..1.0)) * g.dx,
+                            (cy as f64 + rng.gen_range(0.0..1.0)) * g.dy,
+                            (cz as f64 + rng.gen_range(0.0..1.0)) * g.dz,
+                            rng.gen_range(-0.15..0.15),
+                            rng.gen_range(-0.15..0.15),
+                            rng.gen_range(-0.15..0.15),
+                            w,
+                        );
+                    }
+                }
+            }
+        }
+        SimulationBuilder::new(g).species(electrons).build()
+    }
+
+    /// The tentpole equivalence: the fused tiled parallel step must match
+    /// the seed's push-then-serial-deposit step on `J`, `E` and `B` to
+    /// ≤ 1e-12 — the two paths differ only in summation order.
+    #[test]
+    fn fused_step_matches_reference_fields() {
+        let g = GridSpec::cubic(12, 8, 8, 0.35, 0.5);
+        let mut fused = warm_plasma(g, 4, 31);
+        let mut reference = warm_plasma(g, 4, 31);
+        reference.sort_interval = 0; // pure seed hot loop, no re-sorts
+        for step in 0..8 {
+            fused.step();
+            reference.step_reference();
+            let max_diff = |a: &crate::field::ScalarField3, b: &crate::field::ScalarField3| {
+                let mut m: f64 = 0.0;
+                for i in 0..g.nx as isize {
+                    for jj in 0..g.ny as isize {
+                        for k in 0..g.nz as isize {
+                            m = m.max((a.get(i, jj, k) - b.get(i, jj, k)).abs());
+                        }
+                    }
+                }
+                m
+            };
+            for (name, a, b) in [
+                ("jx", &fused.j.x, &reference.j.x),
+                ("jy", &fused.j.y, &reference.j.y),
+                ("jz", &fused.j.z, &reference.j.z),
+                ("ex", &fused.e.x, &reference.e.x),
+                ("ey", &fused.e.y, &reference.e.y),
+                ("ez", &fused.e.z, &reference.e.z),
+                ("bx", &fused.b.x, &reference.b.x),
+                ("by", &fused.b.y, &reference.b.y),
+                ("bz", &fused.b.z, &reference.b.z),
+            ] {
+                let d = max_diff(a, b);
+                assert!(
+                    d <= 1e-12,
+                    "{name} diverged at step {step}: max |Δ| = {d:e}"
+                );
+            }
+        }
+        // The particle sets must also agree (order-independent invariants).
+        let kf = fused.species[0].kinetic_energy();
+        let kr = reference.species[0].kinetic_energy();
+        assert!((kf - kr).abs() / kr < 1e-12, "kinetic: {kf} vs {kr}");
+    }
+
+    /// Both paths must conserve the total deposited current (first moment)
+    /// regardless of tiling, ragged edges included.
+    #[test]
+    fn fused_step_handles_ragged_tiles() {
+        // 10 and 6 are not multiples of the default supercell edge 4.
+        let g = GridSpec::cubic(10, 6, 6, 0.35, 0.5);
+        let mut fused = warm_plasma(g, 3, 5);
+        let mut reference = warm_plasma(g, 3, 5);
+        reference.sort_interval = 0;
+        for _ in 0..5 {
+            fused.step();
+            reference.step_reference();
+        }
+        let (fe, fb) = fused.field_energy();
+        let (re, rb) = reference.field_energy();
+        assert!((fe - re).abs() <= 1e-12 * re.max(1.0), "E² {fe} vs {re}");
+        assert!((fb - rb).abs() <= 1e-12 * rb.max(1.0), "B² {fb} vs {rb}");
     }
 
     #[test]

@@ -101,6 +101,9 @@ mod tests {
         sim.run(5);
         fom.stop(5, sim.particle_count() as u64, g.cells() as u64);
         assert!(fom.fom() > 0.0);
-        assert!(fom.particle_rate() > fom.cell_rate(), "ppc > 1 ⇒ particle work dominates");
+        assert!(
+            fom.particle_rate() > fom.cell_rate(),
+            "ppc > 1 ⇒ particle work dominates"
+        );
     }
 }

@@ -89,7 +89,11 @@ mod tests {
     fn paper_density_gives_expected_scales() {
         let u = UnitSystem::paper();
         // ω_pe = 5.64e4 · sqrt(n[cm⁻³]) rad/s ≈ 1.784e14 for 1e19 cm⁻³.
-        assert!((u.omega_pe - 1.784e14).abs() / 1.784e14 < 0.01, "{}", u.omega_pe);
+        assert!(
+            (u.omega_pe - 1.784e14).abs() / 1.784e14 < 0.01,
+            "{}",
+            u.omega_pe
+        );
         // Skin depth ≈ 1.68 µm.
         assert!((u.skin_depth - 1.68e-6).abs() / 1.68e-6 < 0.01);
     }

@@ -1,0 +1,73 @@
+//! Steady-state `Simulation::step` must perform no per-step heap
+//! allocations beyond the thread-management noise of the fork-join runtime
+//! (scoped spawns allocate a few hundred bytes per worker).
+//!
+//! A counting global allocator records every allocation of at least
+//! `LARGE` bytes. The first steps are allowed to allocate (sort scratch,
+//! tile pool, ghost buffers grow to steady size); after warm-up, a large
+//! allocation means an O(N) buffer is being materialised in the hot loop —
+//! exactly the regression this test guards against.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use as_pic::grid::GridSpec;
+use as_pic::khi::KhiSetup;
+
+/// Allocations at or above this size are counted while armed. Thread
+/// spawn bookkeeping stays well below it; any per-particle or per-cell
+/// buffer is far above it.
+const LARGE: usize = 16 * 1024;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static LARGE_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if layout.size() >= LARGE && ARMED.load(Ordering::Relaxed) {
+            LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size >= LARGE && ARMED.load(Ordering::Relaxed) {
+            LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_step_does_not_allocate() {
+    let g = GridSpec::cubic(16, 16, 8, 0.5, 0.5);
+    let mut sim = KhiSetup {
+        ppc: 6,
+        ..KhiSetup::default()
+    }
+    .build(g);
+    assert!(sim.particle_count() > 20_000, "needs a real particle load");
+
+    // Warm up: scratch buffers and the tile pool reach steady size.
+    sim.run(3);
+
+    ARMED.store(true, Ordering::SeqCst);
+    sim.run(5);
+    ARMED.store(false, Ordering::SeqCst);
+
+    let n = LARGE_ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        n, 0,
+        "steady-state steps made {n} allocations ≥ {LARGE} bytes — an O(N) \
+         buffer is back in the hot loop"
+    );
+}

@@ -1,0 +1,66 @@
+//! Multi-worker correctness of the fused tiled kernel: force 8 rayon
+//! workers (regardless of host CPU count — on a single-CPU machine the
+//! threads timeslice, which still exercises every cross-thread code path)
+//! and assert the parallel step is deterministic and matches the serial
+//! reference.
+//!
+//! This lives in its own integration-test binary because the worker count
+//! is latched once per process.
+
+use as_pic::grid::GridSpec;
+use as_pic::khi::KhiSetup;
+use as_pic::sim::Simulation;
+
+fn force_workers() {
+    // Must run before the first parallel call in this process.
+    std::env::set_var("RAYON_NUM_THREADS", "8");
+}
+
+fn build() -> Simulation {
+    let g = GridSpec::cubic(12, 16, 8, 0.5, 0.5);
+    KhiSetup {
+        ppc: 4,
+        ..KhiSetup::default()
+    }
+    .build(g)
+}
+
+#[test]
+fn eight_workers_match_serial_reference_and_are_deterministic() {
+    force_workers();
+    assert_eq!(rayon::current_num_threads(), 8);
+
+    let mut fused_a = build();
+    let mut fused_b = build();
+    let mut reference = build();
+    reference.sort_interval = 0;
+    for _ in 0..6 {
+        fused_a.step();
+        fused_b.step();
+        reference.step_reference();
+    }
+
+    // Determinism: two identical parallel runs must agree bit-for-bit.
+    let (ea, ba) = fused_a.field_energy();
+    let (eb, bb) = fused_b.field_energy();
+    assert_eq!(ea, eb, "parallel E energy must be bit-reproducible");
+    assert_eq!(ba, bb, "parallel B energy must be bit-reproducible");
+    for (a, b) in fused_a.species[0].x.iter().zip(&fused_b.species[0].x) {
+        assert_eq!(a, b, "particle positions must be bit-reproducible");
+    }
+
+    // Equivalence: parallel fused vs serial reference (summation order
+    // differences only).
+    let (er, br) = reference.field_energy();
+    assert!(
+        (ea - er).abs() <= 1e-12 * er.max(1.0),
+        "E² {ea} vs reference {er}"
+    );
+    assert!(
+        (ba - br).abs() <= 1e-12 * br.max(1.0),
+        "B² {ba} vs reference {br}"
+    );
+    let kf: f64 = fused_a.species.iter().map(|s| s.kinetic_energy()).sum();
+    let kr: f64 = reference.species.iter().map(|s| s.kinetic_energy()).sum();
+    assert!((kf - kr).abs() / kr < 1e-12, "kinetic {kf} vs {kr}");
+}

@@ -43,7 +43,13 @@ impl Detector {
 
     /// A small angular fan in the x–y plane around +x (finite solid angle,
     /// as in Fig. 1), `n_dir` directions spread over ±`half_angle` rad.
-    pub fn fan_xy(half_angle: f64, n_dir: usize, freq_min: f64, freq_max: f64, n_freq: usize) -> Self {
+    pub fn fan_xy(
+        half_angle: f64,
+        n_dir: usize,
+        freq_min: f64,
+        freq_max: f64,
+        n_freq: usize,
+    ) -> Self {
         assert!(n_dir >= 1);
         let dirs = (0..n_dir)
             .map(|i| {

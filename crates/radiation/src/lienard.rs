@@ -64,7 +64,11 @@ impl RadiationAccumulator {
     /// Merge another accumulator (sum of amplitudes — radiation from
     /// different ranks superposes coherently).
     pub fn merge(&mut self, other: &RadiationAccumulator) {
-        assert_eq!(self.amp.len(), other.amp.len(), "accumulator shape mismatch");
+        assert_eq!(
+            self.amp.len(),
+            other.amp.len(),
+            "accumulator shape mismatch"
+        );
         for (a, b) in self.amp.iter_mut().zip(&other.amp) {
             *a += b;
         }
@@ -299,7 +303,10 @@ mod tests {
         b.merge(&a);
         let ia: f64 = a.intensity()[0].iter().sum();
         let ib: f64 = b.intensity()[0].iter().sum();
-        assert!((ib / ia - 4.0).abs() < 1e-9, "doubled amplitude → 4× intensity");
+        assert!(
+            (ib / ia - 4.0).abs() < 1e-9,
+            "doubled amplitude → 4× intensity"
+        );
     }
 
     #[test]

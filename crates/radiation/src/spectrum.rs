@@ -96,9 +96,7 @@ impl Spectrum {
                 *v /= *c as f64;
             }
         }
-        let centers = (0..n)
-            .map(|i| (edges[i] * edges[i + 1]).sqrt())
-            .collect();
+        let centers = (0..n).map(|i| (edges[i] * edges[i + 1]).sqrt()).collect();
         Spectrum::new(centers, out_i)
     }
 }

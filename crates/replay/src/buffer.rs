@@ -199,7 +199,10 @@ mod tests {
         // Randomly kept elements should not simply be the newest five.
         let ep: Vec<i32> = b.ep_iter().copied().collect();
         let all_newest = ep.iter().all(|&v| v >= 93);
-        assert!(!all_newest, "random eviction must keep some older samples: {ep:?}");
+        assert!(
+            !all_newest,
+            "random eviction must keep some older samples: {ep:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the `channel` module's unbounded MPSC surface is needed here
+//! (the communicator gives every rank its own receiving endpoint, so
+//! crossbeam's MPMC generality is unused). Backed by [`std::sync::mpsc`].
+
+pub mod channel {
+    //! Unbounded channels with crossbeam's names.
+
+    /// Sending half (cloneable).
+    pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self(self.0.clone())
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+    /// Error returned when the receiving end is gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like upstream crossbeam, Debug does not require `T: Debug` (payloads
+    // are often type-erased boxes).
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned when every sender is gone and the queue is empty.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message (never blocks).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive (None when currently empty).
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.0.try_recv().map_err(|_| RecvError)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_across_threads() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            std::thread::spawn(move || tx2.send(41).unwrap());
+            tx.send(1).unwrap();
+            let a = rx.recv().unwrap();
+            let b = rx.recv().unwrap();
+            assert_eq!(a + b, 42);
+        }
+
+        #[test]
+        fn recv_errors_after_senders_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+}

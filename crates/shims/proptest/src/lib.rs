@@ -1,0 +1,318 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset the workspace's property tests use: the `proptest!`
+//! macro (with optional `#![proptest_config(..)]`), numeric-range and
+//! `any::<T>()` strategies, `prop::collection::vec`, `prop_map`, and the
+//! `prop_assert*` macros. Cases are generated from a deterministic
+//! SplitMix64 stream seeded by the test-function name, so failures
+//! reproduce exactly; there is no shrinking — the failing inputs are
+//! printed instead.
+
+use std::ops::Range;
+
+pub mod prelude {
+    //! Glob-import target mirroring `proptest::prelude`.
+    pub use crate as prop;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Runner configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Deterministic generation stream (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary string (e.g. the test name) and case index.
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn uniform_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of values (shim counterpart of proptest's `Strategy`).
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Produce one value from the stream.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Mapped strategy (see [`Strategy::prop_map`]).
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let v = self.start + rng.uniform_f64() * (self.end - self.start);
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        ((self.start as f64)..(self.end as f64)).generate(rng) as f32
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128 * width) >> 64) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(usize, u64, u32, i64, i32);
+
+/// Types with a whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Whole-domain strategy for `T` (shim of `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Size specification for generated collections.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// `Vec` strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        let size = size.into();
+        assert!(size.lo < size.hi, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for vectors of a fixed element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let width = (self.size.hi - self.size.lo) as u128;
+            let len = self.size.lo + ((rng.next_u64() as u128 * width) >> 64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Assert inside a property (maps to `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The `proptest!` block: each contained `fn name(arg in strategy, ..)`
+/// becomes a `#[test]` running `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$attr:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..__cfg.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Generated floats respect their range.
+        #[test]
+        fn floats_in_range(x in -2.0f64..3.0, y in 0.5f32..0.75) {
+            prop_assert!((-2.0..3.0).contains(&x));
+            prop_assert!((0.5..0.75).contains(&y));
+        }
+
+        /// Vec lengths respect the size range and prop_map applies.
+        #[test]
+        fn vec_and_map(v in prop::collection::vec(0usize..10, 2..5),
+                       s in (1usize..4).prop_map(|n| n * 100)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 10));
+            prop_assert!(s == 100 || s == 200 || s == 300);
+        }
+
+        /// any::<i64>() compiles and runs.
+        #[test]
+        fn any_i64(x in any::<i64>()) {
+            let _ = x.wrapping_add(1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = super::TestRng::from_name("fixed");
+        let mut b = super::TestRng::from_name("fixed");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

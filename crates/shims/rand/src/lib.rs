@@ -1,0 +1,200 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the API subset the workspace uses — `rand::rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::gen_range` over numeric ranges —
+//! on a xoshiro256++ generator seeded through SplitMix64. The statistical
+//! quality is ample for the Monte-Carlo sampling and particle placement
+//! done here; the exact stream differs from upstream `rand`, which no test
+//! in this workspace depends on (seeds only guarantee *reproducibility*,
+//! asserted in the `as-tensor` RNG tests).
+
+use std::ops::Range;
+
+/// Types constructible from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a generator state from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core entropy source (subset of upstream `RngCore`).
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing sampling methods (subset of upstream `Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open, `low..high`).
+    ///
+    /// The output is a type *parameter* (as in upstream rand), so literal
+    /// ranges like `0.0..1.0` infer their float width from the use site.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Ranges that can be sampled uniformly, producing `T`.
+///
+/// Mirroring upstream rand, a *single* blanket impl covers `Range<T>` so
+/// type inference can flow `Range<{float}>` → `T` (two separate f32/f64
+/// impls would make literal ranges ambiguous).
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_range(self.start, self.end, rng)
+    }
+}
+
+/// Element types with a uniform half-open range sampler.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_range<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        assert!(lo < hi, "empty range");
+        loop {
+            // 53 uniform mantissa bits → u ∈ [0, 1).
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let v = lo + u * (hi - lo);
+            // Rounding can land exactly on the excluded upper bound.
+            if v < hi {
+                return v;
+            }
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        assert!(lo < hi, "empty range");
+        loop {
+            let u = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+            let v = lo + u * (hi - lo);
+            if v < hi {
+                return v;
+            }
+        }
+    }
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "empty range");
+                let width = (hi as i128 - lo as i128) as u128;
+                // Widening-multiply rejection-free mapping (Lemire); the
+                // residual bias of < 2⁻⁶⁴ is irrelevant here.
+                let v = ((rng.next_u64() as u128 * width) >> 64) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+/// Standard generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's reproducible generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the reference seeding for xoshiro.
+            let mut sm = seed;
+            let mut next = move || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_reproducible_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..10).map(|_| a.gen_range(0.0..1.0)).collect();
+        let ys: Vec<f64> = (0..10).map(|_| b.gen_range(0.0..1.0)).collect();
+        let zs: Vec<f64> = (0..10).map(|_| c.gen_range(0.0..1.0)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn float_ranges_are_respected_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn int_ranges_cover_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1000 {
+            let v = rng.gen_range(-3i32..3);
+            assert!((-3..3).contains(&v));
+        }
+    }
+}

@@ -156,12 +156,26 @@ impl SstWriter {
 
     /// Publish one block of an `f64` variable.
     pub fn put_f64(&mut self, name: &str, global_count: u64, offset: u64, data: &[f64]) {
-        self.put_bytes(name, Dtype::F64, global_count, offset, data.len() as u64, f64_to_bytes(data));
+        self.put_bytes(
+            name,
+            Dtype::F64,
+            global_count,
+            offset,
+            data.len() as u64,
+            f64_to_bytes(data),
+        );
     }
 
     /// Publish one block of an `f32` variable.
     pub fn put_f32(&mut self, name: &str, global_count: u64, offset: u64, data: &[f32]) {
-        self.put_bytes(name, Dtype::F32, global_count, offset, data.len() as u64, f32_to_bytes(data));
+        self.put_bytes(
+            name,
+            Dtype::F32,
+            global_count,
+            offset,
+            data.len() as u64,
+            f32_to_bytes(data),
+        );
     }
 
     /// Publish a raw block.
@@ -178,14 +192,19 @@ impl SstWriter {
         self.stats.add_bytes(data.len() as u64);
         let mut st = self.core.state.lock();
         let vars = st.pending.get_mut(&step).expect("pending step exists");
-        let var = vars.entry(name.to_string()).or_insert_with(|| VariableMeta {
-            name: name.to_string(),
-            dtype,
-            global_count,
-            blocks: Vec::new(),
-        });
+        let var = vars
+            .entry(name.to_string())
+            .or_insert_with(|| VariableMeta {
+                name: name.to_string(),
+                dtype,
+                global_count,
+                blocks: Vec::new(),
+            });
         assert_eq!(var.dtype, dtype, "dtype mismatch on {name}");
-        assert_eq!(var.global_count, global_count, "global count mismatch on {name}");
+        assert_eq!(
+            var.global_count, global_count,
+            "global count mismatch on {name}"
+        );
         var.blocks.push(Block {
             writer_rank: self.rank,
             offset,
@@ -196,7 +215,10 @@ impl SstWriter {
 
     /// Close the step; the last writer to arrive validates and publishes.
     pub fn end_step(&mut self) {
-        let step = self.current_step.take().expect("end_step without begin_step");
+        let step = self
+            .current_step
+            .take()
+            .expect("end_step without begin_step");
         self.next_step = step + 1;
         let mut st = self.core.state.lock();
         let arrivals = st.end_arrivals.entry(step).or_insert(0);
@@ -309,7 +331,11 @@ impl ReadStep {
     /// Fetch the full global `f64` array, assembling all blocks (counts
     /// simulated wire time on this reader).
     pub fn get_f64(&mut self, name: &str) -> Vec<f64> {
-        let var = self.data.vars.get(name).unwrap_or_else(|| panic!("no variable {name}"));
+        let var = self
+            .data
+            .vars
+            .get(name)
+            .unwrap_or_else(|| panic!("no variable {name}"));
         assert_eq!(var.dtype, Dtype::F64, "variable {name} is not f64");
         let mut out = vec![0.0f64; var.global_count as usize];
         let mut bytes = 0u64;
@@ -326,7 +352,11 @@ impl ReadStep {
 
     /// Fetch the full global `f32` array.
     pub fn get_f32(&mut self, name: &str) -> Vec<f32> {
-        let var = self.data.vars.get(name).unwrap_or_else(|| panic!("no variable {name}"));
+        let var = self
+            .data
+            .vars
+            .get(name)
+            .unwrap_or_else(|| panic!("no variable {name}"));
         assert_eq!(var.dtype, Dtype::F32, "variable {name} is not f32");
         let mut out = vec![0.0f32; var.global_count as usize];
         let mut bytes = 0u64;
@@ -344,7 +374,11 @@ impl ReadStep {
     /// Fetch only the blocks written by `writer_rank` (the intra-node
     /// locality pattern of §IV-D: "data is shared within node boundaries").
     pub fn get_f64_from_rank(&mut self, name: &str, writer_rank: usize) -> Vec<(u64, Vec<f64>)> {
-        let var = self.data.vars.get(name).unwrap_or_else(|| panic!("no variable {name}"));
+        let var = self
+            .data
+            .vars
+            .get(name)
+            .unwrap_or_else(|| panic!("no variable {name}"));
         assert_eq!(var.dtype, Dtype::F64);
         let mut out = Vec::new();
         let mut bytes = 0u64;

@@ -208,8 +208,9 @@ mod tests {
         });
         let upstream = pr.remove(0);
         let downstream = rw.remove(0);
-        let relay =
-            std::thread::spawn(move || run_fanin_relay(upstream, downstream, |_| Reduction::Identity));
+        let relay = std::thread::spawn(move || {
+            run_fanin_relay(upstream, downstream, |_| Reduction::Identity)
+        });
         let mut r = rr.remove(0);
         let mut step = r.begin_step().expect("step");
         assert_eq!(step.get_f64("a"), vec![1.0, 2.0, 3.0, 4.0]);

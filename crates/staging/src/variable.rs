@@ -59,7 +59,10 @@ pub struct VariableMeta {
 impl VariableMeta {
     /// Total payload bytes across blocks.
     pub fn payload_bytes(&self) -> u64 {
-        self.blocks.iter().map(|b| b.count * self.dtype.size() as u64).sum()
+        self.blocks
+            .iter()
+            .map(|b| b.count * self.dtype.size() as u64)
+            .sum()
     }
 
     /// Verify blocks tile the global extent without overlap.

@@ -38,7 +38,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         }
     };
     if m * n >= PAR_THRESHOLD {
-        out.data_mut().par_chunks_mut(n).enumerate().for_each(kernel);
+        out.data_mut()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(kernel);
     } else {
         out.data_mut().chunks_mut(n).enumerate().for_each(kernel);
     }
@@ -65,7 +68,10 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
         }
     };
     if m * n >= PAR_THRESHOLD {
-        out.data_mut().par_chunks_mut(n).enumerate().for_each(kernel);
+        out.data_mut()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(kernel);
     } else {
         out.data_mut().chunks_mut(n).enumerate().for_each(kernel);
     }
@@ -95,7 +101,10 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
         }
     };
     if m * n >= PAR_THRESHOLD {
-        out.data_mut().par_chunks_mut(n).enumerate().for_each(kernel);
+        out.data_mut()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(kernel);
     } else {
         out.data_mut().chunks_mut(n).enumerate().for_each(kernel);
     }
@@ -103,7 +112,12 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 fn mat_dims(t: &Tensor, name: &str) -> (usize, usize) {
-    assert_eq!(t.shape().rank(), 2, "{name} must be a matrix, got {}", t.shape());
+    assert_eq!(
+        t.shape().rank(),
+        2,
+        "{name} must be a matrix, got {}",
+        t.shape()
+    );
     (t.shape().dim(0), t.shape().dim(1))
 }
 

@@ -84,7 +84,11 @@ mod tests {
     fn standard_normal_moments() {
         let t = TensorRng::seeded(1).standard_normal([50_000]);
         let mean = t.mean();
-        let var = t.data().iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>()
+        let var = t
+            .data()
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
             / t.numel() as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.03, "var {var}");

@@ -15,7 +15,13 @@ impl std::fmt::Debug for Tensor {
         if self.data.len() <= 8 {
             write!(f, "{:?}", self.data)
         } else {
-            write!(f, "[{}, {}, …; n={}]", self.data[0], self.data[1], self.data.len())
+            write!(
+                f,
+                "[{}, {}, …; n={}]",
+                self.data[0],
+                self.data[1],
+                self.data.len()
+            )
         }
     }
 }
@@ -110,7 +116,11 @@ impl Tensor {
     /// Reinterpret with a new shape of identical element count.
     pub fn reshape(mut self, shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        assert_eq!(shape.numel(), self.data.len(), "reshape must preserve numel");
+        assert_eq!(
+            shape.numel(),
+            self.data.len(),
+            "reshape must preserve numel"
+        );
         self.shape = shape;
         self
     }
@@ -277,7 +287,11 @@ impl Tensor {
         assert_eq!(self.shape.rank(), 2, "split_cols expects a matrix");
         let rows = self.shape.dim(0);
         let cols = self.shape.dim(1);
-        assert_eq!(widths.iter().sum::<usize>(), cols, "split widths must cover columns");
+        assert_eq!(
+            widths.iter().sum::<usize>(),
+            cols,
+            "split widths must cover columns"
+        );
         let mut outs: Vec<Tensor> = widths.iter().map(|&w| Tensor::zeros([rows, w])).collect();
         for i in 0..rows {
             let mut col = 0usize;

@@ -24,7 +24,12 @@ fn main() {
     println!(
         "streamed {} samples; loss {:.3} → {:.3}",
         report.consumer.samples,
-        report.consumer.losses.first().map(|l| l.total).unwrap_or(f64::NAN),
+        report
+            .consumer
+            .losses
+            .first()
+            .map(|l| l.total)
+            .unwrap_or(f64::NAN),
         report.tail_loss(6)
     );
 
@@ -51,7 +56,15 @@ fn main() {
 
     println!();
     println!("=== inversion: radiation → momentum distribution ===");
-    let eval = InversionEval::run(&cfg, &report.consumer.model, &sim, &rad, 48, (-1.0, 1.0), 21);
+    let eval = InversionEval::run(
+        &cfg,
+        &report.consumer.model,
+        &sim,
+        &rad,
+        48,
+        (-1.0, 1.0),
+        21,
+    );
     for r in &eval.regions {
         println!(
             "{:<26} GT mean p_x {:+.3} ({} mode(s)) → ML mean {:+.3} ({} mode(s))",

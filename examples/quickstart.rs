@@ -33,7 +33,12 @@ fn main() {
     );
     println!(
         "loss (Eq. 1): first {:.3} → last {:.3}",
-        report.consumer.losses.first().map(|l| l.total).unwrap_or(f64::NAN),
+        report
+            .consumer
+            .losses
+            .first()
+            .map(|l| l.total)
+            .unwrap_or(f64::NAN),
         report.tail_loss(4)
     );
 

@@ -91,7 +91,11 @@ fn distributed_radiation_merge_matches_single_rank() {
     for (a, b) in results[0].iter().flatten().zip(results[1].iter().flatten()) {
         assert!((a - b).abs() <= 1e-9 * a.abs().max(1e-12));
     }
-    for (got, want) in results[0].iter().flatten().zip(ref_intensity.iter().flatten()) {
+    for (got, want) in results[0]
+        .iter()
+        .flatten()
+        .zip(ref_intensity.iter().flatten())
+    {
         let scale = want.abs().max(1e-20);
         assert!(
             (got - want).abs() / scale < 1e-6,

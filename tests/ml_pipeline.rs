@@ -50,11 +50,10 @@ fn latent_space_separates_flow_directions() {
             let pick = |src: &[f64]| -> Vec<f64> { idx.iter().map(|&i| src[i]).collect() };
             let (rx, ry, rz) = (pick(&sp.x), pick(&sp.y), pick(&sp.z));
             let (rux, ruy, ruz) = (pick(&sp.ux), pick(&sp.uy), pick(&sp.uz));
-            let (center, half) =
-                artificial_scientist::core::consumer::bounding_box(&rx, &ry, &rz);
-            let pts = cfg.encode.encode_points(
-                &rx, &ry, &rz, &rux, &ruy, &ruz, center, half, &mut rng,
-            );
+            let (center, half) = artificial_scientist::core::consumer::bounding_box(&rx, &ry, &rz);
+            let pts = cfg
+                .encode
+                .encode_points(&rx, &ry, &rz, &rux, &ruy, &ruz, center, half, &mut rng);
             clouds.push(pts);
             labels.push(class);
             let _ = trial;
@@ -125,8 +124,14 @@ fn ddp_matches_single_process_convergence() {
     let d_tail = artificial_scientist::nn::ddp::tail_loss(&ddp, 4);
     let s_tail = artificial_scientist::nn::ddp::tail_loss(&single, 4);
     assert!(d_tail.is_finite() && s_tail.is_finite());
-    assert!(d_tail < d_head, "DDP must make progress: {d_head} → {d_tail}");
-    assert!(s_tail < s_head, "single must make progress: {s_head} → {s_tail}");
+    assert!(
+        d_tail < d_head,
+        "DDP must make progress: {d_head} → {d_tail}"
+    );
+    assert!(
+        s_tail < s_head,
+        "single must make progress: {s_head} → {s_tail}"
+    );
     assert!(
         d_tail / s_tail < 3.0 && s_tail / d_tail < 3.0,
         "DDP and single-process convergence diverged: {d_tail} vs {s_tail}"

@@ -22,9 +22,11 @@ fn pipeline_runs_and_produces_finite_losses() {
     assert_eq!(report.consumer.windows, 4);
     assert!(report.consumer.samples >= 8);
     assert!(!report.consumer.losses.is_empty());
-    assert!(report.consumer.losses.iter().all(|l| {
-        l.total.is_finite() && l.cd.is_finite() && l.mmd_z.is_finite()
-    }));
+    assert!(report
+        .consumer
+        .losses
+        .iter()
+        .all(|l| { l.total.is_finite() && l.cd.is_finite() && l.mmd_z.is_finite() }));
 }
 
 #[test]
