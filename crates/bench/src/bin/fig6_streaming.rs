@@ -49,8 +49,8 @@ fn real_engine_run() {
         rad_report.bytes as f64 / 1e6
     );
     println!(
-        "  producer: {} PIC steps, {:.2}s simulation, {:.2}s emit+stall",
-        prod.steps, prod.sim_seconds, prod.stall_seconds
+        "  producer: {} PIC steps, {:.2}s simulation, {:.2}s emit ({:.2}s queue stall)",
+        prod.steps, prod.sim_seconds, prod.emit_seconds, prod.stall_seconds
     );
 }
 

@@ -1,0 +1,145 @@
+//! Coupled-workflow scaling: the M-producer × K-consumer topology sweep.
+//!
+//! The paper's headline is the *coupled loop* at scale — many simulation
+//! ranks streaming into data-parallel learner ranks (§IV-B–D, Fig. 8).
+//! This harness runs the real end-to-end workflow (`run_workflow`) on the
+//! small KHI box for a fixed seed across topologies M×K ∈
+//! {1×1, 2×1, 2×2, 4×2} and records, per topology:
+//!
+//! - **windows/s** — streamed emission windows per wall second,
+//! - **stall fraction** — producer wall time lost to staging
+//!   back-pressure (the honest queue-blocked time, not emit wall time),
+//! - **tail loss** — mean total loss of the last training iterations,
+//!
+//! and writes `BENCH_workflow.json`. Pass `--smoke` for the CI-sized
+//! run, `--steps/--steps-per-sample/--n-rep/--out` to override.
+
+use as_core::config::WorkflowConfig;
+use as_core::workflow::run_workflow;
+
+struct Args {
+    steps: usize,
+    steps_per_sample: usize,
+    n_rep: u32,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        steps: 48,
+        steps_per_sample: 4,
+        n_rep: 6,
+        out: "BENCH_workflow.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--steps" => a.steps = val().parse().expect("--steps"),
+            "--steps-per-sample" => a.steps_per_sample = val().parse().expect("--steps-per-sample"),
+            "--n-rep" => a.n_rep = val().parse().expect("--n-rep"),
+            "--out" => a.out = val(),
+            "--smoke" => {
+                a.steps = 16;
+                a.n_rep = 2;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    a
+}
+
+struct TopoRow {
+    producers: usize,
+    consumers: usize,
+    windows: u64,
+    wall_seconds: f64,
+    windows_per_sec: f64,
+    stall_seconds: f64,
+    stall_fraction: f64,
+    bytes: u64,
+    samples: u64,
+    iterations: usize,
+    tail_loss: f64,
+}
+
+fn main() {
+    let a = parse_args();
+    let topologies = [(1usize, 1usize), (2, 1), (2, 2), (4, 2)];
+    let mut rows: Vec<TopoRow> = Vec::new();
+
+    for (m, k) in topologies {
+        let mut cfg = WorkflowConfig::small();
+        cfg.total_steps = a.steps;
+        cfg.steps_per_sample = a.steps_per_sample;
+        cfg.n_rep = a.n_rep;
+        cfg.producers = m;
+        cfg.consumers = k;
+        eprintln!(
+            "fig_workflow_scaling: {m}×{k} ({} steps, window every {}, n_rep {})",
+            a.steps, a.steps_per_sample, a.n_rep
+        );
+        let report = run_workflow(&cfg);
+        let samples: u64 = report.consumer_summaries.iter().map(|s| s.samples).sum();
+        let consumed = report.consumed_windows();
+        assert_eq!(
+            consumed.len() as u64,
+            report.producer.windows,
+            "{m}×{k}: every window must be consumed exactly once"
+        );
+        let h0 = report.consumer_summaries[0].param_hash;
+        assert!(
+            report.consumer_summaries.iter().all(|s| s.param_hash == h0),
+            "{m}×{k}: learner ranks must stay bit-identical"
+        );
+        let row = TopoRow {
+            producers: m,
+            consumers: k,
+            windows: report.producer.windows,
+            wall_seconds: report.wall_seconds,
+            windows_per_sec: report.windows_per_second(),
+            stall_seconds: report.producer.stall_seconds,
+            stall_fraction: report.producer.stall_fraction(),
+            bytes: report.producer.bytes,
+            samples,
+            iterations: report.consumer.losses.len(),
+            tail_loss: report.tail_loss(4),
+        };
+        eprintln!(
+            "  {:>4.1} windows/s  stall {:5.1} %  tail loss {:.4}",
+            row.windows_per_sec,
+            row.stall_fraction * 100.0,
+            row.tail_loss
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"workflow_scaling\",\n");
+    json.push_str(&format!(
+        "  \"total_steps\": {},\n  \"steps_per_sample\": {},\n  \"n_rep\": {},\n  \"topologies\": [\n",
+        a.steps, a.steps_per_sample, a.n_rep
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"producers\": {}, \"consumers\": {}, \"windows\": {}, \"wall_seconds\": {:.4}, \"windows_per_sec\": {:.3}, \"stall_seconds\": {:.4}, \"stall_fraction\": {:.4}, \"bytes\": {}, \"samples\": {}, \"iterations\": {}, \"tail_loss\": {:.6}}}{}\n",
+            r.producers,
+            r.consumers,
+            r.windows,
+            r.wall_seconds,
+            r.windows_per_sec,
+            r.stall_seconds,
+            r.stall_fraction,
+            r.bytes,
+            r.samples,
+            r.iterations,
+            r.tail_loss,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&a.out, &json).expect("write BENCH_workflow.json");
+    println!("{json}");
+}

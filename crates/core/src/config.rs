@@ -68,6 +68,14 @@ pub struct WorkflowConfig {
     pub plane: DataPlane,
     /// Staging queue limit (in-flight steps before the producer stalls).
     pub queue_limit: usize,
+    /// Simulation (writer) ranks: the KHI box is slab-decomposed along x
+    /// into this many shards, one producer thread each. Must divide
+    /// `grid.nx`. `1` keeps the original single-domain producer path.
+    pub producers: usize,
+    /// Learner (reader) ranks: each consumes its round-robin share of the
+    /// streamed windows and trains data-parallel, averaging gradients
+    /// every iteration. `1` keeps the original single-consumer path.
+    pub consumers: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -103,6 +111,8 @@ impl WorkflowConfig {
             placement: Placement::IntraNode,
             plane: DataPlane::Mpi,
             queue_limit: 2,
+            producers: 1,
+            consumers: 1,
             seed: 1,
             model,
         }
@@ -128,6 +138,22 @@ impl WorkflowConfig {
     pub fn samples_per_window(&self) -> usize {
         3
     }
+
+    /// Panics unless the M×K streaming topology is consistent: at least
+    /// one rank on each side and an even slab split of the grid.
+    pub fn validate_topology(&self) {
+        assert!(
+            self.producers >= 1 && self.consumers >= 1,
+            "topology needs at least one producer and one consumer"
+        );
+        assert_eq!(
+            self.grid.nx % self.producers,
+            0,
+            "grid.nx = {} must divide evenly into {} producer slabs",
+            self.grid.nx,
+            self.producers
+        );
+    }
 }
 
 #[cfg(test)]
@@ -138,8 +164,29 @@ mod tests {
     fn small_config_is_consistent() {
         let c = WorkflowConfig::small();
         c.grid.validate();
+        c.validate_topology();
         assert_eq!(c.detector.n_freqs(), c.model.spectrum_dim);
         assert!(c.n_rep >= 1);
+        assert_eq!((c.producers, c.consumers), (1, 1), "legacy 1×1 default");
+    }
+
+    #[test]
+    fn small_grid_admits_the_benchmark_topologies() {
+        // The fig_workflow_scaling sweep needs 1, 2 and 4 producer slabs.
+        for m in [1usize, 2, 4] {
+            let mut c = WorkflowConfig::small();
+            c.producers = m;
+            c.consumers = 2;
+            c.validate_topology();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn uneven_slab_split_is_rejected() {
+        let mut c = WorkflowConfig::small();
+        c.producers = 5; // 12 cells across 5 slabs
+        c.validate_topology();
     }
 
     #[test]

@@ -3,11 +3,29 @@
 //! Receives particle and radiation iterations, encodes per-region
 //! training samples, feeds the experience-replay buffer and trains the
 //! VAE+INN `n_rep` iterations per streamed window (§IV-C).
+//!
+//! Two drivers share the per-window encoding path:
+//! - [`run_consumer`]: the original single-rank consumer — the exact
+//!   legacy 1×1 behaviour (same seeds, same iteration order);
+//! - [`run_ddp_consumer`]: one rank of a K-way data-parallel learner
+//!   group. Every rank sees every streamed step (SST semantics) but only
+//!   the round-robin owner (`window % K == rank`) fetches the payload and
+//!   feeds its rank-local replay buffer; training is synchronous, with
+//!   gradients averaged through [`as_nn::ddp::sync_gradients`] every
+//!   iteration, which keeps parameters bit-identical across ranks
+//!   (asserted each iteration via [`as_nn::ddp::param_hash`]).
+//!
+//! If the two streams end out of sync (a producer dying between the
+//! particle and radiation emission of a window), the consumer drains the
+//! longer stream and reports the mismatch in
+//! [`ConsumerReport::orphaned_windows`] instead of panicking.
 
 use crate::config::WorkflowConfig;
 use crate::encode::{batch_to_tensors, Sample};
+use as_cluster::comm::Communicator;
+use as_nn::ddp::{param_hash, sync_gradients};
 use as_nn::model::{ArtificialScientistModel, LossReport, ModelOptimizer};
-use as_openpmd::reader::OpenPmdReader;
+use as_openpmd::reader::{IterationData, OpenPmdReader};
 use as_pic::diag::FlowRegion;
 use as_radiation::spectrum::Spectrum;
 use as_replay::buffer::TrainingBuffer;
@@ -17,23 +35,35 @@ use as_tensor::TensorRng;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Consumer-side outcome.
+/// Consumer-side outcome (one rank).
 pub struct ConsumerReport {
     /// The trained model.
     pub model: ArtificialScientistModel,
-    /// Loss after every training iteration.
+    /// Loss after every training iteration (rank-mean in DDP mode).
     pub losses: Vec<LossReport>,
-    /// Windows received from the stream.
+    /// Windows received from the stream (every rank sees every window).
     pub windows: u64,
-    /// Samples pushed into the training buffer.
+    /// Samples pushed into this rank's training buffer.
     pub samples: u64,
     /// Wall seconds spent in training iterations.
     pub train_seconds: f64,
-    /// Bytes fetched from the particle stream.
+    /// Bytes fetched from the particle stream by this rank.
     pub particle_bytes: u64,
+    /// This rank's index in the learner group (0 for the single consumer).
+    pub rank: usize,
+    /// Learner group size (1 for the single consumer).
+    pub world: usize,
+    /// PIC iteration indices of the windows this rank owned (fetched and
+    /// encoded). Across ranks these partition the stream exactly once.
+    pub owned_windows: Vec<u64>,
+    /// Windows left on one stream after the other ended — nonzero only
+    /// when the producer died between the two emissions of a window.
+    pub orphaned_windows: u64,
+    /// FNV-1a hash of the final parameter bits (DDP sync witness).
+    pub param_hash: u64,
 }
 
-/// Run the consumer until the streams end.
+/// Run the single-rank consumer until the streams end (legacy 1×1 path).
 pub fn run_consumer(
     cfg: &WorkflowConfig,
     particle_stream: SstReader,
@@ -52,6 +82,8 @@ pub fn run_consumer(
     let mut windows = 0u64;
     let mut samples = 0u64;
     let mut train_seconds = 0.0;
+    let mut owned_windows = Vec::new();
+    let mut orphaned_windows = 0u64;
 
     loop {
         let p_it = p_reader.next_iteration();
@@ -59,57 +91,20 @@ pub fn run_consumer(
         let (mut p_it, mut r_it) = match (p_it, r_it) {
             (Some(a), Some(b)) => (a, b),
             (None, None) => break,
-            _ => panic!("particle and radiation streams ended out of sync"),
+            (Some(a), None) => {
+                p_reader.close_iteration(a);
+                orphaned_windows += 1 + drain_stream(&mut p_reader);
+                break;
+            }
+            (None, Some(b)) => {
+                r_reader.close_iteration(b);
+                orphaned_windows += 1 + drain_stream(&mut r_reader);
+                break;
+            }
         };
         windows += 1;
-
-        // Fetch phase space.
-        let xs = p_it.particles("e", "position", "x");
-        let ys = p_it.particles("e", "position", "y");
-        let zs = p_it.particles("e", "position", "z");
-        let uxs = p_it.particles("e", "momentum", "x");
-        let uys = p_it.particles("e", "momentum", "y");
-        let uzs = p_it.particles("e", "momentum", "z");
-        let step = p_it.iteration;
-
-        // Build one sample per flow region.
-        let (_, ly, _) = cfg.grid.extents();
-        for (region_idx, _region) in FlowRegion::all().iter().enumerate() {
-            let idx: Vec<usize> = (0..xs.len())
-                .filter(|&i| region_of(ys[i], ly, cfg.shear_width) == region_idx)
-                .collect();
-            if idx.is_empty() {
-                continue;
-            }
-            let pick = |src: &[f64]| -> Vec<f64> { idx.iter().map(|&i| src[i]).collect() };
-            let (rx, ry, rz) = (pick(&xs), pick(&ys), pick(&zs));
-            let (rux, ruy, ruz) = (pick(&uxs), pick(&uys), pick(&uzs));
-            let (center, half) = bounding_box(&rx, &ry, &rz);
-            let points = cfg.encode.encode_points(
-                &rx,
-                &ry,
-                &rz,
-                &rux,
-                &ruy,
-                &ruz,
-                center,
-                half,
-                &mut enc_rng,
-            );
-            let flat = r_it.f32_array(&format!("radiation/region{region_idx}/intensity"));
-            // First direction's spectrum conditions the INN.
-            let n_f = cfg.detector.n_freqs();
-            let intensity: Vec<f64> = flat[..n_f].iter().map(|&v| v as f64).collect();
-            let spec = Spectrum::new(cfg.detector.frequencies.clone(), intensity);
-            let spectrum = cfg.encode.encode_spectrum(&spec, cfg.model.spectrum_dim);
-            buffer.push(Sample {
-                points,
-                spectrum,
-                region: region_idx,
-                step,
-            });
-            samples += 1;
-        }
+        owned_windows.push(p_it.iteration);
+        samples += encode_window(cfg, &mut p_it, &mut r_it, &mut enc_rng, &mut buffer);
         p_reader.close_iteration(p_it);
         r_reader.close_iteration(r_it);
 
@@ -129,6 +124,7 @@ pub fn run_consumer(
     }
 
     let particle_bytes = p_reader.stats().total_bytes();
+    let hash = param_hash(&mut model);
     ConsumerReport {
         model,
         losses: report_losses,
@@ -136,7 +132,210 @@ pub fn run_consumer(
         samples,
         train_seconds,
         particle_bytes,
+        rank: 0,
+        world: 1,
+        owned_windows,
+        orphaned_windows,
+        param_hash: hash,
     }
+}
+
+/// Run one rank of a K-way data-parallel consumer group until the
+/// streams end.
+///
+/// `comm` spans the learner ranks. Window ownership is round-robin in
+/// stream order; training is synchronous and gradient-averaged every
+/// iteration, so every rank holds bit-identical parameters throughout
+/// (asserted). Iterations only run once *every* rank can draw a batch —
+/// the go/no-go is collective, keeping the allreduce schedule identical
+/// on all ranks.
+pub fn run_ddp_consumer(
+    cfg: &WorkflowConfig,
+    comm: Communicator,
+    particle_stream: SstReader,
+    radiation_stream: SstReader,
+) -> ConsumerReport {
+    let rank = comm.rank();
+    let world = comm.size();
+    // Different data/noise streams per rank, identical weights — the same
+    // seeding discipline as `as_nn::ddp::train_ddp`.
+    let rank_mix = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rank as u64 + 1);
+    let mut p_reader = OpenPmdReader::new(particle_stream);
+    let mut r_reader = OpenPmdReader::new(radiation_stream);
+    let mut model = ArtificialScientistModel::new(cfg.model.clone(), cfg.seed);
+    let mut opt = ModelOptimizer::new(cfg.adam, cfg.m_vae);
+    let mut buffer: TrainingBuffer<Sample> =
+        TrainingBuffer::new(cfg.buffer, cfg.seed ^ 0xEB ^ rank_mix);
+    let mut schedule = ReplaySchedule::new(cfg.n_rep, StallPolicy::StallProducer);
+    let mut enc_rng = StdRng::seed_from_u64(cfg.seed ^ 0xE0C0DE ^ rank_mix);
+    let mut train_rng = TensorRng::seeded(cfg.seed ^ 0x7241 ^ rank_mix);
+
+    let mut report_losses = Vec::new();
+    let mut windows = 0u64;
+    let mut samples = 0u64;
+    let mut train_seconds = 0.0;
+    let mut owned_windows = Vec::new();
+    let mut orphaned_windows = 0u64;
+
+    loop {
+        let p_it = p_reader.next_iteration();
+        let r_it = r_reader.next_iteration();
+        let (mut p_it, mut r_it) = match (p_it, r_it) {
+            (Some(a), Some(b)) => (a, b),
+            (None, None) => break,
+            (Some(a), None) => {
+                p_reader.close_iteration(a);
+                orphaned_windows += 1 + drain_stream(&mut p_reader);
+                break;
+            }
+            (None, Some(b)) => {
+                r_reader.close_iteration(b);
+                orphaned_windows += 1 + drain_stream(&mut r_reader);
+                break;
+            }
+        };
+        let slot = windows;
+        windows += 1;
+        if slot % world as u64 == rank as u64 {
+            samples += encode_window(cfg, &mut p_it, &mut r_it, &mut enc_rng, &mut buffer);
+            owned_windows.push(p_it.iteration);
+        }
+        p_reader.close_iteration(p_it);
+        r_reader.close_iteration(r_it);
+
+        schedule.on_step();
+        while schedule.should_train() {
+            // Collective go/no-go: every rank must be able to draw a
+            // batch before a synchronous iteration can run. Until the
+            // last rank owns its first window this skips, and the owed
+            // iterations are recovered on later windows.
+            let ready = comm.allreduce_scalar_f64(if buffer.ready() { 1.0 } else { 0.0 });
+            if (ready.round() as usize) < world {
+                break;
+            }
+            let t0 = std::time::Instant::now();
+            let batch = buffer.sample_batch();
+            let (points, spectra) = batch_to_tensors(&batch, &cfg.model);
+            model.zero_grad();
+            let local = model.accumulate_gradients(&points, &spectra, &mut train_rng);
+            sync_gradients(&comm, &mut model);
+            opt.step(&mut model);
+            train_seconds += t0.elapsed().as_secs_f64();
+            report_losses.push(mean_loss(&comm, &local, world));
+            schedule.on_iteration();
+            // DDP invariant: identical averaged gradients applied to
+            // identical optimizer state ⇒ bit-identical parameters.
+            let h = param_hash(&mut model);
+            let hashes = comm.allgather(h);
+            assert!(
+                hashes.iter().all(|&x| x == h),
+                "DDP consumer ranks diverged after iteration {}: {hashes:?}",
+                report_losses.len()
+            );
+        }
+    }
+
+    let particle_bytes = p_reader.stats().total_bytes();
+    let hash = param_hash(&mut model);
+    ConsumerReport {
+        model,
+        losses: report_losses,
+        windows,
+        samples,
+        train_seconds,
+        particle_bytes,
+        rank,
+        world,
+        owned_windows,
+        orphaned_windows,
+        param_hash: hash,
+    }
+}
+
+/// Close every remaining iteration of a stream whose partner ended early,
+/// returning how many were discarded. Closing (rather than abandoning)
+/// lets the surviving writer finish instead of wedging on the queue.
+fn drain_stream(reader: &mut OpenPmdReader) -> u64 {
+    let mut n = 0;
+    while let Some(it) = reader.next_iteration() {
+        reader.close_iteration(it);
+        n += 1;
+    }
+    n
+}
+
+/// Rank-mean of every loss component (what DDP training curves log).
+fn mean_loss(comm: &Communicator, local: &LossReport, world: usize) -> LossReport {
+    let mut buf = [
+        local.cd,
+        local.kl,
+        local.mse,
+        local.mmd_z,
+        local.mmd_n,
+        local.total,
+    ];
+    comm.allreduce_sum_f64(&mut buf);
+    let inv = 1.0 / world as f64;
+    LossReport {
+        cd: buf[0] * inv,
+        kl: buf[1] * inv,
+        mse: buf[2] * inv,
+        mmd_z: buf[3] * inv,
+        mmd_n: buf[4] * inv,
+        total: buf[5] * inv,
+    }
+}
+
+/// Fetch one window's phase space and spectra and push one sample per
+/// non-empty flow region into `buffer`; returns the samples added.
+fn encode_window(
+    cfg: &WorkflowConfig,
+    p_it: &mut IterationData,
+    r_it: &mut IterationData,
+    enc_rng: &mut StdRng,
+    buffer: &mut TrainingBuffer<Sample>,
+) -> u64 {
+    // Fetch phase space.
+    let xs = p_it.particles("e", "position", "x");
+    let ys = p_it.particles("e", "position", "y");
+    let zs = p_it.particles("e", "position", "z");
+    let uxs = p_it.particles("e", "momentum", "x");
+    let uys = p_it.particles("e", "momentum", "y");
+    let uzs = p_it.particles("e", "momentum", "z");
+    let step = p_it.iteration;
+    let mut samples = 0u64;
+
+    // Build one sample per flow region.
+    let (_, ly, _) = cfg.grid.extents();
+    for (region_idx, _region) in FlowRegion::all().iter().enumerate() {
+        let idx: Vec<usize> = (0..xs.len())
+            .filter(|&i| region_of(ys[i], ly, cfg.shear_width) == region_idx)
+            .collect();
+        if idx.is_empty() {
+            continue;
+        }
+        let pick = |src: &[f64]| -> Vec<f64> { idx.iter().map(|&i| src[i]).collect() };
+        let (rx, ry, rz) = (pick(&xs), pick(&ys), pick(&zs));
+        let (rux, ruy, ruz) = (pick(&uxs), pick(&uys), pick(&uzs));
+        let (center, half) = bounding_box(&rx, &ry, &rz);
+        let points = cfg
+            .encode
+            .encode_points(&rx, &ry, &rz, &rux, &ruy, &ruz, center, half, enc_rng);
+        let flat = r_it.f32_array(&format!("radiation/region{region_idx}/intensity"));
+        // First direction's spectrum conditions the INN.
+        let n_f = cfg.detector.n_freqs();
+        let intensity: Vec<f64> = flat[..n_f].iter().map(|&v| v as f64).collect();
+        let spec = Spectrum::new(cfg.detector.frequencies.clone(), intensity);
+        let spectrum = cfg.encode.encode_spectrum(&spec, cfg.model.spectrum_dim);
+        buffer.push(Sample {
+            points,
+            spectrum,
+            region: region_idx,
+            step,
+        });
+        samples += 1;
+    }
+    samples
 }
 
 fn region_of(y: f64, ly: f64, shear_width: f64) -> usize {

@@ -20,9 +20,13 @@
 //!   VAE+INN `n_rep` iterations per streamed step;
 //! - [`noop`] is the synthetic no-op consumer of §IV-B used for the
 //!   streaming scaling study (it only measures and discards);
-//! - [`workflow`] wires producer and consumer threads together under a
-//!   placement policy (intra-node vs inter-node, Fig. 3(c)) and runs the
-//!   whole thing with zero filesystem involvement.
+//! - [`workflow`] wires M producer ranks and K consumer ranks together
+//!   under a placement policy (intra-node vs inter-node, Fig. 3(c)) and
+//!   runs the whole thing with zero filesystem involvement: producers are
+//!   slab shards of one distributed KHI box publishing on a shared
+//!   multi-writer stream pair, consumers train data-parallel with
+//!   gradients averaged every iteration (`WorkflowConfig::{producers,
+//!   consumers}`; `1×1` is the exact legacy single-thread-each path).
 
 pub mod config;
 pub mod consumer;
@@ -35,12 +39,12 @@ pub mod workflow;
 pub use config::{Placement, WorkflowConfig};
 pub use encode::{EncodeConfig, Sample};
 pub use eval::InversionEval;
-pub use workflow::{run_workflow, WorkflowReport};
+pub use workflow::{run_workflow, ConsumerSummary, WorkflowReport};
 
 pub mod prelude {
     //! Common imports for workflow consumers.
     pub use crate::config::{Placement, WorkflowConfig};
     pub use crate::encode::{EncodeConfig, Sample};
     pub use crate::eval::InversionEval;
-    pub use crate::workflow::{run_workflow, WorkflowReport};
+    pub use crate::workflow::{run_workflow, ConsumerSummary, WorkflowReport};
 }

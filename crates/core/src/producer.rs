@@ -5,56 +5,100 @@
 //! radiation amplitudes on a second stream ("two parallel data streams"),
 //! then drops its local copies — the filesystem is never touched. If the
 //! consumer falls behind, the bounded staging queue stalls the simulation
-//! (measured and reported).
+//! (measured and reported as [`ProducerReport::stall_seconds`] — only the
+//! time actually blocked on the full queue, not the emit wall time).
+//!
+//! Two drivers share the emission path:
+//! - [`run_producer`]: the original single-domain producer (one rank owns
+//!   the whole box) — the exact legacy 1×1 behaviour;
+//! - [`run_sharded_producer`]: one rank of an M-way slab decomposition
+//!   ([`as_pic::domain::DistributedSim`]). Each rank publishes its local
+//!   particles as one block of the global multi-writer SST step (offsets
+//!   allgathered per window, since migration moves particles between
+//!   slabs), and the per-region radiation amplitudes are merged across
+//!   ranks by superposition (allreduce) before rank 0 emits the spectra.
 
 use crate::config::WorkflowConfig;
+use as_cluster::comm::Communicator;
 use as_openpmd::attribute::{UnitDimension, Value};
 use as_openpmd::writer::OpenPmdWriter;
+use as_pic::domain::DistributedSim;
 use as_pic::plugin::Plugin;
 use as_pic::sim::Simulation;
 use as_radiation::plugin::{RadiationPlugin, RegionMode};
 use as_staging::engine::SstWriter;
 use std::time::Instant;
 
-/// Producer-side outcome.
+/// Producer-side outcome (one rank).
 #[derive(Debug, Clone)]
 pub struct ProducerReport {
-    /// PIC steps completed.
+    /// PIC steps completed (global step count, not summed over ranks).
     pub steps: u64,
     /// Emission windows published.
     pub windows: u64,
-    /// Total payload bytes published across both streams.
+    /// Payload bytes this rank published across both streams.
     pub bytes: u64,
     /// Wall seconds in the PIC step loop.
     pub sim_seconds: f64,
-    /// Wall seconds blocked on staging back-pressure.
+    /// Wall seconds in window emission (serialisation + publish + stall).
+    pub emit_seconds: f64,
+    /// Wall seconds blocked on staging back-pressure (the bounded SST
+    /// queue at its limit) — a strict subset of `emit_seconds`.
     pub stall_seconds: f64,
 }
 
-/// Run the producer to completion.
+impl ProducerReport {
+    fn zero() -> Self {
+        Self {
+            steps: 0,
+            windows: 0,
+            bytes: 0,
+            sim_seconds: 0.0,
+            emit_seconds: 0.0,
+            stall_seconds: 0.0,
+        }
+    }
+
+    /// Fraction of producer wall time (sim + emit) lost to back-pressure.
+    pub fn stall_fraction(&self) -> f64 {
+        let wall = self.sim_seconds + self.emit_seconds;
+        if wall > 0.0 {
+            self.stall_seconds / wall
+        } else {
+            0.0
+        }
+    }
+}
+
+fn flow_regions(cfg: &WorkflowConfig) -> RadiationPlugin {
+    RadiationPlugin::new(
+        cfg.detector.clone(),
+        RegionMode::FlowRegions {
+            shear_width: cfg.shear_width,
+        },
+        0,
+    )
+}
+
+/// Finish a rank's report from the writer-side stream stats: real
+/// published bytes and real queue-blocked time.
+fn finish_report(report: &mut ProducerReport, pw: &OpenPmdWriter, rw: &OpenPmdWriter) {
+    report.bytes = pw.bytes_published() + rw.bytes_published();
+    report.stall_seconds = pw.stall_seconds() + rw.stall_seconds();
+}
+
+/// Run the single-domain producer to completion (the legacy 1×1 path).
 pub fn run_producer(
     cfg: &WorkflowConfig,
     particle_stream: SstWriter,
     radiation_stream: SstWriter,
 ) -> ProducerReport {
     let mut sim = cfg.khi.build(cfg.grid);
-    let mut radiation = RadiationPlugin::new(
-        cfg.detector.clone(),
-        RegionMode::FlowRegions {
-            shear_width: cfg.shear_width,
-        },
-        0,
-    );
+    let mut radiation = flow_regions(cfg);
     let mut pw = OpenPmdWriter::new(particle_stream);
     let mut rw = OpenPmdWriter::new(radiation_stream);
 
-    let mut report = ProducerReport {
-        steps: 0,
-        windows: 0,
-        bytes: 0,
-        sim_seconds: 0.0,
-        stall_seconds: 0.0,
-    };
+    let mut report = ProducerReport::zero();
 
     for step in 0..cfg.total_steps {
         let t0 = Instant::now();
@@ -65,28 +109,98 @@ pub fn run_producer(
 
         if (step + 1) % cfg.steps_per_sample == 0 {
             let t1 = Instant::now();
-            emit_window(cfg, &sim, &mut radiation, &mut pw, &mut rw);
-            report.stall_seconds += t1.elapsed().as_secs_f64();
+            let n = sim.species[0].len() as u64;
+            emit_window(cfg, &sim, &mut radiation, &mut pw, &mut rw, n, 0);
+            report.emit_seconds += t1.elapsed().as_secs_f64();
             report.windows += 1;
         }
     }
     pw.close();
     rw.close();
-    report.bytes = 0; // filled by caller from stream stats if needed
+    finish_report(&mut report, &pw, &rw);
     report
 }
 
-/// Publish one emission window on both streams.
+/// Run one rank of an M-way sharded producer to completion.
+///
+/// `comm` spans the producer ranks (world size M); the global KHI box is
+/// slab-decomposed along x via [`DistributedSim`]. Every rank contributes
+/// its particle shard to the shared multi-writer particle stream; the
+/// radiation stream carries the rank-merged spectra, written by rank 0.
+pub fn run_sharded_producer(
+    cfg: &WorkflowConfig,
+    comm: Communicator,
+    particle_stream: SstWriter,
+    radiation_stream: SstWriter,
+) -> ProducerReport {
+    let mut d = DistributedSim::new(comm, cfg.grid, cfg.khi.all_species(&cfg.grid));
+    let mut radiation = flow_regions(cfg);
+    let mut pw = OpenPmdWriter::new(particle_stream);
+    let mut rw = OpenPmdWriter::new(radiation_stream);
+
+    let mut report = ProducerReport::zero();
+
+    for step in 0..cfg.total_steps {
+        let t0 = Instant::now();
+        d.step();
+        // The final half-B update leaves ghosts one half-step stale; the
+        // radiation gather needs fresh halos.
+        d.refresh_ghosts();
+        radiation.accumulate_for(&d.local, d.offset_cells as f64);
+        report.sim_seconds += t0.elapsed().as_secs_f64();
+        report.steps += 1;
+
+        if (step + 1) % cfg.steps_per_sample == 0 {
+            let t1 = Instant::now();
+            // Particle ownership moves between slabs via migration, so
+            // the block layout of the global array is re-agreed on every
+            // window: rank r writes [Σ counts[..r], Σ counts[..r+1]).
+            let local_n = d.local.species[0].len() as u64;
+            let counts: Vec<u64> = d.comm().allgather(local_n);
+            let offset: u64 = counts[..d.rank()].iter().sum();
+            let global_n: u64 = counts.iter().sum();
+            // Radiation superposition: amplitudes (not intensities) sum
+            // linearly across ranks; after the allreduce every rank holds
+            // the global window and rank 0 emits it.
+            for acc in radiation.accumulators_mut() {
+                d.comm().allreduce_sum_f64(acc.amplitudes_mut());
+            }
+            emit_window(
+                cfg,
+                &d.local,
+                &mut radiation,
+                &mut pw,
+                &mut rw,
+                global_n,
+                offset,
+            );
+            report.emit_seconds += t1.elapsed().as_secs_f64();
+            report.windows += 1;
+        }
+    }
+    pw.close();
+    rw.close();
+    finish_report(&mut report, &pw, &rw);
+    report
+}
+
+/// Publish one emission window on both streams. `global_n` and `offset`
+/// describe this rank's block of the global particle array (the whole
+/// array for the single-domain producer); the radiation spectra are
+/// written by writer rank 0 only, from the (already rank-merged)
+/// accumulators.
 fn emit_window(
     cfg: &WorkflowConfig,
     sim: &Simulation,
     radiation: &mut RadiationPlugin,
     pw: &mut OpenPmdWriter,
     rw: &mut OpenPmdWriter,
+    global_n: u64,
+    offset: u64,
 ) {
     let it = sim.step_index;
     let sp = &sim.species[0];
-    let n = sp.len() as u64;
+    let n = global_n;
 
     // Particle stream: full phase space of the electrons.
     pw.begin_iteration(it, sim.time, sim.spec.dt);
@@ -99,7 +213,7 @@ fn emit_window(
         UnitDimension::length(),
         u.skin_depth,
         n,
-        0,
+        offset,
         &sp.x,
     );
     pw.write_particles(
@@ -109,7 +223,7 @@ fn emit_window(
         UnitDimension::length(),
         u.skin_depth,
         n,
-        0,
+        offset,
         &sp.y,
     );
     pw.write_particles(
@@ -119,7 +233,7 @@ fn emit_window(
         UnitDimension::length(),
         u.skin_depth,
         n,
-        0,
+        offset,
         &sp.z,
     );
     let p_si = as_pic::units::M_E * as_pic::units::C;
@@ -130,7 +244,7 @@ fn emit_window(
         UnitDimension::momentum(),
         p_si,
         n,
-        0,
+        offset,
         &sp.ux,
     );
     pw.write_particles(
@@ -140,7 +254,7 @@ fn emit_window(
         UnitDimension::momentum(),
         p_si,
         n,
-        0,
+        offset,
         &sp.uy,
     );
     pw.write_particles(
@@ -150,7 +264,7 @@ fn emit_window(
         UnitDimension::momentum(),
         p_si,
         n,
-        0,
+        offset,
         &sp.uz,
     );
     pw.write_particles(
@@ -160,31 +274,35 @@ fn emit_window(
         UnitDimension::none(),
         1.0,
         n,
-        0,
+        offset,
         &sp.w,
     );
     pw.end_iteration();
 
     // Radiation stream: windowed per-region intensity spectra
-    // (dirs × freqs, flattened).
+    // (dirs × freqs, flattened). Writer rank 0 holds the rank-merged
+    // window and publishes it whole; other ranks just join the collective
+    // step commit.
     rw.begin_iteration(it, sim.time, sim.spec.dt);
-    let spectra = radiation.spectra();
-    for (r, region) in spectra.iter().enumerate() {
-        let mut flat: Vec<f64> = Vec::with_capacity(region.len() * cfg.detector.n_freqs());
-        for dir in region {
-            flat.extend_from_slice(&dir.intensity);
+    if rw.rank() == 0 {
+        let spectra = radiation.spectra();
+        for (r, region) in spectra.iter().enumerate() {
+            let mut flat: Vec<f64> = Vec::with_capacity(region.len() * cfg.detector.n_freqs());
+            for dir in region {
+                flat.extend_from_slice(&dir.intensity);
+            }
+            let name = format!("radiation/region{r}/intensity");
+            let len = flat.len() as u64;
+            rw.write_f32_array(
+                &name,
+                len,
+                0,
+                &flat.iter().map(|&v| v as f32).collect::<Vec<f32>>(),
+            );
         }
-        let name = format!("radiation/region{r}/intensity");
-        let len = flat.len() as u64;
-        rw.write_f32_array(
-            &name,
-            len,
-            0,
-            &flat.iter().map(|&v| v as f32).collect::<Vec<f32>>(),
-        );
+        rw.set_attribute("n_regions", Value::I64(spectra.len() as i64));
+        rw.set_attribute("window_steps", Value::I64(radiation.window_len() as i64));
     }
-    rw.set_attribute("n_regions", Value::I64(spectra.len() as i64));
-    rw.set_attribute("window_steps", Value::I64(radiation.window_len() as i64));
     rw.end_iteration();
     let _ = radiation.take_window();
 }
@@ -230,5 +348,61 @@ mod tests {
         assert_eq!(report.steps, 8);
         assert_eq!(report.windows, 2);
         assert!(report.sim_seconds > 0.0);
+        // 7 particle arrays × N × 8 B per window, plus the radiation
+        // stream: the report must carry the real published volume.
+        let particles = (cfg.grid.cells() * cfg.khi.ppc) as u64;
+        assert!(report.bytes >= report.windows * particles * 7 * 8);
+        assert!(report.stall_seconds <= report.emit_seconds);
+    }
+
+    #[test]
+    fn sharded_producer_assembles_the_global_particle_array() {
+        use as_cluster::comm::CommWorld;
+        let mut cfg = WorkflowConfig::small();
+        cfg.total_steps = 8;
+        cfg.steps_per_sample = 4;
+        cfg.producers = 2;
+        let stream_cfg = StreamConfig {
+            writers: 2,
+            ..StreamConfig::default()
+        };
+        let (pw, mut pr) = open_stream(stream_cfg);
+        let (rw, mut rr) = open_stream(stream_cfg);
+        let endpoints = CommWorld::new(2).into_endpoints();
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .zip(pw.into_iter().zip(rw))
+            .map(|(comm, (p, r))| {
+                let cfg = cfg.clone();
+                std::thread::spawn(move || run_sharded_producer(&cfg, comm, p, r))
+            })
+            .collect();
+        let mut p_reader = pr.remove(0);
+        let mut r_reader = rr.remove(0);
+        let electrons = cfg.grid.cells() * cfg.khi.ppc;
+        let mut windows = 0;
+        loop {
+            match (p_reader.begin_step(), r_reader.begin_step()) {
+                (Some(mut a), Some(mut b)) => {
+                    // Blocks from both writer ranks tile the full array.
+                    let x = a.get_f64("particles/e/position/x");
+                    assert_eq!(x.len(), electrons, "shards must tile the box");
+                    let i0 = b.get_f32("radiation/region0/intensity");
+                    assert_eq!(i0.len(), cfg.detector.n_freqs());
+                    p_reader.end_step(a);
+                    r_reader.end_step(b);
+                    windows += 1;
+                }
+                (None, None) => break,
+                _ => panic!("streams out of sync"),
+            }
+        }
+        assert_eq!(windows, 2);
+        for h in handles {
+            let report = h.join().unwrap();
+            assert_eq!(report.steps, 8);
+            assert_eq!(report.windows, 2);
+            assert!(report.bytes > 0, "every shard publishes payload");
+        }
     }
 }

@@ -61,6 +61,22 @@ pub fn sync_gradients(comm: &Communicator, model: &mut ArtificialScientistModel)
     });
 }
 
+/// FNV-1a hash of the model's parameter bit patterns. Two replicas hold
+/// bit-identical weights iff their hashes match — the cheap per-iteration
+/// DDP synchronisation check used by the streaming consumer ranks.
+pub fn param_hash(model: &mut ArtificialScientistModel) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    model.visit_all(&mut |p: &mut Tensor, _g: &mut Tensor| {
+        for &v in p.data() {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    });
+    h
+}
+
 /// Outcome of a data-parallel run.
 #[derive(Debug, Clone)]
 pub struct DdpOutcome {
@@ -319,6 +335,24 @@ mod tests {
         for (a, b) in grads[0].iter().zip(&grads[1]) {
             assert_eq!(a, b, "post-allreduce gradients must match exactly");
         }
+    }
+
+    #[test]
+    fn param_hash_detects_any_weight_change() {
+        let cfg = tiny_cfg();
+        let mut a = ArtificialScientistModel::new(cfg.clone(), 42);
+        let mut b = ArtificialScientistModel::new(cfg, 42);
+        assert_eq!(param_hash(&mut a), param_hash(&mut b));
+        // Flip one weight by one ULP: the hash must move.
+        let mut first = true;
+        b.visit_all(&mut |p: &mut Tensor, _g: &mut Tensor| {
+            if first && p.numel() > 0 {
+                let v = p.data()[0];
+                p.data_mut()[0] = f32::from_bits(v.to_bits() ^ 1);
+                first = false;
+            }
+        });
+        assert_ne!(param_hash(&mut a), param_hash(&mut b));
     }
 
     #[test]

@@ -128,6 +128,17 @@ impl OpenPmdWriter {
     pub fn rank(&self) -> usize {
         self.sst.rank()
     }
+
+    /// Total payload bytes this rank has published on the stream.
+    pub fn bytes_published(&self) -> u64 {
+        self.sst.stats.total_bytes()
+    }
+
+    /// Wall seconds this rank has spent blocked on staging back-pressure
+    /// (the bounded SST queue at its limit).
+    pub fn stall_seconds(&self) -> f64 {
+        self.sst.stall_seconds()
+    }
 }
 
 #[cfg(test)]

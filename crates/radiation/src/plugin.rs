@@ -120,19 +120,19 @@ impl RadiationPlugin {
             .collect()
     }
 
-    /// Take the accumulated window and reset (the per-sample emission of
-    /// the streaming pipeline).
-    pub fn take_window(&mut self) -> Vec<RadiationAccumulator> {
-        self.steps_accumulated = 0;
-        let fresh: Vec<RadiationAccumulator> = (0..self.mode.n_regions())
-            .map(|_| RadiationAccumulator::new(&self.detector))
-            .collect();
-        std::mem::replace(&mut self.accumulators, fresh)
+    /// Mutably borrow the per-region accumulators (e.g. to merge
+    /// amplitudes across simulation ranks by superposition before
+    /// emitting a window — an allreduce-sum over `amplitudes_mut`).
+    pub fn accumulators_mut(&mut self) -> &mut [RadiationAccumulator] {
+        &mut self.accumulators
     }
-}
 
-impl Plugin for RadiationPlugin {
-    fn after_step(&mut self, sim: &Simulation) {
+    /// Accumulate one step of a simulation whose local field slab starts
+    /// at global x cell `origin` (a slab of a domain-decomposed run).
+    /// Region classification happens in global y, which slab
+    /// decomposition along x leaves untouched. The single-domain
+    /// [`Plugin::after_step`] is `accumulate_for` with `origin = 0`.
+    pub fn accumulate_for(&mut self, sim: &Simulation, origin: f64) {
         let g = sim.spec;
         let (_, ly, _) = g.extents();
         let sp = &sim.species[self.species];
@@ -144,7 +144,7 @@ impl Plugin for RadiationPlugin {
             let gamma = sp.gamma(i);
             let beta = [sp.ux[i] / gamma, sp.uy[i] / gamma, sp.uz[i] / gamma];
             let (ex, ey, ez, bx, by, bz) =
-                gather_eb(&sim.e, &sim.b, &g, sp.x[i], sp.y[i], sp.z[i], 0.0);
+                gather_eb(&sim.e, &sim.b, &g, sp.x[i], sp.y[i], sp.z[i], origin);
             // Lorentz force per unit mass, then project out the parallel
             // part: β̇ = (f − β(β·f))/γ.
             let f = [
@@ -170,6 +170,22 @@ impl Plugin for RadiationPlugin {
             acc.accumulate(&self.detector, st, sim.time, g.dt);
         }
         self.steps_accumulated += 1;
+    }
+
+    /// Take the accumulated window and reset (the per-sample emission of
+    /// the streaming pipeline).
+    pub fn take_window(&mut self) -> Vec<RadiationAccumulator> {
+        self.steps_accumulated = 0;
+        let fresh: Vec<RadiationAccumulator> = (0..self.mode.n_regions())
+            .map(|_| RadiationAccumulator::new(&self.detector))
+            .collect();
+        std::mem::replace(&mut self.accumulators, fresh)
+    }
+}
+
+impl Plugin for RadiationPlugin {
+    fn after_step(&mut self, sim: &Simulation) {
+        self.accumulate_for(sim, 0.0);
     }
 
     fn name(&self) -> &str {

@@ -82,6 +82,7 @@ pub struct SstWriter {
     current_step: Option<u64>,
     next_step: u64,
     closed: bool,
+    stall_seconds: f64,
     /// Throughput accounting of published payload.
     pub stats: ThroughputRecorder,
 }
@@ -120,6 +121,7 @@ pub fn open_stream(cfg: StreamConfig) -> (Vec<SstWriter>, Vec<SstReader>) {
             current_step: None,
             next_step: 0,
             closed: false,
+            stall_seconds: 0.0,
             stats: ThroughputRecorder::new(),
         })
         .collect();
@@ -141,17 +143,32 @@ impl SstWriter {
     }
 
     /// Begin the next step; blocks while the queue is at its limit.
+    ///
+    /// Time spent blocked on a full queue (real consumer back-pressure,
+    /// not the publish itself) accumulates into [`Self::stall_seconds`].
     pub fn begin_step(&mut self) -> u64 {
         assert!(!self.closed, "begin_step on closed writer");
         assert!(self.current_step.is_none(), "step already open");
         let step = self.next_step;
         let mut st = self.core.state.lock();
-        while st.queue.len() >= self.core.cfg.queue_limit {
-            self.core.cond.wait(&mut st);
+        if st.queue.len() >= self.core.cfg.queue_limit {
+            let blocked = std::time::Instant::now();
+            while st.queue.len() >= self.core.cfg.queue_limit {
+                self.core.cond.wait(&mut st);
+            }
+            self.stall_seconds += blocked.elapsed().as_secs_f64();
         }
         st.pending.entry(step).or_default();
         self.current_step = Some(step);
         step
+    }
+
+    /// Wall seconds this writer has spent blocked on the bounded queue
+    /// (`begin_step` with `queue_limit` in-flight steps). This is the
+    /// honest back-pressure signal: it excludes the serialisation and
+    /// publish work of the step itself.
+    pub fn stall_seconds(&self) -> f64 {
+        self.stall_seconds
     }
 
     /// Publish one block of an `f64` variable.
@@ -493,6 +510,61 @@ mod tests {
         }
         assert_eq!(seen, 4);
         producer.join().unwrap();
+    }
+
+    #[test]
+    fn stall_seconds_measures_only_queue_blocked_time() {
+        let cfg = StreamConfig {
+            queue_limit: 1,
+            ..StreamConfig::default()
+        };
+        let (mut writers, mut readers) = open_stream(cfg);
+        let mut w = writers.remove(0);
+        let producer = thread::spawn(move || {
+            for s in 0..3 {
+                w.begin_step();
+                w.put_f64("x", 1, 0, &[s as f64]);
+                w.end_step();
+            }
+            w.close();
+            w.stall_seconds()
+        });
+        let mut r = readers.remove(0);
+        while let Some(step) = r.begin_step() {
+            // A deliberately slow consumer: every step the producer has
+            // already published the next and is blocked on the queue.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            r.end_step(step);
+        }
+        let stall = producer.join().unwrap();
+        assert!(
+            stall > 0.0,
+            "queue_limit 1 with a slow reader must register stall time"
+        );
+    }
+
+    #[test]
+    fn fast_consumer_registers_no_stall() {
+        let (mut writers, mut readers) = open_stream(StreamConfig {
+            queue_limit: 8,
+            ..StreamConfig::default()
+        });
+        let mut w = writers.remove(0);
+        let mut r = readers.remove(0);
+        let producer = thread::spawn(move || {
+            for s in 0..4 {
+                w.begin_step();
+                w.put_f64("x", 1, 0, &[s as f64]);
+                w.end_step();
+            }
+            w.close();
+            w.stall_seconds()
+        });
+        while let Some(step) = r.begin_step() {
+            r.end_step(step);
+        }
+        // The queue never fills, so no time is attributed to back-pressure.
+        assert_eq!(producer.join().unwrap(), 0.0);
     }
 
     #[test]

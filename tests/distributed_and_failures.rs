@@ -193,6 +193,91 @@ fn abandoned_reader_does_not_poison_the_stream() {
     reader.join().unwrap();
 }
 
+/// Failure injection: a producer dying between the particle and
+/// radiation emissions of a window leaves the two streams ending out of
+/// sync. The consumer must not panic: it drains the longer stream
+/// (releasing the queue) and surfaces the mismatch in its report.
+#[test]
+fn consumer_survives_streams_ending_out_of_sync() {
+    use artificial_scientist::core::config::WorkflowConfig;
+    use artificial_scientist::core::consumer::run_consumer;
+    use artificial_scientist::openpmd::attribute::UnitDimension;
+    use artificial_scientist::openpmd::writer::OpenPmdWriter;
+
+    let mut cfg = WorkflowConfig::small();
+    cfg.n_rep = 1;
+    let n_f = cfg.detector.n_freqs();
+    let (_, ly, _) = cfg.grid.extents();
+
+    let (mut pw, mut pr) = open_stream(StreamConfig::default());
+    let (mut rw, mut rr) = open_stream(StreamConfig::default());
+    let (pw, rw) = (pw.remove(0), rw.remove(0));
+    let producer = std::thread::spawn(move || {
+        let mut pw = OpenPmdWriter::new(pw);
+        let mut rw = OpenPmdWriter::new(rw);
+        let n = 32u64;
+        for it in 0..3u64 {
+            // Particle window `it`.
+            pw.begin_iteration(it * 4, it as f64, 0.1);
+            let xs: Vec<f64> = (0..n).map(|i| i as f64 * 0.1).collect();
+            let ys: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64 * ly).collect();
+            let zs = vec![0.5; n as usize];
+            let us: Vec<f64> = (0..n).map(|i| 0.01 * (i as f64 - 16.0)).collect();
+            for (comp, data) in [("x", &xs), ("y", &ys), ("z", &zs)] {
+                pw.write_particles(
+                    "e",
+                    "position",
+                    comp,
+                    UnitDimension::length(),
+                    1.0,
+                    n,
+                    0,
+                    data,
+                );
+            }
+            for comp in ["x", "y", "z"] {
+                pw.write_particles(
+                    "e",
+                    "momentum",
+                    comp,
+                    UnitDimension::momentum(),
+                    1.0,
+                    n,
+                    0,
+                    &us,
+                );
+            }
+            pw.end_iteration();
+            // Radiation window `it` — except the last: the producer
+            // "dies" after publishing particles but before the spectra.
+            if it < 2 {
+                rw.begin_iteration(it * 4, it as f64, 0.1);
+                for r in 0..3 {
+                    rw.write_f32_array(
+                        &format!("radiation/region{r}/intensity"),
+                        n_f as u64,
+                        0,
+                        &vec![1.0f32; n_f],
+                    );
+                }
+                rw.end_iteration();
+            }
+        }
+        pw.close();
+        rw.close();
+    });
+
+    let report = run_consumer(&cfg, pr.remove(0), rr.remove(0));
+    producer.join().unwrap();
+    assert_eq!(report.windows, 2, "only complete window pairs count");
+    assert_eq!(
+        report.orphaned_windows, 1,
+        "the stranded particle window is surfaced, not fatal"
+    );
+    assert!(report.samples > 0);
+    assert!(report.losses.iter().all(|l| l.total.is_finite()));
+}
+
 /// Failure injection: the socket budget gates a DDP bring-up exactly as
 /// §IV-D describes — below the limit training runs, above it bring-up
 /// fails before any gradient is exchanged.

@@ -27,6 +27,71 @@ fn pipeline_runs_and_produces_finite_losses() {
         .losses
         .iter()
         .all(|l| { l.total.is_finite() && l.cd.is_finite() && l.mmd_z.is_finite() }));
+    assert!(report.producer.bytes > 0, "producer telemetry must be real");
+}
+
+/// The tentpole topology check: a 2×2 sharded run against the 1×1
+/// reference with the same seed — same window schedule, every window
+/// consumed exactly once across consumer ranks, learner ranks
+/// bit-identical, and the loss still trending down.
+#[test]
+fn sharded_2x2_matches_1x1_window_schedule_and_learns() {
+    let mut base = fast_cfg();
+    base.total_steps = 24;
+    base.steps_per_sample = 4;
+    base.n_rep = 4;
+    let single = run_workflow(&base);
+
+    let mut multi = base.clone();
+    multi.producers = 2;
+    multi.consumers = 2;
+    let report = run_workflow(&multi);
+
+    // Same emission schedule as the reference topology.
+    assert_eq!(report.producer.steps, single.producer.steps);
+    assert_eq!(report.producer.windows, single.producer.windows);
+    assert_eq!(
+        report.consumed_windows(),
+        single.consumed_windows(),
+        "2×2 must consume exactly the windows the 1×1 run consumes"
+    );
+
+    // Exactly-once: ownership partitions the stream with no duplicates.
+    let consumed = report.consumed_windows();
+    let mut dedup = consumed.clone();
+    dedup.dedup();
+    assert_eq!(consumed, dedup, "no window may be consumed twice");
+    assert_eq!(consumed.len() as u64, report.producer.windows);
+    for s in &report.consumer_summaries {
+        assert_eq!(
+            s.windows, report.producer.windows,
+            "every rank sees every window"
+        );
+        assert!(!s.owned_windows.is_empty(), "no idle learner rank");
+        assert_eq!(s.orphaned_windows, 0);
+    }
+
+    // DDP invariant: both learner ranks end with bit-identical weights.
+    let h0 = report.consumer_summaries[0].param_hash;
+    for s in &report.consumer_summaries {
+        assert_eq!(s.param_hash, h0, "rank {} diverged", s.rank);
+    }
+
+    // Both producer shards streamed real payload.
+    assert_eq!(report.producers.len(), 2);
+    for p in &report.producers {
+        assert!(p.bytes > 0);
+    }
+
+    // The sharded learner still learns: tail loss below the head mean.
+    let losses = &report.consumer.losses;
+    assert!(losses.len() >= 8, "enough iterations to compare");
+    let head: f64 = losses[..4].iter().map(|l| l.total).sum::<f64>() / 4.0;
+    let tail = report.tail_loss(4);
+    assert!(
+        tail < head,
+        "2×2 in-transit training should reduce the loss: {head} → {tail}"
+    );
 }
 
 #[test]
