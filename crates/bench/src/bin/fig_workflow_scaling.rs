@@ -1,20 +1,30 @@
-//! Coupled-workflow scaling: the M-producer × K-consumer topology sweep.
+//! Coupled-workflow scaling: the M-producer × K-consumer topology sweep,
+//! under both consumer streaming policies.
 //!
 //! The paper's headline is the *coupled loop* at scale — many simulation
 //! ranks streaming into data-parallel learner ranks (§IV-B–D, Fig. 8).
 //! This harness runs the real end-to-end workflow (`run_workflow`) on the
 //! small KHI box for a fixed seed across topologies M×K ∈
-//! {1×1, 2×1, 2×2, 4×2} and records, per topology:
+//! {1×1, 2×1, 2×2, 4×2} × policies {BlockingEveryStep, DropSteps} and
+//! records, per row:
 //!
 //! - **windows/s** — streamed emission windows per wall second,
 //! - **stall fraction** — producer wall time lost to staging
 //!   back-pressure (the honest queue-blocked time, not emit wall time),
+//! - **dropped windows** — windows the consumers skipped unread
+//!   (`DropSteps` only; the blocking policy never drops),
 //! - **tail loss** — mean total loss of the last training iterations,
 //!
-//! and writes `BENCH_workflow.json`. Pass `--smoke` for the CI-sized
-//! run, `--steps/--steps-per-sample/--n-rep/--out` to override.
+//! and writes `BENCH_workflow.json`. The DropSteps rows use the same
+//! queue depth as the blocking rows, so the stall delta is purely the
+//! policy. K>1 DropSteps rows also enable owner-computed sample
+//! broadcast (the round-robin owner encodes once and shares the encoded
+//! samples), the configuration aimed at the ROADMAP's stall numbers.
+//!
+//! Pass `--smoke` for the CI-sized run,
+//! `--steps/--steps-per-sample/--n-rep/--out` to override.
 
-use as_core::config::WorkflowConfig;
+use as_core::config::{ConsumerPolicy, WorkflowConfig};
 use as_core::workflow::run_workflow;
 
 struct Args {
@@ -43,8 +53,13 @@ fn parse_args() -> Args {
             "--n-rep" => a.n_rep = val().parse().expect("--n-rep"),
             "--out" => a.out = val(),
             "--smoke" => {
+                // CI-sized but still consumer-bound: windows come every 2
+                // steps and training runs 6 iterations per window, so the
+                // blocking policy shows real producer stall for the
+                // DropSteps rows to undercut.
                 a.steps = 16;
-                a.n_rep = 2;
+                a.steps_per_sample = 2;
+                a.n_rep = 6;
             }
             other => panic!("unknown flag {other}"),
         }
@@ -55,7 +70,10 @@ fn parse_args() -> Args {
 struct TopoRow {
     producers: usize,
     consumers: usize,
+    policy: &'static str,
     windows: u64,
+    consumed: u64,
+    dropped: u64,
     wall_seconds: f64,
     windows_per_sec: f64,
     stall_seconds: f64,
@@ -72,49 +90,84 @@ fn main() {
     let mut rows: Vec<TopoRow> = Vec::new();
 
     for (m, k) in topologies {
-        let mut cfg = WorkflowConfig::small();
-        cfg.total_steps = a.steps;
-        cfg.steps_per_sample = a.steps_per_sample;
-        cfg.n_rep = a.n_rep;
-        cfg.producers = m;
-        cfg.consumers = k;
-        eprintln!(
-            "fig_workflow_scaling: {m}×{k} ({} steps, window every {}, n_rep {})",
-            a.steps, a.steps_per_sample, a.n_rep
-        );
-        let report = run_workflow(&cfg);
-        let samples: u64 = report.consumer_summaries.iter().map(|s| s.samples).sum();
-        let consumed = report.consumed_windows();
-        assert_eq!(
-            consumed.len() as u64,
-            report.producer.windows,
-            "{m}×{k}: every window must be consumed exactly once"
-        );
-        let h0 = report.consumer_summaries[0].param_hash;
-        assert!(
-            report.consumer_summaries.iter().all(|s| s.param_hash == h0),
-            "{m}×{k}: learner ranks must stay bit-identical"
-        );
-        let row = TopoRow {
-            producers: m,
-            consumers: k,
-            windows: report.producer.windows,
-            wall_seconds: report.wall_seconds,
-            windows_per_sec: report.windows_per_second(),
-            stall_seconds: report.producer.stall_seconds,
-            stall_fraction: report.producer.stall_fraction(),
-            bytes: report.producer.bytes,
-            samples,
-            iterations: report.consumer.losses.len(),
-            tail_loss: report.tail_loss(4),
-        };
-        eprintln!(
-            "  {:>4.1} windows/s  stall {:5.1} %  tail loss {:.4}",
-            row.windows_per_sec,
-            row.stall_fraction * 100.0,
-            row.tail_loss
-        );
-        rows.push(row);
+        for drop in [false, true] {
+            let mut cfg = WorkflowConfig::small();
+            cfg.total_steps = a.steps;
+            cfg.steps_per_sample = a.steps_per_sample;
+            cfg.n_rep = a.n_rep;
+            cfg.producers = m;
+            cfg.consumers = k;
+            if drop {
+                // Same queue depth as blocking: the row differences are
+                // the policy, not the buffer budget.
+                cfg.policy = ConsumerPolicy::DropSteps {
+                    max_queue: cfg.queue_limit,
+                };
+                cfg.sample_broadcast = k > 1;
+            }
+            eprintln!(
+                "fig_workflow_scaling: {m}×{k} {} ({} steps, window every {}, n_rep {})",
+                cfg.policy.label(),
+                a.steps,
+                a.steps_per_sample,
+                a.n_rep
+            );
+            let report = run_workflow(&cfg);
+            // Unique encodes: with sample_broadcast every rank's buffer
+            // receives every encoded sample, so any single rank's count
+            // is the total — summing across ranks would double-count.
+            let samples: u64 = if cfg.sample_broadcast {
+                report.consumer.samples
+            } else {
+                report.consumer_summaries.iter().map(|s| s.samples).sum()
+            };
+            let consumed = report.consumed_windows();
+            for s in &report.consumer_summaries {
+                assert_eq!(
+                    s.windows + s.dropped_windows + s.orphaned_windows,
+                    s.published_windows,
+                    "{m}×{k} {}: rank {} must account for every published window",
+                    cfg.policy.label(),
+                    s.rank
+                );
+            }
+            if !drop {
+                assert_eq!(
+                    consumed.len() as u64,
+                    report.producer.windows,
+                    "{m}×{k} blocking: every window must be consumed exactly once"
+                );
+            }
+            let h0 = report.consumer_summaries[0].param_hash;
+            assert!(
+                report.consumer_summaries.iter().all(|s| s.param_hash == h0),
+                "{m}×{k}: learner ranks must stay bit-identical"
+            );
+            let row = TopoRow {
+                producers: m,
+                consumers: k,
+                policy: cfg.policy.label(),
+                windows: report.producer.windows,
+                consumed: consumed.len() as u64,
+                dropped: report.consumer.dropped_windows,
+                wall_seconds: report.wall_seconds,
+                windows_per_sec: report.windows_per_second(),
+                stall_seconds: report.producer.stall_seconds,
+                stall_fraction: report.producer.stall_fraction(),
+                bytes: report.producer.bytes,
+                samples,
+                iterations: report.consumer.losses.len(),
+                tail_loss: report.tail_loss(4),
+            };
+            eprintln!(
+                "  {:>4.1} windows/s  stall {:5.1} %  dropped {}  tail loss {:.4}",
+                row.windows_per_sec,
+                row.stall_fraction * 100.0,
+                row.dropped,
+                row.tail_loss
+            );
+            rows.push(row);
+        }
     }
 
     let mut json = String::from("{\n  \"bench\": \"workflow_scaling\",\n");
@@ -124,10 +177,13 @@ fn main() {
     ));
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"producers\": {}, \"consumers\": {}, \"windows\": {}, \"wall_seconds\": {:.4}, \"windows_per_sec\": {:.3}, \"stall_seconds\": {:.4}, \"stall_fraction\": {:.4}, \"bytes\": {}, \"samples\": {}, \"iterations\": {}, \"tail_loss\": {:.6}}}{}\n",
+            "    {{\"producers\": {}, \"consumers\": {}, \"policy\": \"{}\", \"windows\": {}, \"consumed\": {}, \"dropped\": {}, \"wall_seconds\": {:.4}, \"windows_per_sec\": {:.3}, \"stall_seconds\": {:.4}, \"stall_fraction\": {:.4}, \"bytes\": {}, \"samples\": {}, \"iterations\": {}, \"tail_loss\": {:.6}}}{}\n",
             r.producers,
             r.consumers,
+            r.policy,
             r.windows,
+            r.consumed,
+            r.dropped,
             r.wall_seconds,
             r.windows_per_sec,
             r.stall_seconds,

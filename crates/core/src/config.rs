@@ -34,6 +34,60 @@ impl Placement {
     }
 }
 
+/// How consumer ranks pace themselves against the stream — the policy
+/// lever Kelling et al. (arXiv:2501.03383) use to keep the simulation
+/// unblocked: train on the freshest step, drop the rest.
+///
+/// The choice trades training coverage for producer stall:
+/// - [`ConsumerPolicy::BlockingEveryStep`] consumes every window in
+///   order. If training is slower than the simulation, the bounded SST
+///   queue fills and the producer stalls (the §V-A telemetry).
+/// - [`ConsumerPolicy::DropSteps`] always reads the **newest** published
+///   window and closes older pending ones unread (they are counted in
+///   `ConsumerReport::dropped_windows`). The producer can stall only
+///   while the consumer is busy inside a single window, because every
+///   skip-ahead read frees the whole backlog at once — stall is bounded
+///   by the queue depth instead of growing with the training debt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsumerPolicy {
+    /// Consume every streamed window in order (the legacy behaviour);
+    /// back-pressure is the flow control.
+    BlockingEveryStep,
+    /// Always jump to the newest published window, dropping older ones.
+    /// `max_queue` is the staging queue depth used for the run (it
+    /// replaces [`WorkflowConfig::queue_limit`]): the producer keeps at
+    /// most `max_queue` windows in flight and never waits for a consumer
+    /// that is more than one window behind.
+    DropSteps {
+        /// In-flight window bound for the staging streams.
+        max_queue: usize,
+    },
+}
+
+impl ConsumerPolicy {
+    /// The staging queue limit this policy implies, given the config's
+    /// blocking-mode `queue_limit`.
+    pub fn effective_queue_limit(&self, blocking_limit: usize) -> usize {
+        match self {
+            ConsumerPolicy::BlockingEveryStep => blocking_limit,
+            ConsumerPolicy::DropSteps { max_queue } => *max_queue,
+        }
+    }
+
+    /// True for the skip-ahead policy.
+    pub fn drops_steps(&self) -> bool {
+        matches!(self, ConsumerPolicy::DropSteps { .. })
+    }
+
+    /// Short label for benchmark output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ConsumerPolicy::BlockingEveryStep => "blocking",
+            ConsumerPolicy::DropSteps { .. } => "drop_steps",
+        }
+    }
+}
+
 /// Everything needed to run the end-to-end workflow.
 #[derive(Debug, Clone)]
 pub struct WorkflowConfig {
@@ -76,6 +130,20 @@ pub struct WorkflowConfig {
     /// streamed windows and trains data-parallel, averaging gradients
     /// every iteration. `1` keeps the original single-consumer path.
     pub consumers: usize,
+    /// How consumers pace themselves against the stream (blocking
+    /// every-step vs newest-step-only with drops).
+    pub policy: ConsumerPolicy,
+    /// With `consumers > 1`: the round-robin owner of a window encodes it
+    /// once and broadcasts the encoded samples to the peer ranks, so
+    /// every rank's replay buffer sees every window at the cost of one
+    /// encode (instead of each rank holding only its owned share).
+    /// `false` keeps the rank-local-buffer behaviour.
+    pub sample_broadcast: bool,
+    /// Gradient-bucket size (elements) for the DDP consumers' bucketed
+    /// all-reduce ([`as_nn::ddp::sync_gradients_bucketed`]): buckets are
+    /// reduced as they fill during the gradient flatten instead of one
+    /// whole-model reduction at the end.
+    pub grad_bucket: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -113,6 +181,9 @@ impl WorkflowConfig {
             queue_limit: 2,
             producers: 1,
             consumers: 1,
+            policy: ConsumerPolicy::BlockingEveryStep,
+            sample_broadcast: false,
+            grad_bucket: 8192,
             seed: 1,
             model,
         }
@@ -137,6 +208,13 @@ impl WorkflowConfig {
     /// Samples emitted per streamed window (one per flow region).
     pub fn samples_per_window(&self) -> usize {
         3
+    }
+
+    /// The staging queue limit the configured [`ConsumerPolicy`] implies
+    /// (`queue_limit` for blocking, the policy's `max_queue` for
+    /// drop-steps).
+    pub fn effective_queue_limit(&self) -> usize {
+        self.policy.effective_queue_limit(self.queue_limit)
     }
 
     /// Panics unless the M×K streaming topology is consistent: at least
@@ -168,6 +246,20 @@ mod tests {
         assert_eq!(c.detector.n_freqs(), c.model.spectrum_dim);
         assert!(c.n_rep >= 1);
         assert_eq!((c.producers, c.consumers), (1, 1), "legacy 1×1 default");
+        assert_eq!(c.policy, ConsumerPolicy::BlockingEveryStep, "legacy policy");
+        assert!(!c.sample_broadcast, "legacy rank-local buffers");
+    }
+
+    #[test]
+    fn policy_queue_limits() {
+        let mut c = WorkflowConfig::small();
+        c.queue_limit = 3;
+        assert_eq!(c.effective_queue_limit(), 3);
+        c.policy = ConsumerPolicy::DropSteps { max_queue: 1 };
+        assert_eq!(c.effective_queue_limit(), 1);
+        assert!(c.policy.drops_steps());
+        assert_eq!(c.policy.label(), "drop_steps");
+        assert_eq!(ConsumerPolicy::BlockingEveryStep.label(), "blocking");
     }
 
     #[test]

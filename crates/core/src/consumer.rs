@@ -6,24 +6,45 @@
 //!
 //! Two drivers share the per-window encoding path:
 //! - [`run_consumer`]: the original single-rank consumer — the exact
-//!   legacy 1×1 behaviour (same seeds, same iteration order);
+//!   legacy 1×1 behaviour under [`ConsumerPolicy::BlockingEveryStep`]
+//!   (same seeds, same iteration order);
 //! - [`run_ddp_consumer`]: one rank of a K-way data-parallel learner
 //!   group. Every rank sees every streamed step (SST semantics) but only
 //!   the round-robin owner (`window % K == rank`) fetches the payload and
-//!   feeds its rank-local replay buffer; training is synchronous, with
-//!   gradients averaged through [`as_nn::ddp::sync_gradients`] every
+//!   feeds its rank-local replay buffer (unless
+//!   `WorkflowConfig::sample_broadcast` shares the owner's encoded
+//!   samples with every rank); training is synchronous, with gradients
+//!   averaged through [`as_nn::ddp::sync_gradients_bucketed`] every
 //!   iteration, which keeps parameters bit-identical across ranks
 //!   (asserted each iteration via [`as_nn::ddp::param_hash`]).
+//!
+//! # Streaming policy
+//!
+//! Both drivers honour [`WorkflowConfig::policy`]:
+//! - `BlockingEveryStep` consumes windows in order, letting the bounded
+//!   SST queue stall the producer when training falls behind;
+//! - [`ConsumerPolicy::DropSteps`] always jumps to the **newest**
+//!   published window, closing older pending windows unread. Skipped
+//!   windows are counted in [`ConsumerReport::dropped_windows`] and their
+//!   queue slots free immediately, so producer stall stays bounded by the
+//!   queue depth. Under DDP, rank 0 picks the freshest window and
+//!   broadcasts its stream-step index so every rank skips the *same*
+//!   window set — the collective schedule (go/no-go, gradient all-reduce,
+//!   hash check) stays identical on all ranks.
+//!
+//! Every published window is accounted for exactly once:
+//! `windows + dropped_windows + orphaned_windows ==`
+//! [`ConsumerReport::published_windows`].
 //!
 //! If the two streams end out of sync (a producer dying between the
 //! particle and radiation emission of a window), the consumer drains the
 //! longer stream and reports the mismatch in
 //! [`ConsumerReport::orphaned_windows`] instead of panicking.
 
-use crate::config::WorkflowConfig;
+use crate::config::{ConsumerPolicy, WorkflowConfig};
 use crate::encode::{batch_to_tensors, Sample};
 use as_cluster::comm::Communicator;
-use as_nn::ddp::{param_hash, sync_gradients};
+use as_nn::ddp::{param_hash, sync_gradients_bucketed};
 use as_nn::model::{ArtificialScientistModel, LossReport, ModelOptimizer};
 use as_openpmd::reader::{IterationData, OpenPmdReader};
 use as_pic::diag::FlowRegion;
@@ -59,6 +80,14 @@ pub struct ConsumerReport {
     /// Windows left on one stream after the other ended — nonzero only
     /// when the producer died between the two emissions of a window.
     pub orphaned_windows: u64,
+    /// Windows this rank skipped unread under
+    /// [`ConsumerPolicy::DropSteps`] (always 0 when blocking).
+    pub dropped_windows: u64,
+    /// Total windows the producer published (the larger of the two
+    /// streams' step counts). Always equals
+    /// `windows + dropped_windows + orphaned_windows` — every published
+    /// window is consumed, dropped, or orphaned, never lost silently.
+    pub published_windows: u64,
     /// FNV-1a hash of the final parameter bits (DDP sync witness).
     pub param_hash: u64,
 }
@@ -84,27 +113,50 @@ pub fn run_consumer(
     let mut train_seconds = 0.0;
     let mut owned_windows = Vec::new();
     let mut orphaned_windows = 0u64;
+    let mut dropped_windows = 0u64;
 
-    loop {
-        let p_it = p_reader.next_iteration();
-        let r_it = r_reader.next_iteration();
-        let (mut p_it, mut r_it) = match (p_it, r_it) {
-            (Some(a), Some(b)) => (a, b),
-            (None, None) => break,
-            (Some(a), None) => {
-                p_reader.close_iteration(a);
-                orphaned_windows += 1 + drain_stream(&mut p_reader);
-                break;
+    'stream: loop {
+        let (mut p_it, mut r_it) = match cfg.policy {
+            ConsumerPolicy::BlockingEveryStep => {
+                let p_it = p_reader.next_iteration();
+                let r_it = r_reader.next_iteration();
+                match (p_it, r_it) {
+                    (Some(a), Some(b)) => (a, b),
+                    (None, None) => break,
+                    (Some(a), None) => {
+                        p_reader.close_iteration(a);
+                        orphaned_windows += 1 + drain_stream(&mut p_reader);
+                        break;
+                    }
+                    (None, Some(b)) => {
+                        r_reader.close_iteration(b);
+                        orphaned_windows += 1 + drain_stream(&mut r_reader);
+                        break;
+                    }
+                }
             }
-            (None, Some(b)) => {
-                r_reader.close_iteration(b);
-                orphaned_windows += 1 + drain_stream(&mut r_reader);
-                break;
+            ConsumerPolicy::DropSteps { .. } => {
+                let (p_skip, p_opt) = p_reader.next_iteration_latest();
+                match pair_drop_steps_window(
+                    p_skip,
+                    p_opt,
+                    &mut p_reader,
+                    &mut r_reader,
+                    &mut dropped_windows,
+                    &mut orphaned_windows,
+                ) {
+                    Some(pair) => pair,
+                    None => break 'stream,
+                }
             }
         };
         windows += 1;
         owned_windows.push(p_it.iteration);
-        samples += encode_window(cfg, &mut p_it, &mut r_it, &mut enc_rng, &mut buffer);
+        let fresh = encode_window(cfg, &mut p_it, &mut r_it, &mut enc_rng);
+        samples += fresh.len() as u64;
+        for s in fresh {
+            buffer.push(s);
+        }
         p_reader.close_iteration(p_it);
         r_reader.close_iteration(r_it);
 
@@ -124,6 +176,7 @@ pub fn run_consumer(
     }
 
     let particle_bytes = p_reader.stats().total_bytes();
+    let published_windows = p_reader.published_steps().max(r_reader.published_steps());
     let hash = param_hash(&mut model);
     ConsumerReport {
         model,
@@ -136,6 +189,8 @@ pub fn run_consumer(
         world: 1,
         owned_windows,
         orphaned_windows,
+        dropped_windows,
+        published_windows,
         param_hash: hash,
     }
 }
@@ -145,10 +200,17 @@ pub fn run_consumer(
 ///
 /// `comm` spans the learner ranks. Window ownership is round-robin in
 /// stream order; training is synchronous and gradient-averaged every
-/// iteration, so every rank holds bit-identical parameters throughout
-/// (asserted). Iterations only run once *every* rank can draw a batch —
-/// the go/no-go is collective, keeping the allreduce schedule identical
-/// on all ranks.
+/// iteration (bucketed — [`as_nn::ddp::sync_gradients_bucketed`] with
+/// `cfg.grad_bucket` elements per bucket), so every rank holds
+/// bit-identical parameters throughout (asserted). Iterations only run
+/// once *every* rank can draw a batch — the go/no-go is collective,
+/// keeping the allreduce schedule identical on all ranks.
+///
+/// Under [`ConsumerPolicy::DropSteps`] rank 0 selects the freshest
+/// published window and broadcasts its stream-step index; every peer
+/// skips to exactly that step. All ranks therefore process (and drop)
+/// the *same* windows, which keeps the per-window collective schedule —
+/// and the round-robin ownership — identical across the group.
 pub fn run_ddp_consumer(
     cfg: &WorkflowConfig,
     comm: Communicator,
@@ -176,29 +238,86 @@ pub fn run_ddp_consumer(
     let mut train_seconds = 0.0;
     let mut owned_windows = Vec::new();
     let mut orphaned_windows = 0u64;
+    let mut dropped_windows = 0u64;
 
-    loop {
-        let p_it = p_reader.next_iteration();
-        let r_it = r_reader.next_iteration();
-        let (mut p_it, mut r_it) = match (p_it, r_it) {
-            (Some(a), Some(b)) => (a, b),
-            (None, None) => break,
-            (Some(a), None) => {
-                p_reader.close_iteration(a);
-                orphaned_windows += 1 + drain_stream(&mut p_reader);
-                break;
+    'stream: loop {
+        let (mut p_it, mut r_it) = match cfg.policy {
+            ConsumerPolicy::BlockingEveryStep => {
+                let p_it = p_reader.next_iteration();
+                let r_it = r_reader.next_iteration();
+                match (p_it, r_it) {
+                    (Some(a), Some(b)) => (a, b),
+                    (None, None) => break,
+                    (Some(a), None) => {
+                        p_reader.close_iteration(a);
+                        orphaned_windows += 1 + drain_stream(&mut p_reader);
+                        break;
+                    }
+                    (None, Some(b)) => {
+                        r_reader.close_iteration(b);
+                        orphaned_windows += 1 + drain_stream(&mut r_reader);
+                        break;
+                    }
+                }
             }
-            (None, Some(b)) => {
-                r_reader.close_iteration(b);
-                orphaned_windows += 1 + drain_stream(&mut r_reader);
-                break;
+            ConsumerPolicy::DropSteps { .. } => {
+                // Rank 0 decides which window is freshest; peers follow
+                // to the same stream step. Every rank enters a round with
+                // the same cursor, so the skip counts match and the
+                // group's collective schedule stays aligned.
+                let (p_skip, p_opt) = if rank == 0 {
+                    let (skip, opt) = p_reader.next_iteration_latest();
+                    let target: Option<u64> = opt.as_ref().map(|it| it.stream_step());
+                    comm.broadcast(0, Some(target));
+                    (skip, opt)
+                } else {
+                    match comm.broadcast::<Option<u64>>(0, None) {
+                        Some(target) => p_reader.next_iteration_at_least(target),
+                        None => (0, None),
+                    }
+                };
+                // The pairing/accounting outcome is a function of global
+                // stream state and the shared target, so every rank takes
+                // the same branch on the same window — on end-of-stream no
+                // collective runs below and all ranks exit together.
+                match pair_drop_steps_window(
+                    p_skip,
+                    p_opt,
+                    &mut p_reader,
+                    &mut r_reader,
+                    &mut dropped_windows,
+                    &mut orphaned_windows,
+                ) {
+                    Some(pair) => pair,
+                    None => break 'stream,
+                }
             }
         };
         let slot = windows;
         windows += 1;
-        if slot % world as u64 == rank as u64 {
-            samples += encode_window(cfg, &mut p_it, &mut r_it, &mut enc_rng, &mut buffer);
+        let owner = (slot % world as u64) as usize;
+        if cfg.sample_broadcast {
+            // Owner-computed broadcast: one rank pays the fetch+encode,
+            // every rank's buffer receives the encoded samples (a few KiB
+            // per window vs the full phase-space fetch).
+            let fresh = if rank == owner {
+                owned_windows.push(p_it.iteration);
+                encode_window(cfg, &mut p_it, &mut r_it, &mut enc_rng)
+            } else {
+                Vec::new()
+            };
+            let shared = comm.broadcast(owner, if rank == owner { Some(fresh) } else { None });
+            samples += shared.len() as u64;
+            for s in shared {
+                buffer.push(s);
+            }
+        } else if rank == owner {
             owned_windows.push(p_it.iteration);
+            let fresh = encode_window(cfg, &mut p_it, &mut r_it, &mut enc_rng);
+            samples += fresh.len() as u64;
+            for s in fresh {
+                buffer.push(s);
+            }
         }
         p_reader.close_iteration(p_it);
         r_reader.close_iteration(r_it);
@@ -218,7 +337,7 @@ pub fn run_ddp_consumer(
             let (points, spectra) = batch_to_tensors(&batch, &cfg.model);
             model.zero_grad();
             let local = model.accumulate_gradients(&points, &spectra, &mut train_rng);
-            sync_gradients(&comm, &mut model);
+            sync_gradients_bucketed(&comm, &mut model, cfg.grad_bucket);
             opt.step(&mut model);
             train_seconds += t0.elapsed().as_secs_f64();
             report_losses.push(mean_loss(&comm, &local, world));
@@ -236,6 +355,7 @@ pub fn run_ddp_consumer(
     }
 
     let particle_bytes = p_reader.stats().total_bytes();
+    let published_windows = p_reader.published_steps().max(r_reader.published_steps());
     let hash = param_hash(&mut model);
     ConsumerReport {
         model,
@@ -248,7 +368,55 @@ pub fn run_ddp_consumer(
         world,
         owned_windows,
         orphaned_windows,
+        dropped_windows,
+        published_windows,
         param_hash: hash,
+    }
+}
+
+/// Pair a `DropSteps` particle read (already taken, with `p_skip`
+/// windows skipped) with its radiation step, keeping both streams in
+/// lockstep and settling the drop/orphan accounting. Returns the paired
+/// iterations, or `None` when the stream is over — in which case both
+/// streams are fully drained and every remaining window is already
+/// counted (dropped where both halves existed, orphaned where only one
+/// did).
+fn pair_drop_steps_window(
+    p_skip: u64,
+    p_opt: Option<IterationData>,
+    p_reader: &mut OpenPmdReader,
+    r_reader: &mut OpenPmdReader,
+    dropped_windows: &mut u64,
+    orphaned_windows: &mut u64,
+) -> Option<(IterationData, IterationData)> {
+    let Some(p_it) = p_opt else {
+        // Particle stream ended with nothing pending; any radiation
+        // leftovers lost their particle halves.
+        let (p_left, _) = p_reader.next_iteration_at_least(u64::MAX);
+        let (r_left, _) = r_reader.next_iteration_at_least(u64::MAX);
+        *orphaned_windows += p_left + r_left;
+        return None;
+    };
+    // Keep the radiation stream in lockstep: skip to the same stream
+    // step the particle read jumped to.
+    let (r_skip, r_opt) = r_reader.next_iteration_at_least(p_it.stream_step());
+    match r_opt {
+        Some(r_it) => {
+            debug_assert_eq!(r_skip, p_skip, "streams skip the same window set");
+            *dropped_windows += p_skip;
+            Some((p_it, r_it))
+        }
+        None => {
+            // Radiation ended early (producer death): windows present on
+            // both streams were dropped; the particle-only tail
+            // (including this window) is orphaned.
+            *dropped_windows += r_skip;
+            *orphaned_windows += (p_skip - r_skip) + 1;
+            p_reader.close_iteration(p_it);
+            let (left, _) = p_reader.next_iteration_at_least(u64::MAX);
+            *orphaned_windows += left;
+            None
+        }
     }
 }
 
@@ -286,15 +454,15 @@ fn mean_loss(comm: &Communicator, local: &LossReport, world: usize) -> LossRepor
     }
 }
 
-/// Fetch one window's phase space and spectra and push one sample per
-/// non-empty flow region into `buffer`; returns the samples added.
+/// Fetch one window's phase space and spectra and encode one sample per
+/// non-empty flow region; the caller feeds its buffer (or broadcasts the
+/// encoded samples to peers — the owner-computed path).
 fn encode_window(
     cfg: &WorkflowConfig,
     p_it: &mut IterationData,
     r_it: &mut IterationData,
     enc_rng: &mut StdRng,
-    buffer: &mut TrainingBuffer<Sample>,
-) -> u64 {
+) -> Vec<Sample> {
     // Fetch phase space.
     let xs = p_it.particles("e", "position", "x");
     let ys = p_it.particles("e", "position", "y");
@@ -303,7 +471,7 @@ fn encode_window(
     let uys = p_it.particles("e", "momentum", "y");
     let uzs = p_it.particles("e", "momentum", "z");
     let step = p_it.iteration;
-    let mut samples = 0u64;
+    let mut samples = Vec::new();
 
     // Build one sample per flow region.
     let (_, ly, _) = cfg.grid.extents();
@@ -327,13 +495,12 @@ fn encode_window(
         let intensity: Vec<f64> = flat[..n_f].iter().map(|&v| v as f64).collect();
         let spec = Spectrum::new(cfg.detector.frequencies.clone(), intensity);
         let spectrum = cfg.encode.encode_spectrum(&spec, cfg.model.spectrum_dim);
-        buffer.push(Sample {
+        samples.push(Sample {
             points,
             spectrum,
             region: region_idx,
             step,
         });
-        samples += 1;
     }
     samples
 }

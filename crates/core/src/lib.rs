@@ -27,6 +27,28 @@
 //!   multi-writer stream pair, consumers train data-parallel with
 //!   gradients averaged every iteration (`WorkflowConfig::{producers,
 //!   consumers}`; `1×1` is the exact legacy single-thread-each path).
+//!
+//! # Streaming contracts
+//!
+//! The producer/consumer coupling rests on three invariants:
+//!
+//! - **SST step lifecycle** (`as-staging`): a published window stays
+//!   alive until *every* reader rank closes it; the bounded queue
+//!   back-pressures the producers, whose queue-blocked time is reported
+//!   honestly in `ProducerReport::stall_seconds`.
+//! - **Window ownership**: every consumer rank sees every window, but
+//!   exactly one (round-robin, `window % K`) fetches and encodes it.
+//!   How ranks pace themselves is the [`config::ConsumerPolicy`]:
+//!   [`config::ConsumerPolicy::BlockingEveryStep`] consumes in order,
+//!   [`config::ConsumerPolicy::DropSteps`] always takes the freshest
+//!   window and counts the skipped ones — per rank,
+//!   `windows + dropped + orphaned == published`, always. With
+//!   `WorkflowConfig::sample_broadcast` the owner shares its encoded
+//!   samples with every peer rank.
+//! - **DDP invariant**: synchronous training with bucketed gradient
+//!   all-reduce (`as_nn::ddp::sync_gradients_bucketed`) keeps learner
+//!   parameters bit-identical across ranks; a `param_hash` allgather
+//!   asserts it every iteration.
 
 pub mod config;
 pub mod consumer;

@@ -23,6 +23,15 @@
 //! producer and single-rank consumer code paths, bit-for-bit — existing
 //! 1×1 runs keep their exact semantics (and seeds).
 //!
+//! Consumer pacing follows [`crate::config::ConsumerPolicy`]: blocking
+//! every-step (back-pressure throttles the producers) or `DropSteps`
+//! (consumers always take the freshest window, skipped windows are
+//! counted, and the staging queue depth bounds producer stall). Under
+//! `DropSteps`, [`WorkflowReport::consumed_windows`] lists only the
+//! windows that were actually trained on; the per-rank
+//! [`ConsumerSummary::dropped_windows`] accounts for the rest
+//! (`windows + dropped + orphaned = published` on every rank).
+//!
 //! Fault tolerance is asymmetric: a consumer drains and reports streams
 //! that end out of sync (a 1×1 producer dying mid-window), but with
 //! M > 1 or K > 1 the ranks of a group are coupled through blocking
@@ -61,6 +70,12 @@ pub struct ConsumerSummary {
     pub particle_bytes: u64,
     /// Windows stranded on one stream after the other ended early.
     pub orphaned_windows: u64,
+    /// Windows this rank skipped unread under
+    /// [`crate::config::ConsumerPolicy::DropSteps`].
+    pub dropped_windows: u64,
+    /// Windows the producer published on this rank's streams; equals
+    /// `windows + dropped_windows + orphaned_windows`.
+    pub published_windows: u64,
 }
 
 impl ConsumerSummary {
@@ -75,6 +90,8 @@ impl ConsumerSummary {
             train_seconds: report.train_seconds,
             particle_bytes: report.particle_bytes,
             orphaned_windows: report.orphaned_windows,
+            dropped_windows: report.dropped_windows,
+            published_windows: report.published_windows,
         }
     }
 }
@@ -152,7 +169,7 @@ pub fn run_workflow(cfg: &WorkflowConfig) -> WorkflowReport {
     let stream_cfg = StreamConfig {
         writers: m,
         readers: k,
-        queue_limit: cfg.queue_limit,
+        queue_limit: cfg.effective_queue_limit(),
         plane: cfg.plane,
     };
     let (pw, mut pr) = open_stream(stream_cfg);

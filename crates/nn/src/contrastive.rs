@@ -1,6 +1,6 @@
 //! Contrastive representation learning on point clouds — the paper's
 //! future-work item (c): *"ideally bringing contrastive learning
-//! approaches [68] to point clouds to learn better latent
+//! approaches \[68\] to point clouds to learn better latent
 //! representations."*
 //!
 //! Implementation: InfoNCE (NT-Xent) over latent pairs. Two augmented

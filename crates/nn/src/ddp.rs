@@ -61,6 +61,65 @@ pub fn sync_gradients(comm: &Communicator, model: &mut ArtificialScientistModel)
     });
 }
 
+/// Default gradient-bucket size (elements) used by the streaming DDP
+/// consumer ranks: 8192 f32 = 32 KiB per bucket message, small enough to
+/// pipeline through the ring, large enough to amortise per-message cost.
+pub const DEFAULT_BUCKET_ELEMS: usize = 8192;
+
+/// Average the accumulated gradients of `model` across all ranks of
+/// `comm` in fixed-size buckets, each reduced **as it fills** during the
+/// gradient flatten (PyTorch-DDP's bucketed all-reduce, minus the
+/// asynchrony our thread-ring transport cannot express): instead of
+/// materialising the whole flat gradient and then reducing it once, a
+/// bucket of `bucket_elems` values goes onto the wire the moment the
+/// traversal has filled it, so reduction of bucket *i* is interleaved
+/// with the flattening of bucket *i+1* and peak extra memory is one
+/// bucket plus the reduced prefix rather than two whole-model copies.
+///
+/// Every rank traverses parameters in the same deterministic order, so
+/// bucket boundaries — and therefore summation order — are identical on
+/// all ranks, and the ring all-reduce computes each reduced chunk on one
+/// rank before circulating it. Post-sync gradients are **bit-identical
+/// across ranks** (the invariant [`param_hash`] asserts downstream),
+/// though not bit-identical to [`sync_gradients`]'s single-flat-buffer
+/// result, whose different chunking sums in a different order.
+pub fn sync_gradients_bucketed(
+    comm: &Communicator,
+    model: &mut ArtificialScientistModel,
+    bucket_elems: usize,
+) {
+    assert!(bucket_elems > 0, "bucket size must be positive");
+    let inv = 1.0 / comm.size() as f32;
+    let mut reduced: Vec<f32> = Vec::new();
+    let mut bucket: Vec<f32> = Vec::with_capacity(bucket_elems.min(1 << 20));
+    model.visit_all(&mut |_p: &mut Tensor, g: &mut Tensor| {
+        let data = g.data();
+        let mut off = 0usize;
+        while off < data.len() {
+            let take = (bucket_elems - bucket.len()).min(data.len() - off);
+            bucket.extend_from_slice(&data[off..off + take]);
+            off += take;
+            if bucket.len() == bucket_elems {
+                comm.allreduce_sum_f32(&mut bucket);
+                reduced.extend_from_slice(&bucket);
+                bucket.clear();
+            }
+        }
+    });
+    if !bucket.is_empty() {
+        comm.allreduce_sum_f32(&mut bucket);
+        reduced.extend_from_slice(&bucket);
+    }
+    let mut cursor = 0usize;
+    model.visit_all(&mut |_p: &mut Tensor, g: &mut Tensor| {
+        let n = g.numel();
+        for (gd, &fv) in g.data_mut().iter_mut().zip(&reduced[cursor..cursor + n]) {
+            *gd = fv * inv;
+        }
+        cursor += n;
+    });
+}
+
 /// FNV-1a hash of the model's parameter bit patterns. Two replicas hold
 /// bit-identical weights iff their hashes match — the cheap per-iteration
 /// DDP synchronisation check used by the streaming consumer ranks.
@@ -334,6 +393,87 @@ mod tests {
         assert_eq!(grads[0].len(), grads[1].len());
         for (a, b) in grads[0].iter().zip(&grads[1]) {
             assert_eq!(a, b, "post-allreduce gradients must match exactly");
+        }
+    }
+
+    #[test]
+    fn bucketed_sync_is_identical_across_ranks_and_close_to_flat() {
+        // Two ranks with different local batches: after the bucketed
+        // all-reduce every rank must hold bit-identical gradients, and
+        // the averaged values must agree with the single-flat-buffer
+        // reduction up to summation-order rounding.
+        let cfg = tiny_cfg();
+        for bucket_elems in [1usize, 7, 64, 100_000] {
+            let endpoints = CommWorld::new(2).into_endpoints();
+            let handles: Vec<_> = endpoints
+                .into_iter()
+                .map(|comm| {
+                    let cfg = cfg.clone();
+                    std::thread::spawn(move || {
+                        let mut model = ArtificialScientistModel::new(cfg, 5);
+                        let mut rng = TensorRng::seeded(100 + comm.rank() as u64);
+                        let pts = rng.uniform([2, 8, 6], -1.0, 1.0);
+                        let sp = rng.uniform([2, 4], -1.0, 1.0);
+                        model.zero_grad();
+                        let _ = model.accumulate_gradients(&pts, &sp, &mut rng);
+                        sync_gradients_bucketed(&comm, &mut model, bucket_elems);
+                        let mut flat = Vec::new();
+                        model.visit_all(&mut |_p: &mut Tensor, g: &mut Tensor| {
+                            flat.extend_from_slice(g.data())
+                        });
+                        flat
+                    })
+                })
+                .collect();
+            let grads: Vec<Vec<f32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert_eq!(grads[0].len(), grads[1].len());
+            for (a, b) in grads[0].iter().zip(&grads[1]) {
+                assert_eq!(a, b, "bucketed sync must be bit-identical across ranks");
+            }
+        }
+        // Cross-check scheme agreement: one huge bucket covers the whole
+        // model, which is exactly the flat path.
+        let endpoints = CommWorld::new(2).into_endpoints();
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .map(|comm| {
+                let cfg = cfg.clone();
+                std::thread::spawn(move || {
+                    // Same seeds ⇒ m1 and m2 hold identical pre-sync
+                    // gradients; only the reduction scheme differs.
+                    let mut m1 = ArtificialScientistModel::new(cfg.clone(), 5);
+                    let mut m2 = ArtificialScientistModel::new(cfg, 5);
+                    let mut rng1 = TensorRng::seeded(100 + comm.rank() as u64);
+                    let mut rng2 = TensorRng::seeded(100 + comm.rank() as u64);
+                    let pts = rng1.uniform([2, 8, 6], -1.0, 1.0);
+                    let sp = rng1.uniform([2, 4], -1.0, 1.0);
+                    let pts2 = rng2.uniform([2, 8, 6], -1.0, 1.0);
+                    let sp2 = rng2.uniform([2, 4], -1.0, 1.0);
+                    m1.zero_grad();
+                    let _ = m1.accumulate_gradients(&pts, &sp, &mut rng1);
+                    m2.zero_grad();
+                    let _ = m2.accumulate_gradients(&pts2, &sp2, &mut rng2);
+                    sync_gradients(&comm, &mut m1);
+                    sync_gradients_bucketed(&comm, &mut m2, DEFAULT_BUCKET_ELEMS);
+                    let (mut f1, mut f2) = (Vec::new(), Vec::new());
+                    m1.visit_all(&mut |_p: &mut Tensor, g: &mut Tensor| {
+                        f1.extend_from_slice(g.data())
+                    });
+                    m2.visit_all(&mut |_p: &mut Tensor, g: &mut Tensor| {
+                        f2.extend_from_slice(g.data())
+                    });
+                    (f1, f2)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (flat, bucketed) = h.join().unwrap();
+            for (a, b) in flat.iter().zip(&bucketed) {
+                assert!(
+                    (a - b).abs() <= 1e-5 * a.abs().max(1.0),
+                    "flat vs bucketed averages diverge: {a} vs {b}"
+                );
+            }
         }
     }
 

@@ -21,6 +21,18 @@
 //! each `forward` returns a context object consumed by `backward`, which
 //! lets the INN subnets run a forward *and* an inverse pass in the same
 //! step while accumulating into the same parameter gradients.
+//!
+//! # DDP invariants
+//!
+//! Data-parallel training ([`ddp`]) replicates the model across thread
+//! ranks seeded identically, then averages gradients every iteration —
+//! either as one flat buffer ([`ddp::sync_gradients`]) or in fixed-size
+//! buckets reduced as they fill ([`ddp::sync_gradients_bucketed`], what
+//! the streaming consumer ranks of `as-core` use alongside their
+//! `ConsumerPolicy`). Both schemes are deterministic per-scheme and
+//! produce **bit-identical gradients on every rank**, so parameters stay
+//! bit-identical for the whole run — [`ddp::param_hash`] is the cheap
+//! witness the consumers assert each iteration.
 
 pub mod contrastive;
 pub mod ddp;

@@ -32,6 +32,33 @@ impl OpenPmdReader {
     /// Wait for the next iteration; `None` at end of stream.
     pub fn next_iteration(&mut self) -> Option<IterationData> {
         let step = self.sst.begin_step()?;
+        Some(Self::wrap_step(step))
+    }
+
+    /// Wait for at least one unseen iteration, then take the **newest**
+    /// published one, skipping (closing unread) every older pending
+    /// iteration. Returns `(skipped, iteration)` — the `DropSteps`
+    /// consumer path; see [`as_staging::engine::SstReader::begin_latest_step`].
+    pub fn next_iteration_latest(&mut self) -> (u64, Option<IterationData>) {
+        let (skipped, step) = self.sst.begin_latest_step();
+        (skipped, step.map(Self::wrap_step))
+    }
+
+    /// Wait for the first iteration at stream step `>= target`, skipping
+    /// (closing unread) older pending iterations; used to keep a second
+    /// stream in lockstep with a [`Self::next_iteration_latest`] read on
+    /// the first. `(skipped, None)` if the stream ends before `target`.
+    pub fn next_iteration_at_least(&mut self, target: u64) -> (u64, Option<IterationData>) {
+        let (skipped, step) = self.sst.begin_step_at_least(target);
+        (skipped, step.map(Self::wrap_step))
+    }
+
+    /// Total steps published on the underlying stream so far.
+    pub fn published_steps(&self) -> u64 {
+        self.sst.published_steps()
+    }
+
+    fn wrap_step(step: ReadStep) -> IterationData {
         let attributes = if step.variable("__attributes__").is_some() {
             let var = step.variable("__attributes__").expect("checked").clone();
             // Attribute blob is metadata, not payload: read it directly.
@@ -49,13 +76,13 @@ impl OpenPmdReader {
             .and_then(|v| v.as_f64())
             .unwrap_or(0.0);
         let dt = attributes.get("dt").and_then(|v| v.as_f64()).unwrap_or(0.0);
-        Some(IterationData {
+        IterationData {
             step,
             iteration,
             time,
             dt,
             attributes,
-        })
+        }
     }
 
     /// Release the iteration back to the writer.
@@ -70,6 +97,12 @@ impl OpenPmdReader {
 }
 
 impl IterationData {
+    /// Index of the underlying SST stream step carrying this iteration
+    /// (the stream-level position, not the PIC iteration number).
+    pub fn stream_step(&self) -> u64 {
+        self.step.step()
+    }
+
     /// Fetch a full mesh component.
     pub fn mesh(&mut self, record: &str, component: &str) -> Vec<f64> {
         self.step.get_f64(&format!("meshes/{record}/{component}"))

@@ -116,7 +116,7 @@ impl ParticleBuffer {
 
     /// Total kinetic energy `Σ w·m·(γ−1)` (units of mₑc²·n₀·V).
     ///
-    /// Rayon map-reduce above [`PAR_MIN`] particles; partial sums combine
+    /// Rayon map-reduce above `PAR_MIN` particles; partial sums combine
     /// in chunk order, so the result is deterministic for a fixed worker
     /// count.
     pub fn kinetic_energy(&self) -> f64 {

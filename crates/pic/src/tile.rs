@@ -23,7 +23,7 @@
 //!    global [`VecField3`] in tile-index order, independent of the worker
 //!    count or schedule, so a step is bit-reproducible for a given particle
 //!    order. Whole k-rows of interior tiles are added as contiguous slices
-//!    ([`ScalarField3::add_row_unwrapped`]); only boundary tiles pay the
+//!    ([`crate::field::ScalarField3::add_row_unwrapped`]); only boundary tiles pay the
 //!    wrapped per-cell path.
 //!
 //! Because a particle moves less than one cell per step (CFL) and binning

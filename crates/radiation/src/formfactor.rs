@@ -6,7 +6,7 @@
 //! macro-particle extent) superposes coherently — amplitude ∝ w,
 //! intensity ∝ w². At wavelengths shorter than the macro-particle's
 //! shape, the represented electrons' phases decorrelate and intensity
-//! scales ∝ w (incoherent). Pausch et al. [39] introduce a per-frequency
+//! scales ∝ w (incoherent). Pausch et al. \[39\] introduce a per-frequency
 //! *form factor* interpolating between the regimes so PIC codes predict
 //! both limits quantitatively; this module ports that formalism for the
 //! CIC-shaped macro-particles used here.

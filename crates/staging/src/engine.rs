@@ -9,6 +9,24 @@
 //!   datasets to load"), and closes the step, "indicating to the writer
 //!   that the data can now be dropped";
 //! - a bounded queue of in-flight steps back-pressures the producer.
+//!
+//! # Step lifecycle
+//!
+//! A step is *pending* while writers contribute blocks, *published* once
+//! the last writer's `end_step` validates the block tiling, and *retired*
+//! once every reader rank has closed it. Readers consume independently
+//! (each has its own cursor) but a step only leaves the bounded queue —
+//! releasing back-pressure — when **all** readers closed it.
+//!
+//! Readers have two consumption modes, matching the consumer streaming
+//! policies of `as-core` (`ConsumerPolicy`):
+//! - [`SstReader::begin_step`] takes steps strictly in order and blocks
+//!   until the next one is published (`BlockingEveryStep`);
+//! - [`SstReader::begin_latest_step`] /
+//!   [`SstReader::begin_step_at_least`] *skip ahead*, closing every older
+//!   published step without fetching its payload (`DropSteps`). Skipping
+//!   counts as closing, so a dropped step releases its queue slot — and
+//!   the writer's back-pressure — immediately.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -73,6 +91,21 @@ struct StreamCore {
     cfg: StreamConfig,
     state: Mutex<StreamState>,
     cond: Condvar,
+}
+
+impl StreamCore {
+    /// Register one reader's close of `step` under the held lock; when the
+    /// last reader arrives the step is retired from the queue, releasing
+    /// its slot (and any writer blocked on the queue limit).
+    fn close_step_locked(&self, st: &mut StreamState, step: u64) {
+        let closed = st.closed.entry(step).or_insert(0);
+        *closed += 1;
+        if *closed == self.cfg.readers {
+            st.closed.remove(&step);
+            st.queue.retain(|s| s.step != step);
+            self.cond.notify_all();
+        }
+    }
 }
 
 /// One writer rank's endpoint.
@@ -311,18 +344,108 @@ impl SstReader {
         let idx = step.data.step;
         drop(step);
         let mut st = self.core.state.lock();
-        let closed = st.closed.entry(idx).or_insert(0);
-        *closed += 1;
-        if *closed == self.core.cfg.readers {
-            st.closed.remove(&idx);
-            // Steps close in order (every reader consumes every step).
-            if let Some(front) = st.queue.front() {
-                if front.step == idx {
-                    st.queue.pop_front();
+        self.core.close_step_locked(&mut st, idx);
+    }
+
+    /// Total steps published on this stream so far (monotone; after the
+    /// writers closed this is the final count — the denominator of the
+    /// `consumed + dropped + orphaned` accounting identity).
+    pub fn published_steps(&self) -> u64 {
+        self.core.state.lock().published
+    }
+
+    /// Wait until at least one unseen step is published, then take the
+    /// **newest** one, closing every older published step without
+    /// fetching it. Returns `(skipped, step)`; `(0, None)` at end of
+    /// stream.
+    ///
+    /// This is the `DropSteps` consumer primitive: skipped steps are
+    /// closed under the same lock, so their queue slots free up — and any
+    /// writer blocked on the queue limit resumes — before this call
+    /// returns. No payload of a skipped step is ever fetched.
+    pub fn begin_latest_step(&mut self) -> (u64, Option<ReadStep>) {
+        let mut st = self.core.state.lock();
+        loop {
+            let newest = st
+                .queue
+                .iter()
+                .map(|s| s.step)
+                .filter(|&s| s >= self.cursor)
+                .max();
+            if let Some(newest) = newest {
+                // Steps publish in order, so every index in
+                // [cursor, newest) is still queued (we never closed it).
+                let mut skipped = 0u64;
+                while self.cursor < newest {
+                    self.core.close_step_locked(&mut st, self.cursor);
+                    self.cursor += 1;
+                    skipped += 1;
+                }
+                let data = st
+                    .queue
+                    .iter()
+                    .find(|s| s.step == newest)
+                    .expect("newest step queued")
+                    .clone();
+                self.cursor = newest + 1;
+                return (
+                    skipped,
+                    Some(ReadStep {
+                        data,
+                        plane: self.core.cfg.plane,
+                        simulated_seconds: 0.0,
+                        bytes_fetched: 0,
+                    }),
+                );
+            }
+            if st.writers_closed == self.core.cfg.writers && st.published <= self.cursor {
+                return (0, None);
+            }
+            self.core.cond.wait(&mut st);
+        }
+    }
+
+    /// Wait for the first step with index `>= target`, closing every
+    /// older published step without fetching it. Returns
+    /// `(skipped, step)`; `(skipped, None)` if the writers close before
+    /// `target` is published (any remaining older steps are still closed
+    /// and counted, so the stream winds down cleanly).
+    ///
+    /// Used to keep a second stream in lockstep with a `DropSteps` read
+    /// on the first: after `begin_latest_step` returns step `s` on one
+    /// stream, `begin_step_at_least(s)` on the other skips exactly the
+    /// same window set.
+    pub fn begin_step_at_least(&mut self, target: u64) -> (u64, Option<ReadStep>) {
+        let mut skipped = 0u64;
+        let mut st = self.core.state.lock();
+        loop {
+            // Close published steps below the target as they appear
+            // (publish order is sequential, so step `cursor` is queued
+            // iff `cursor < published`).
+            while self.cursor < target && self.cursor < st.published {
+                self.core.close_step_locked(&mut st, self.cursor);
+                self.cursor += 1;
+                skipped += 1;
+            }
+            if self.cursor >= target {
+                if let Some(sd) = st.queue.iter().find(|s| s.step == self.cursor) {
+                    let data = sd.clone();
+                    self.cursor += 1;
+                    return (
+                        skipped,
+                        Some(ReadStep {
+                            data,
+                            plane: self.core.cfg.plane,
+                            simulated_seconds: 0.0,
+                            bytes_fetched: 0,
+                        }),
+                    );
                 }
             }
-            st.queue.retain(|s| s.step != idx);
-            self.core.cond.notify_all();
+            if st.writers_closed == self.core.cfg.writers && st.published <= self.cursor {
+                return (skipped, None);
+            }
+            self.core.cond.wait(&mut st);
         }
     }
 }
@@ -657,6 +780,167 @@ mod tests {
         let written = producer.join().unwrap();
         assert_eq!(written, 800);
         assert_eq!(r.stats.total_bytes(), 800);
+    }
+
+    #[test]
+    fn latest_step_skips_and_closes_older_steps() {
+        let (mut writers, mut readers) = open_stream(StreamConfig {
+            queue_limit: 8,
+            ..StreamConfig::default()
+        });
+        let mut w = writers.remove(0);
+        let mut r = readers.remove(0);
+        for s in 0..5 {
+            w.begin_step();
+            w.put_f64("x", 1, 0, &[s as f64]);
+            w.end_step();
+        }
+        // All 5 steps are queued; the latest read takes step 4 and closes
+        // steps 0..4 unread.
+        let (skipped, step) = r.begin_latest_step();
+        let mut step = step.expect("a step is available");
+        assert_eq!(skipped, 4);
+        assert_eq!(step.step(), 4);
+        assert_eq!(step.get_f64("x"), vec![4.0]);
+        r.end_step(step);
+        // Skipped payloads were never fetched: only step 4's 8 bytes.
+        assert_eq!(r.stats.total_bytes(), 8);
+        w.close();
+        assert_eq!(r.begin_latest_step().1.map(|s| s.step()), None);
+        assert_eq!(r.published_steps(), 5);
+    }
+
+    #[test]
+    fn skipping_releases_writer_backpressure() {
+        // queue_limit 1: the writer can publish step 1 only after the
+        // reader disposes of step 0 — which a latest-read does without
+        // fetching.
+        let (mut writers, mut readers) = open_stream(StreamConfig {
+            queue_limit: 1,
+            ..StreamConfig::default()
+        });
+        let mut w = writers.remove(0);
+        let mut r = readers.remove(0);
+        let producer = thread::spawn(move || {
+            for s in 0..6 {
+                w.begin_step();
+                w.put_f64("x", 1, 0, &[s as f64]);
+                w.end_step();
+            }
+            w.close();
+            w.stall_seconds()
+        });
+        let mut seen = 0u64;
+        let mut skipped_total = 0u64;
+        loop {
+            let (skipped, step) = r.begin_latest_step();
+            skipped_total += skipped;
+            match step {
+                Some(s) => {
+                    seen += 1;
+                    r.end_step(s);
+                }
+                None => break,
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(seen + skipped_total, 6, "every step consumed or skipped");
+        assert!(seen >= 1);
+    }
+
+    #[test]
+    fn step_at_least_closes_everything_below_target() {
+        let (mut writers, mut readers) = open_stream(StreamConfig {
+            queue_limit: 8,
+            ..StreamConfig::default()
+        });
+        let mut w = writers.remove(0);
+        let mut r = readers.remove(0);
+        for s in 0..4 {
+            w.begin_step();
+            w.put_f64("x", 1, 0, &[s as f64]);
+            w.end_step();
+        }
+        let (skipped, step) = r.begin_step_at_least(2);
+        let mut step = step.expect("step 2 exists");
+        assert_eq!(skipped, 2);
+        assert_eq!(step.step(), 2);
+        assert_eq!(step.get_f64("x"), vec![2.0]);
+        r.end_step(step);
+        // Target 3 is next in order: nothing left to skip.
+        let (skipped, step) = r.begin_step_at_least(3);
+        assert_eq!(skipped, 0);
+        r.end_step(step.expect("step 3 exists"));
+        w.close();
+        // Past-the-end target drains cleanly at EOF.
+        let (skipped, step) = r.begin_step_at_least(u64::MAX);
+        assert_eq!(skipped, 0);
+        assert!(step.is_none());
+    }
+
+    #[test]
+    fn step_at_least_drains_leftovers_when_writer_dies_short() {
+        let (mut writers, mut readers) = open_stream(StreamConfig {
+            queue_limit: 8,
+            ..StreamConfig::default()
+        });
+        let mut w = writers.remove(0);
+        let mut r = readers.remove(0);
+        for s in 0..3 {
+            w.begin_step();
+            w.put_f64("x", 1, 0, &[s as f64]);
+            w.end_step();
+        }
+        w.close();
+        // Target 10 never arrives; the 3 published steps are closed and
+        // counted so the stream winds down without leaking queue slots.
+        let (skipped, step) = r.begin_step_at_least(10);
+        assert_eq!(skipped, 3);
+        assert!(step.is_none());
+    }
+
+    #[test]
+    fn independent_readers_can_mix_blocking_and_latest() {
+        let cfg = StreamConfig {
+            readers: 2,
+            queue_limit: 8,
+            ..StreamConfig::default()
+        };
+        let (mut writers, mut readers) = open_stream(cfg);
+        let mut w = writers.remove(0);
+        let (mut blocking, mut dropping) = (readers.remove(0), readers.remove(0));
+        let producer = thread::spawn(move || {
+            for s in 0..4 {
+                w.begin_step();
+                w.put_f64("x", 1, 0, &[s as f64]);
+                w.end_step();
+            }
+            w.close();
+        });
+        let block_thread = thread::spawn(move || {
+            let mut seen = 0;
+            while let Some(step) = blocking.begin_step() {
+                blocking.end_step(step);
+                seen += 1;
+            }
+            seen
+        });
+        let mut processed = 0u64;
+        let mut dropped = 0u64;
+        loop {
+            let (skipped, step) = dropping.begin_latest_step();
+            dropped += skipped;
+            match step {
+                Some(s) => {
+                    processed += 1;
+                    dropping.end_step(s);
+                }
+                None => break,
+            }
+        }
+        assert_eq!(block_thread.join().unwrap(), 4, "blocking reader sees all");
+        assert_eq!(processed + dropped, 4, "dropping reader accounts for all");
+        producer.join().unwrap();
     }
 
     #[test]

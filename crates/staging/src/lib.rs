@@ -14,6 +14,23 @@
 //! the same separation of control metadata vs data plane as SST, with the
 //! paper's three planes (TCP fallback, MPI, libfabric with its enqueue-all
 //! vs batched read strategies) as timing models.
+//!
+//! # Step lifecycle contract
+//!
+//! A step is *pending* (writers contributing blocks) → *published* (last
+//! writer's [`SstWriter::end_step`] validated the tiling and queued it)
+//! → *retired* (every reader closed it; the queue slot frees, unblocking
+//! any writer waiting at the `queue_limit`). Writer time blocked on the
+//! full queue is recorded in [`SstWriter::stall_seconds`] — the honest
+//! back-pressure telemetry, separate from emission wall time.
+//!
+//! Readers consume independently, in order ([`SstReader::begin_step`])
+//! or skipping to the freshest published step
+//! ([`SstReader::begin_latest_step`] /
+//! [`SstReader::begin_step_at_least`]), where skipped steps are closed
+//! unread and release back-pressure immediately — the primitive behind
+//! the `DropSteps` consumer policy in `as-core`
+//! (`ConsumerPolicy::DropSteps`).
 
 pub mod dataplane;
 pub mod engine;

@@ -17,6 +17,8 @@ fn main() {
     cfg.total_steps = 48; // PIC steps
     cfg.steps_per_sample = 4; // one emission window every 4 steps
     cfg.n_rep = 8; // training iterations per window (experience replay)
+    cfg.producers = 2; // M slab-decomposed simulation ranks …
+    cfg.consumers = 2; // … streaming into K data-parallel learner ranks
 
     println!("running the in-transit workflow: simulation ∥ streaming ∥ training …");
     let report = run_workflow(&cfg);
@@ -25,9 +27,11 @@ fn main() {
         "producer: {} PIC steps in {:.2}s ({} windows published)",
         report.producer.steps, report.producer.sim_seconds, report.producer.windows
     );
+    let samples: u64 = report.consumer_summaries.iter().map(|s| s.samples).sum();
     println!(
-        "consumer: {} samples streamed, {} training iterations in {:.2}s",
-        report.consumer.samples,
+        "consumers: {} ranks, {} samples streamed, {} training iterations in {:.2}s",
+        report.consumer_summaries.len(),
+        samples,
         report.consumer.losses.len(),
         report.consumer.train_seconds
     );

@@ -1,13 +1,15 @@
 //! The §IV-B streaming benchmark in miniature: a PIC producer feeds the
 //! no-op consumer through the SST staging engine under different data
 //! planes and queue limits, demonstrating loose coupling, back-pressure
-//! and the "no filesystem anywhere" property.
+//! and the "no filesystem anywhere" property — then the two consumer
+//! streaming policies (blocking vs DropSteps) on the full coupled loop.
 //!
 //! Run with: `cargo run --release --example streaming_pipeline`
 
-use artificial_scientist::core::config::WorkflowConfig;
+use artificial_scientist::core::config::{ConsumerPolicy, WorkflowConfig};
 use artificial_scientist::core::noop::run_noop_consumer;
 use artificial_scientist::core::producer::run_producer;
+use artificial_scientist::core::workflow::run_workflow;
 use artificial_scientist::staging::dataplane::{DataPlane, ReadStrategy};
 use artificial_scientist::staging::engine::{open_stream, StreamConfig};
 
@@ -51,6 +53,30 @@ fn main() {
             particles.mean_throughput() / 1e6,
             particles.simulated_throughput() / 1e9,
             prod.stall_seconds,
+        );
+    }
+    println!();
+    println!("=== consumer streaming policies (full coupled loop) ===");
+    for policy in [
+        ConsumerPolicy::BlockingEveryStep,
+        ConsumerPolicy::DropSteps { max_queue: 2 },
+    ] {
+        let mut cfg = WorkflowConfig::small();
+        cfg.total_steps = 16;
+        cfg.steps_per_sample = 2;
+        cfg.n_rep = 6; // deliberately consumer-bound
+        cfg.policy = policy;
+        let report = run_workflow(&cfg);
+        let c = &report.consumer;
+        println!(
+            "policy {:<10}: trained on {}/{} windows (dropped {}), \
+             producer stall {:4.1} %, {:4.1} windows/s",
+            policy.label(),
+            c.windows,
+            c.published_windows,
+            c.dropped_windows,
+            report.producer.stall_fraction() * 100.0,
+            report.windows_per_second(),
         );
     }
     println!();

@@ -1,0 +1,168 @@
+//! Consumer streaming policies: DropSteps accounting, bounded producer
+//! stall, owner-broadcast sample sharing, and DDP safety under drops.
+
+use artificial_scientist::core::config::{ConsumerPolicy, WorkflowConfig};
+use artificial_scientist::core::workflow::{run_workflow, WorkflowReport};
+
+fn slow_consumer_cfg() -> WorkflowConfig {
+    let mut cfg = WorkflowConfig::small();
+    cfg.total_steps = 16;
+    cfg.steps_per_sample = 2; // 8 windows
+    cfg.n_rep = 8; // training dominates → consumer-bound loop
+    cfg.queue_limit = 2;
+    cfg
+}
+
+/// Every published window must be consumed, dropped, or orphaned —
+/// nothing lost silently — on every consumer rank.
+fn assert_accounting(report: &WorkflowReport) {
+    for s in &report.consumer_summaries {
+        assert_eq!(
+            s.windows + s.dropped_windows + s.orphaned_windows,
+            s.published_windows,
+            "rank {}: published windows must be fully accounted",
+            s.rank
+        );
+        assert_eq!(
+            s.published_windows, report.producer.windows,
+            "rank {}: stream count matches the producer",
+            s.rank
+        );
+    }
+}
+
+#[test]
+fn drop_steps_accounts_for_every_window_1x1() {
+    let mut cfg = slow_consumer_cfg();
+    cfg.policy = ConsumerPolicy::DropSteps { max_queue: 2 };
+    let report = run_workflow(&cfg);
+    assert_eq!(report.producer.windows, 8);
+    assert_accounting(&report);
+    assert_eq!(report.consumer.orphaned_windows, 0);
+    // The consumer still trains on what it does take.
+    assert!(report.consumer.windows >= 1);
+    assert!(!report.consumer.losses.is_empty());
+    assert!(report.consumer.losses.iter().all(|l| l.total.is_finite()));
+    // The freshest-step policy keeps the last window: its owned list must
+    // end on the final emission.
+    assert_eq!(
+        *report.consumer.owned_windows.last().expect("nonempty"),
+        cfg.total_steps as u64,
+        "the newest window is never dropped at end of stream"
+    );
+}
+
+#[test]
+fn drop_steps_bounds_stall_under_tight_queue() {
+    // max_queue 1 admits at most one in-flight window, so the producer's
+    // stall per window is bounded by one consumer service cycle; the
+    // stall telemetry must stay a strict subset of emit wall time and
+    // the accounting identity must hold exactly.
+    let mut cfg = slow_consumer_cfg();
+    cfg.policy = ConsumerPolicy::DropSteps { max_queue: 1 };
+    let report = run_workflow(&cfg);
+    assert_accounting(&report);
+    assert!(
+        report.producer.stall_seconds > 0.0,
+        "a slow consumer must still register real back-pressure"
+    );
+    assert!(report.producer.stall_seconds <= report.producer.emit_seconds);
+}
+
+#[test]
+fn drop_steps_reduces_producer_stall_vs_blocking() {
+    let blocking_cfg = slow_consumer_cfg();
+    let blocking = run_workflow(&blocking_cfg);
+
+    let mut drop_cfg = slow_consumer_cfg();
+    drop_cfg.policy = ConsumerPolicy::DropSteps {
+        max_queue: blocking_cfg.queue_limit,
+    };
+    let dropping = run_workflow(&drop_cfg);
+
+    assert_accounting(&blocking);
+    assert_accounting(&dropping);
+    assert_eq!(blocking.consumer.dropped_windows, 0, "blocking never drops");
+    assert!(
+        dropping.consumer.dropped_windows > 0,
+        "a consumer 8× slower than the producer must skip windows"
+    );
+    // The policy's whole point: same physics, same queue depth, less
+    // simulation time lost to back-pressure.
+    assert!(
+        dropping.producer.stall_seconds < blocking.producer.stall_seconds,
+        "DropSteps must reduce producer stall: {} vs {} s",
+        dropping.producer.stall_seconds,
+        blocking.producer.stall_seconds
+    );
+    assert!(
+        dropping.producer.stall_fraction() < blocking.producer.stall_fraction(),
+        "DropSteps must reduce the stall fraction: {} vs {}",
+        dropping.producer.stall_fraction(),
+        blocking.producer.stall_fraction()
+    );
+}
+
+#[test]
+fn drop_steps_2x2_stays_synced_and_accounts() {
+    let mut cfg = WorkflowConfig::small();
+    cfg.total_steps = 16;
+    cfg.steps_per_sample = 4;
+    cfg.n_rep = 3;
+    cfg.producers = 2;
+    cfg.consumers = 2;
+    cfg.policy = ConsumerPolicy::DropSteps { max_queue: 2 };
+    cfg.sample_broadcast = true;
+    let report = run_workflow(&cfg);
+    assert_eq!(report.producer.windows, 4);
+    assert_accounting(&report);
+    // Rank 0 decides which windows to take, so every rank processes and
+    // drops the same set — the collective schedule never diverges.
+    let w0 = report.consumer_summaries[0].windows;
+    let d0 = report.consumer_summaries[0].dropped_windows;
+    for s in &report.consumer_summaries {
+        assert_eq!(s.windows, w0, "rank {} window count diverged", s.rank);
+        assert_eq!(s.dropped_windows, d0, "rank {} drop count diverged", s.rank);
+    }
+    // DDP invariant survives dropping: bit-identical parameters.
+    let h0 = report.consumer_summaries[0].param_hash;
+    assert!(report.consumer_summaries.iter().all(|s| s.param_hash == h0));
+    // Processed windows partition across ranks exactly once.
+    let consumed = report.consumed_windows();
+    let mut dedup = consumed.clone();
+    dedup.dedup();
+    assert_eq!(consumed, dedup, "no window trained twice");
+    assert_eq!(consumed.len() as u64, w0);
+}
+
+#[test]
+fn sample_broadcast_feeds_every_rank_from_one_encode() {
+    let mut cfg = WorkflowConfig::small();
+    cfg.total_steps = 16;
+    cfg.steps_per_sample = 4;
+    cfg.n_rep = 3;
+    cfg.consumers = 2;
+    cfg.sample_broadcast = true;
+    let report = run_workflow(&cfg);
+    assert_eq!(report.producer.windows, 4);
+    assert_accounting(&report);
+    // Ownership still partitions the stream (each window encoded once)…
+    let consumed = report.consumed_windows();
+    assert_eq!(consumed.len() as u64, report.producer.windows);
+    // …but every rank's buffer received every window's samples.
+    let s0 = report.consumer_summaries[0].samples;
+    assert!(s0 > 0);
+    for s in &report.consumer_summaries {
+        assert_eq!(
+            s.samples, s0,
+            "rank {}: broadcast must equalise sample counts",
+            s.rank
+        );
+        assert_eq!(s.windows, report.producer.windows);
+    }
+    // The non-owning ranks never fetched the broadcast windows' particle
+    // payload: their stream traffic is below the owner-fetch total of a
+    // rank that owns only half the windows yet holds all samples.
+    let h0 = report.consumer_summaries[0].param_hash;
+    assert!(report.consumer_summaries.iter().all(|s| s.param_hash == h0));
+}
