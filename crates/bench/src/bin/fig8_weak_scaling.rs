@@ -10,6 +10,7 @@
 //! ≈30 % deficit and the naive distributed MMD the rest.
 
 use as_bench::{fig8_batch_time, fig8_efficiency_series, PAPER_BATCH_COMPUTE, PAPER_GRAD_BYTES};
+use as_cluster::comm::CommWorld;
 use as_cluster::machine::FRONTIER;
 use as_nn::ddp::{train_ddp, DdpConfig};
 use as_nn::model::ModelConfig;
@@ -48,6 +49,7 @@ fn measured_ddp() {
                 m_vae: 1.0,
             },
             &batches,
+            CommWorld::new(replicas).into_endpoints(),
         );
         // Skip the first (warm-up) iteration; remove >4σ outliers.
         let times: Vec<f64> = out.iteration_seconds[1..].to_vec();

@@ -1,37 +1,56 @@
 //! Coupled-workflow scaling: the M-producer × K-consumer topology sweep,
-//! under both consumer streaming policies.
+//! under both consumer streaming policies and across collective-comm
+//! backends.
 //!
 //! The paper's headline is the *coupled loop* at scale — many simulation
 //! ranks streaming into data-parallel learner ranks (§IV-B–D, Fig. 8).
 //! This harness runs the real end-to-end workflow (`run_workflow`) on the
 //! small KHI box for a fixed seed across topologies M×K ∈
-//! {1×1, 2×1, 2×2, 4×2} × policies {BlockingEveryStep, DropSteps} and
-//! records, per row:
+//! {1×1, 2×1, 2×2, 4×2} × policies {BlockingEveryStep, DropSteps} ×
+//! comm backends {in_process, netsim-frontier} and records, per row:
 //!
 //! - **windows/s** — streamed emission windows per wall second,
 //! - **stall fraction** — producer wall time lost to staging
 //!   back-pressure (the honest queue-blocked time, not emit wall time),
 //! - **dropped windows** — windows the consumers skipped unread
 //!   (`DropSteps` only; the blocking policy never drops),
+//! - **comm bytes** — inter-rank collective payload per group
+//!   (producer slabs vs DDP learners), from the backend's world counter,
+//! - **comm model seconds** — the netsim backend's modelled fabric time
+//!   (0 for in-process),
 //! - **tail loss** — mean total loss of the last training iterations,
 //!
 //! and writes `BENCH_workflow.json`. The DropSteps rows use the same
 //! queue depth as the blocking rows, so the stall delta is purely the
 //! policy. K>1 DropSteps rows also enable owner-computed sample
-//! broadcast (the round-robin owner encodes once and shares the encoded
-//! samples), the configuration aimed at the ROADMAP's stall numbers.
+//! broadcast and the overlapped (non-blocking) gradient sync — the
+//! configuration aimed at the ROADMAP's stall numbers. The
+//! netsim-frontier rows run the identical numerics (delays never change
+//! payloads — asserted in `tests/comm_backends.rs`) with every
+//! collective charged Frontier's latency/fair-share-bandwidth cost.
 //!
-//! Pass `--smoke` for the CI-sized run,
+//! Pass `--smoke` for the CI-sized run, `--backends in_process` (or
+//! `netsim_frontier`) to restrict the sweep,
 //! `--steps/--steps-per-sample/--n-rep/--out` to override.
 
-use as_core::config::{ConsumerPolicy, WorkflowConfig};
+use as_core::config::{CommBackend, ConsumerPolicy, WorkflowConfig};
 use as_core::workflow::run_workflow;
 
 struct Args {
     steps: usize,
     steps_per_sample: usize,
     n_rep: u32,
+    backends: Vec<CommBackend>,
     out: String,
+}
+
+fn parse_backend(label: &str) -> CommBackend {
+    match label.replace('-', "_").as_str() {
+        "in_process" => CommBackend::InProcess,
+        "netsim_frontier" => CommBackend::netsim_frontier(),
+        "netsim_summit" => CommBackend::netsim_summit(),
+        other => panic!("unknown backend {other} (in_process|netsim_frontier|netsim_summit)"),
+    }
 }
 
 fn parse_args() -> Args {
@@ -39,6 +58,7 @@ fn parse_args() -> Args {
         steps: 48,
         steps_per_sample: 4,
         n_rep: 6,
+        backends: vec![CommBackend::InProcess, CommBackend::netsim_frontier()],
         out: "BENCH_workflow.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -51,6 +71,7 @@ fn parse_args() -> Args {
             "--steps" => a.steps = val().parse().expect("--steps"),
             "--steps-per-sample" => a.steps_per_sample = val().parse().expect("--steps-per-sample"),
             "--n-rep" => a.n_rep = val().parse().expect("--n-rep"),
+            "--backends" => a.backends = val().split(',').map(parse_backend).collect(),
             "--out" => a.out = val(),
             "--smoke" => {
                 // CI-sized but still consumer-bound: windows come every 2
@@ -68,6 +89,7 @@ fn parse_args() -> Args {
 }
 
 struct TopoRow {
+    backend: String,
     producers: usize,
     consumers: usize,
     policy: &'static str,
@@ -79,6 +101,9 @@ struct TopoRow {
     stall_seconds: f64,
     stall_fraction: f64,
     bytes: u64,
+    producer_comm_bytes: u64,
+    consumer_comm_bytes: u64,
+    comm_model_seconds: f64,
     samples: u64,
     iterations: usize,
     tail_loss: f64,
@@ -89,84 +114,93 @@ fn main() {
     let topologies = [(1usize, 1usize), (2, 1), (2, 2), (4, 2)];
     let mut rows: Vec<TopoRow> = Vec::new();
 
-    for (m, k) in topologies {
-        for drop in [false, true] {
-            let mut cfg = WorkflowConfig::small();
-            cfg.total_steps = a.steps;
-            cfg.steps_per_sample = a.steps_per_sample;
-            cfg.n_rep = a.n_rep;
-            cfg.producers = m;
-            cfg.consumers = k;
-            if drop {
-                // Same queue depth as blocking: the row differences are
-                // the policy, not the buffer budget.
-                cfg.policy = ConsumerPolicy::DropSteps {
-                    max_queue: cfg.queue_limit,
-                };
-                cfg.sample_broadcast = k > 1;
-            }
-            eprintln!(
-                "fig_workflow_scaling: {m}×{k} {} ({} steps, window every {}, n_rep {})",
-                cfg.policy.label(),
-                a.steps,
-                a.steps_per_sample,
-                a.n_rep
-            );
-            let report = run_workflow(&cfg);
-            // Unique encodes: with sample_broadcast every rank's buffer
-            // receives every encoded sample, so any single rank's count
-            // is the total — summing across ranks would double-count.
-            let samples: u64 = if cfg.sample_broadcast {
-                report.consumer.samples
-            } else {
-                report.consumer_summaries.iter().map(|s| s.samples).sum()
-            };
-            let consumed = report.consumed_windows();
-            for s in &report.consumer_summaries {
-                assert_eq!(
-                    s.windows + s.dropped_windows + s.orphaned_windows,
-                    s.published_windows,
-                    "{m}×{k} {}: rank {} must account for every published window",
+    for &backend in &a.backends {
+        for (m, k) in topologies {
+            for drop in [false, true] {
+                let mut cfg = WorkflowConfig::small();
+                cfg.total_steps = a.steps;
+                cfg.steps_per_sample = a.steps_per_sample;
+                cfg.n_rep = a.n_rep;
+                cfg.producers = m;
+                cfg.consumers = k;
+                cfg.backend = backend;
+                if drop {
+                    // Same queue depth as blocking: the row differences are
+                    // the policy, not the buffer budget.
+                    cfg.policy = ConsumerPolicy::drop_steps(cfg.queue_limit);
+                    cfg.sample_broadcast = k > 1;
+                    cfg.overlap_grad_sync = k > 1;
+                }
+                eprintln!(
+                    "fig_workflow_scaling: {m}×{k} {} on {} ({} steps, window every {}, n_rep {})",
                     cfg.policy.label(),
-                    s.rank
+                    cfg.backend.label(),
+                    a.steps,
+                    a.steps_per_sample,
+                    a.n_rep
                 );
-            }
-            if !drop {
-                assert_eq!(
-                    consumed.len() as u64,
-                    report.producer.windows,
-                    "{m}×{k} blocking: every window must be consumed exactly once"
+                let report = run_workflow(&cfg);
+                // Unique encodes: with sample_broadcast every rank's buffer
+                // receives every encoded sample, so any single rank's count
+                // is the total — summing across ranks would double-count.
+                let samples: u64 = if cfg.sample_broadcast {
+                    report.consumer.samples
+                } else {
+                    report.consumer_summaries.iter().map(|s| s.samples).sum()
+                };
+                let consumed = report.consumed_windows();
+                for s in &report.consumer_summaries {
+                    assert_eq!(
+                        s.windows + s.dropped_windows + s.orphaned_windows,
+                        s.published_windows,
+                        "{m}×{k} {}: rank {} must account for every published window",
+                        cfg.policy.label(),
+                        s.rank
+                    );
+                }
+                if !drop {
+                    assert_eq!(
+                        consumed.len() as u64,
+                        report.producer.windows,
+                        "{m}×{k} blocking: every window must be consumed exactly once"
+                    );
+                }
+                let h0 = report.consumer_summaries[0].param_hash;
+                assert!(
+                    report.consumer_summaries.iter().all(|s| s.param_hash == h0),
+                    "{m}×{k}: learner ranks must stay bit-identical"
                 );
+                let row = TopoRow {
+                    backend: cfg.backend.label(),
+                    producers: m,
+                    consumers: k,
+                    policy: cfg.policy.label(),
+                    windows: report.producer.windows,
+                    consumed: consumed.len() as u64,
+                    dropped: report.consumer.dropped_windows,
+                    wall_seconds: report.wall_seconds,
+                    windows_per_sec: report.windows_per_second(),
+                    stall_seconds: report.producer.stall_seconds,
+                    stall_fraction: report.producer.stall_fraction(),
+                    bytes: report.producer.bytes,
+                    producer_comm_bytes: report.producer_comm_bytes(),
+                    consumer_comm_bytes: report.consumer_comm_bytes(),
+                    comm_model_seconds: report.comm_model_seconds(),
+                    samples,
+                    iterations: report.consumer.losses.len(),
+                    tail_loss: report.tail_loss(4),
+                };
+                eprintln!(
+                    "  {:>4.1} windows/s  stall {:5.1} %  dropped {}  comm {}+{} B  tail loss {:.4}",
+                    row.windows_per_sec,
+                    row.stall_fraction * 100.0,
+                    row.dropped,
+                    row.producer_comm_bytes,
+                    row.consumer_comm_bytes,
+                    row.tail_loss
+                );
+                rows.push(row);
             }
-            let h0 = report.consumer_summaries[0].param_hash;
-            assert!(
-                report.consumer_summaries.iter().all(|s| s.param_hash == h0),
-                "{m}×{k}: learner ranks must stay bit-identical"
-            );
-            let row = TopoRow {
-                producers: m,
-                consumers: k,
-                policy: cfg.policy.label(),
-                windows: report.producer.windows,
-                consumed: consumed.len() as u64,
-                dropped: report.consumer.dropped_windows,
-                wall_seconds: report.wall_seconds,
-                windows_per_sec: report.windows_per_second(),
-                stall_seconds: report.producer.stall_seconds,
-                stall_fraction: report.producer.stall_fraction(),
-                bytes: report.producer.bytes,
-                samples,
-                iterations: report.consumer.losses.len(),
-                tail_loss: report.tail_loss(4),
-            };
-            eprintln!(
-                "  {:>4.1} windows/s  stall {:5.1} %  dropped {}  tail loss {:.4}",
-                row.windows_per_sec,
-                row.stall_fraction * 100.0,
-                row.dropped,
-                row.tail_loss
-            );
-            rows.push(row);
         }
     }
 
@@ -177,7 +211,8 @@ fn main() {
     ));
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"producers\": {}, \"consumers\": {}, \"policy\": \"{}\", \"windows\": {}, \"consumed\": {}, \"dropped\": {}, \"wall_seconds\": {:.4}, \"windows_per_sec\": {:.3}, \"stall_seconds\": {:.4}, \"stall_fraction\": {:.4}, \"bytes\": {}, \"samples\": {}, \"iterations\": {}, \"tail_loss\": {:.6}}}{}\n",
+            "    {{\"backend\": \"{}\", \"producers\": {}, \"consumers\": {}, \"policy\": \"{}\", \"windows\": {}, \"consumed\": {}, \"dropped\": {}, \"wall_seconds\": {:.4}, \"windows_per_sec\": {:.3}, \"stall_seconds\": {:.4}, \"stall_fraction\": {:.4}, \"bytes\": {}, \"producer_comm_bytes\": {}, \"consumer_comm_bytes\": {}, \"comm_model_seconds\": {:.6}, \"samples\": {}, \"iterations\": {}, \"tail_loss\": {:.6}}}{}\n",
+            r.backend,
             r.producers,
             r.consumers,
             r.policy,
@@ -189,6 +224,9 @@ fn main() {
             r.stall_seconds,
             r.stall_fraction,
             r.bytes,
+            r.producer_comm_bytes,
+            r.consumer_comm_bytes,
+            r.comm_model_seconds,
             r.samples,
             r.iterations,
             r.tail_loss,

@@ -1,0 +1,546 @@
+//! The pluggable collective-communication layer.
+//!
+//! Every inter-rank exchange in the workflow — the PIC halo exchange and
+//! particle migration (`as_pic::domain`), the producer's per-window
+//! offset allgather and radiation allreduce (`as_core::producer`), the
+//! consumer group's go/no-go, sample broadcast and loss mean
+//! (`as_core::consumer`), and the DDP gradient buckets (`as_nn::ddp`) —
+//! goes through the [`Collective`] trait defined here instead of a
+//! concrete transport.
+//! Two backends ship:
+//!
+//! - [`ChannelComm`] (an alias for [`crate::comm::Communicator`]): the
+//!   in-process thread/channel transport. Bit-exact with the historical
+//!   direct-`Communicator` paths — the trait impl is pure delegation.
+//! - [`SimNetComm`]: wraps any backend and charges every operation the
+//!   latency/bandwidth cost of a modelled fabric ([`NetModel`], derived
+//!   from [`crate::netsim::NetSpec`] max-min fair sharing and the
+//!   [`crate::machine`] presets), optionally injecting the modelled
+//!   delay as real wall time. Payloads are untouched, so numerics are
+//!   **bit-identical** to the wrapped backend — only timing (and the
+//!   modelled-seconds telemetry) changes. This is what lets one box
+//!   rehearse a Frontier-class fabric (`NetModel::frontier_paper`).
+//!
+//! Workflow code is generic over `C: Collective`; concrete backends are
+//! constructed only at the topology roots (`as_core::workflow`, tests,
+//! benches). The backend choice is a config knob
+//! (`as_core::config::CommBackend`), and the non-blocking DDP bucket
+//! worker (`as_nn::ddp::OverlappedGradSync`) relies on the `Send + Sync`
+//! supertrait bounds to share an endpoint with its comm thread.
+//!
+//! # Bytes accounting
+//!
+//! [`Collective::world_bytes_sent`] exposes the world-wide payload
+//! traffic counter (slice-typed sends and the ring collectives are
+//! counted automatically; for opaque structured messages the sender
+//! declares the serialized size via [`Collective::account_payload`] —
+//! the consumer's sample broadcast does). The workflow surfaces the
+//! counter per run in `WorkflowReport` and `BENCH_workflow.json`.
+
+use crate::comm::{CommWorld, Communicator};
+use crate::machine::{MachineSpec, FRONTIER, SUMMIT};
+use crate::netsim::{Flow, NetSim, NetSpec};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The in-process backend: the thread/channel [`Communicator`] itself.
+///
+/// Construct worlds with [`crate::comm::CommWorld::new`]; the trait impl
+/// below delegates every method to the inherent implementation, so code
+/// written against `Collective` is bit-exact with code that called the
+/// `Communicator` directly.
+pub type ChannelComm = Communicator;
+
+/// An MPI-like collective-communication endpoint: one rank's handle in a
+/// fixed-size world.
+///
+/// The contract mirrors MPI semantics as used by this workflow:
+///
+/// - collectives are **blocking** and must be invoked by every rank of
+///   the world in the same order (the callers keep their collective
+///   schedules deterministic — e.g. the DropSteps consumer broadcasts
+///   the freshest-step decision so all ranks skip the same windows);
+/// - point-to-point messages are matched by `(source, tag)` and are FIFO
+///   per `(source, tag)` pair, which is what lets back-to-back ring
+///   all-reduces (the DDP gradient buckets of
+///   `as_nn::ddp::sync_gradients_bucketed`) pipeline without barriers;
+/// - the reduction order inside each all-reduce is deterministic and
+///   identical on every rank, so post-reduce buffers are bit-identical
+///   across ranks and across backends.
+///
+/// `Send + Sync + 'static` is part of the trait: endpoints move into
+/// rank threads, and an endpoint may be shared (behind `Arc`) with a
+/// dedicated comm-worker thread (`as_nn::ddp::OverlappedGradSync`) —
+/// with the usual MPI caveat that only one thread at a time may drive a
+/// given endpoint's collective schedule.
+pub trait Collective: Send + Sync + 'static {
+    /// This endpoint's rank in `0..size`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the world.
+    fn size(&self) -> usize;
+
+    /// Synchronise all ranks.
+    fn barrier(&self);
+
+    /// Send `value` to rank `dest` with message tag `tag` (eager, never
+    /// blocks). Opaque payload: not counted by the traffic counter.
+    fn send<T: Send + 'static>(&self, dest: usize, tag: u64, value: T);
+
+    /// Send a typed vector, accounting its payload size in the world
+    /// traffic counter.
+    fn send_vec<T: Send + 'static>(&self, dest: usize, tag: u64, value: Vec<T>);
+
+    /// Blocking receive of a `T` from `source` with tag `tag`.
+    fn recv<T: Send + 'static>(&self, source: usize, tag: u64) -> T;
+
+    /// Broadcast from `root`; every rank returns the value. Only `root`
+    /// may pass `Some`.
+    fn broadcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T;
+
+    /// Gather every rank's value at `root`; `Some(values)` on root
+    /// (indexed by rank), `None` elsewhere.
+    fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>>;
+
+    /// All-gather: every rank contributes `value` and receives the
+    /// rank-indexed vector of all contributions.
+    fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T>;
+
+    /// In-place all-reduce (sum) over an `f32` buffer.
+    fn allreduce_sum_f32(&self, buf: &mut [f32]);
+
+    /// In-place all-reduce (sum) over an `f64` buffer.
+    fn allreduce_sum_f64(&self, buf: &mut [f64]);
+
+    /// In-place all-reduce (element-wise max) over an `f64` buffer.
+    fn allreduce_max_f64(&self, buf: &mut [f64]);
+
+    /// Scalar sum all-reduce convenience.
+    fn allreduce_scalar_f64(&self, v: f64) -> f64 {
+        let mut buf = [v];
+        self.allreduce_sum_f64(&mut buf);
+        buf[0]
+    }
+
+    /// Total payload bytes sent across the whole world so far (slice-
+    /// typed sends and ring collectives; monotone, shared by all ranks).
+    fn world_bytes_sent(&self) -> u64;
+
+    /// Record `bytes` of payload carried by opaque messages this rank is
+    /// about to send (a `broadcast`/`gather` of structured values whose
+    /// heap size the type system hides from the transport). Backends add
+    /// it to the world traffic counter; modelled fabrics also charge the
+    /// bandwidth cost. Purely local — never communicates — so calling it
+    /// on one rank cannot desynchronise a collective schedule.
+    fn account_payload(&self, bytes: u64);
+
+    /// Seconds of fabric time the backend's network model has charged so
+    /// far, world-wide. `0.0` for backends without a model (the
+    /// in-process channels are "free"); [`SimNetComm`] accumulates the
+    /// modelled latency/bandwidth cost here whether or not it injects
+    /// the delay as wall time.
+    fn modelled_comm_seconds(&self) -> f64 {
+        0.0
+    }
+}
+
+impl Collective for Communicator {
+    fn rank(&self) -> usize {
+        Communicator::rank(self)
+    }
+    fn size(&self) -> usize {
+        Communicator::size(self)
+    }
+    fn barrier(&self) {
+        Communicator::barrier(self)
+    }
+    fn send<T: Send + 'static>(&self, dest: usize, tag: u64, value: T) {
+        Communicator::send(self, dest, tag, value)
+    }
+    fn send_vec<T: Send + 'static>(&self, dest: usize, tag: u64, value: Vec<T>) {
+        Communicator::send_vec(self, dest, tag, value)
+    }
+    fn recv<T: Send + 'static>(&self, source: usize, tag: u64) -> T {
+        Communicator::recv(self, source, tag)
+    }
+    fn broadcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
+        Communicator::broadcast(self, root, value)
+    }
+    fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        Communicator::gather(self, root, value)
+    }
+    fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
+        Communicator::allgather(self, value)
+    }
+    fn allreduce_sum_f32(&self, buf: &mut [f32]) {
+        Communicator::allreduce_sum_f32(self, buf)
+    }
+    fn allreduce_sum_f64(&self, buf: &mut [f64]) {
+        Communicator::allreduce_sum_f64(self, buf)
+    }
+    fn allreduce_max_f64(&self, buf: &mut [f64]) {
+        Communicator::allreduce_max_f64(self, buf)
+    }
+    fn allreduce_scalar_f64(&self, v: f64) -> f64 {
+        Communicator::allreduce_scalar_f64(self, v)
+    }
+    fn world_bytes_sent(&self) -> u64 {
+        Communicator::world_bytes_sent(self)
+    }
+    fn account_payload(&self, bytes: u64) {
+        Communicator::account_payload(self, bytes)
+    }
+}
+
+/// Per-rank fabric cost model behind [`SimNetComm`]: a fixed per-message
+/// latency plus a fair-share bandwidth, with a knob for how much of the
+/// modelled delay is injected as real wall time.
+///
+/// The bandwidth is **not** a free parameter: [`NetModel::from_machine`]
+/// builds the machine's topology as a [`NetSpec`] (one NIC-share egress
+/// link per rank, one tapered global bisection link) and runs the
+/// [`NetSim`] max-min fair allocation with all ranks transmitting at
+/// once — the steady-state fair share under full contention is the rate
+/// every message is charged at. That reproduces the congestion knee the
+/// paper's scaling studies hinge on: below the bisection saturation
+/// point the NIC share limits, beyond it the bisection does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetModel {
+    /// Seconds charged per message (per hop aggregate).
+    pub latency: f64,
+    /// Fair-share bandwidth per rank under full contention, bytes/second.
+    pub bytes_per_second: f64,
+    /// Fraction of the modelled delay injected as real wall time
+    /// (`thread::sleep`). `1.0` delays in "real" modelled time, `0.0`
+    /// records the cost without sleeping (numerics are unaffected either
+    /// way — delays never change payloads).
+    pub time_scale: f64,
+}
+
+impl NetModel {
+    /// Derive the fair-share model for `ranks` ranks placed
+    /// `ranks_per_node` per node on `machine`, by running the max-min
+    /// fair [`NetSim`] allocation on the machine's NIC + bisection
+    /// topology with every rank transmitting concurrently.
+    pub fn from_machine(
+        machine: &MachineSpec,
+        ranks: usize,
+        ranks_per_node: usize,
+        time_scale: f64,
+    ) -> Self {
+        let ranks = ranks.max(1);
+        let ranks_per_node = ranks_per_node.max(1);
+        let nodes = ranks.div_ceil(ranks_per_node);
+        let mut spec = NetSpec::new();
+        let bisection = spec.add_link(machine.bisection_bandwidth(nodes).max(1.0));
+        let egress_cap =
+            machine.nic_bandwidth * machine.nics_per_node as f64 / ranks_per_node as f64;
+        let egress: Vec<_> = (0..ranks).map(|_| spec.add_link(egress_cap)).collect();
+        // One equal-sized flow per rank through (its egress, the
+        // bisection): the max-min allocation under full contention.
+        let mut sim = NetSim::new(spec);
+        let payload = 1.0e6;
+        for e in egress {
+            sim.add_flow(Flow::immediate(vec![e, bisection], payload));
+        }
+        let outcomes = sim.run();
+        // All flows are identical, so every mean rate is the fair share.
+        let fair_rate = outcomes[0].mean_rate.min(egress_cap);
+        Self {
+            latency: machine.net_latency,
+            bytes_per_second: fair_rate.max(1.0),
+            time_scale,
+        }
+    }
+
+    /// The paper's primary fabric: Frontier, 8 GCD-ranks per node,
+    /// modelled delays injected at full scale.
+    pub fn frontier_paper(ranks: usize) -> Self {
+        Self::from_machine(&FRONTIER, ranks, FRONTIER.gpus_per_node, 1.0)
+    }
+
+    /// The paper's 2019 baseline fabric: Summit, 6 ranks per node.
+    pub fn summit_paper(ranks: usize) -> Self {
+        Self::from_machine(&SUMMIT, ranks, SUMMIT.gpus_per_node, 1.0)
+    }
+
+    /// Modelled cost of `messages` messages moving `bytes` payload.
+    pub fn delay_seconds(&self, messages: u64, bytes: u64) -> f64 {
+        messages as f64 * self.latency + bytes as f64 / self.bytes_per_second
+    }
+}
+
+/// A [`Collective`] backend wrapped with a modelled network fabric.
+///
+/// Every operation first charges the [`NetModel`] cost of the messages
+/// it is about to put on the wire (accumulated world-wide in
+/// [`Collective::modelled_comm_seconds`] and, scaled by
+/// `NetModel::time_scale`, injected as real wall time), then delegates
+/// to the inner backend unchanged. Because payloads never change,
+/// **numerics are bit-identical to the wrapped backend** — asserted
+/// end-to-end by the cross-backend workflow determinism test.
+///
+/// Charging is byte-accurate for the sized operations (the ring
+/// all-reduces and `send_vec`) and latency-only for opaque single-value
+/// messages (`send`, `broadcast`, `gather`, `allgather`), whose payload
+/// size the type system hides.
+pub struct SimNetComm<C: Collective> {
+    inner: C,
+    model: NetModel,
+    /// World-wide modelled fabric nanoseconds (shared by all endpoints).
+    modelled_nanos: Arc<AtomicU64>,
+}
+
+impl<C: Collective> SimNetComm<C> {
+    /// Wrap one endpoint. All endpoints of a world must share the
+    /// `modelled_nanos` counter — use [`SimNetComm::world`] unless you
+    /// are assembling a world by hand.
+    pub fn new(inner: C, model: NetModel, modelled_nanos: Arc<AtomicU64>) -> Self {
+        Self {
+            inner,
+            model,
+            modelled_nanos,
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// The fabric model in force.
+    pub fn model(&self) -> &NetModel {
+        &self.model
+    }
+
+    fn charge(&self, messages: u64, bytes: u64) {
+        if messages == 0 && bytes == 0 {
+            return;
+        }
+        let secs = self.model.delay_seconds(messages, bytes);
+        self.modelled_nanos
+            .fetch_add((secs * 1e9) as u64, Ordering::Relaxed);
+        if self.model.time_scale > 0.0 {
+            let wall = secs * self.model.time_scale;
+            if wall > 0.0 {
+                std::thread::sleep(std::time::Duration::from_secs_f64(wall));
+            }
+        }
+    }
+
+    /// Cost of one ring all-reduce over `bytes` of payload, charged to
+    /// the calling rank: `2(p-1)` message latencies and `2(p-1)/p` of
+    /// the buffer crossing this rank's link (the [`crate::collectives`]
+    /// alpha-beta ring model, matching the real traffic the inner
+    /// implementation generates).
+    fn charge_ring_allreduce(&self, bytes: u64) {
+        let p = self.size() as u64;
+        if p <= 1 || bytes == 0 {
+            return;
+        }
+        let wire_bytes = (2 * (p - 1)).saturating_mul(bytes) / p;
+        self.charge(2 * (p - 1), wire_bytes);
+    }
+}
+
+impl SimNetComm<ChannelComm> {
+    /// Build a full world of `size` in-process endpoints wrapped with
+    /// `model`, sharing one modelled-time counter.
+    pub fn world(size: usize, model: NetModel) -> Vec<SimNetComm<ChannelComm>> {
+        let nanos = Arc::new(AtomicU64::new(0));
+        CommWorld::new(size)
+            .into_endpoints()
+            .into_iter()
+            .map(|c| SimNetComm::new(c, model, nanos.clone()))
+            .collect()
+    }
+}
+
+impl<C: Collective> Collective for SimNetComm<C> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+    fn barrier(&self) {
+        self.charge(1, 0);
+        self.inner.barrier()
+    }
+    fn send<T: Send + 'static>(&self, dest: usize, tag: u64, value: T) {
+        self.charge(1, 0);
+        self.inner.send(dest, tag, value)
+    }
+    fn send_vec<T: Send + 'static>(&self, dest: usize, tag: u64, value: Vec<T>) {
+        self.charge(1, (value.len() * std::mem::size_of::<T>()) as u64);
+        self.inner.send_vec(dest, tag, value)
+    }
+    fn recv<T: Send + 'static>(&self, source: usize, tag: u64) -> T {
+        // The sender carries the cost; receiving is the matching wait.
+        self.inner.recv(source, tag)
+    }
+    fn broadcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
+        if self.rank() == root {
+            self.charge(self.size() as u64 - 1, 0);
+        }
+        self.inner.broadcast(root, value)
+    }
+    fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        if self.rank() != root {
+            self.charge(1, 0);
+        }
+        self.inner.gather(root, value)
+    }
+    fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
+        // Gather to root + broadcast back: every non-root rank pays one
+        // send, root pays the fan-out.
+        let p = self.size() as u64;
+        if p > 1 {
+            if self.rank() == 0 {
+                self.charge(p - 1, 0);
+            } else {
+                self.charge(1, 0);
+            }
+        }
+        self.inner.allgather(value)
+    }
+    fn allreduce_sum_f32(&self, buf: &mut [f32]) {
+        self.charge_ring_allreduce((buf.len() * 4) as u64);
+        self.inner.allreduce_sum_f32(buf)
+    }
+    fn allreduce_sum_f64(&self, buf: &mut [f64]) {
+        self.charge_ring_allreduce((buf.len() * 8) as u64);
+        self.inner.allreduce_sum_f64(buf)
+    }
+    fn allreduce_max_f64(&self, buf: &mut [f64]) {
+        self.charge_ring_allreduce((buf.len() * 8) as u64);
+        self.inner.allreduce_max_f64(buf)
+    }
+    fn world_bytes_sent(&self) -> u64 {
+        self.inner.world_bytes_sent()
+    }
+    fn account_payload(&self, bytes: u64) {
+        self.charge(0, bytes);
+        self.inner.account_payload(bytes);
+    }
+    fn modelled_comm_seconds(&self) -> f64 {
+        self.modelled_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn run_world<C, F>(endpoints: Vec<C>, f: F)
+    where
+        C: Collective,
+        F: Fn(C) + Send + Sync + Copy + 'static,
+    {
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .map(|c| thread::spawn(move || f(c)))
+            .collect();
+        for h in handles {
+            h.join().expect("rank thread panicked");
+        }
+    }
+
+    fn fast_model() -> NetModel {
+        NetModel {
+            latency: 1e-7,
+            bytes_per_second: 1e9,
+            time_scale: 0.0, // record-only: tests stay fast
+        }
+    }
+
+    #[test]
+    fn channel_comm_world_works_through_the_trait() {
+        fn collective_roundtrip<C: Collective>(c: C) {
+            let all = c.allgather(c.rank() as u64);
+            assert_eq!(all, vec![0, 1, 2]);
+            let mut buf = vec![c.rank() as f32 + 1.0; 5];
+            c.allreduce_sum_f32(&mut buf);
+            assert!(buf.iter().all(|&v| (v - 6.0).abs() < 1e-6));
+            let s = c.allreduce_scalar_f64(2.0);
+            assert!((s - 6.0).abs() < 1e-12);
+            c.barrier();
+        }
+        run_world(CommWorld::new(3).into_endpoints(), collective_roundtrip);
+        run_world(SimNetComm::world(3, fast_model()), collective_roundtrip);
+    }
+
+    #[test]
+    fn simnet_matches_channel_comm_bit_for_bit() {
+        // Same seed-free deterministic payloads through both backends:
+        // the reduced buffers must be bit-identical.
+        fn reduce<C: Collective>(c: C) -> Vec<f64> {
+            let mut buf: Vec<f64> = (0..17)
+                .map(|i| (c.rank() as f64 + 1.0) * (i as f64 + 0.37).sin())
+                .collect();
+            c.allreduce_sum_f64(&mut buf);
+            buf
+        }
+        let run = |eps: Vec<Box<dyn FnOnce() -> Vec<f64> + Send>>| -> Vec<Vec<f64>> {
+            let hs: Vec<_> = eps.into_iter().map(thread::spawn).collect();
+            hs.into_iter().map(|h| h.join().unwrap()).collect()
+        };
+        let chan: Vec<Box<dyn FnOnce() -> Vec<f64> + Send>> = CommWorld::new(2)
+            .into_endpoints()
+            .into_iter()
+            .map(|c| Box::new(move || reduce(c)) as _)
+            .collect();
+        let sim: Vec<Box<dyn FnOnce() -> Vec<f64> + Send>> = SimNetComm::world(2, fast_model())
+            .into_iter()
+            .map(|c| Box::new(move || reduce(c)) as _)
+            .collect();
+        let a = run(chan);
+        let b = run(sim);
+        for (ra, rb) in a.iter().zip(&b) {
+            for (x, y) in ra.iter().zip(rb) {
+                assert_eq!(x.to_bits(), y.to_bits(), "backends must agree bitwise");
+            }
+        }
+    }
+
+    #[test]
+    fn simnet_accumulates_modelled_seconds_and_bytes() {
+        run_world(SimNetComm::world(2, fast_model()), |c| {
+            let mut buf = vec![c.rank() as f32; 1024];
+            c.allreduce_sum_f32(&mut buf);
+            if c.rank() == 0 {
+                c.send_vec(1, 7, vec![0u8; 4096]);
+            } else {
+                let _: Vec<u8> = c.recv(0, 7);
+            }
+            c.barrier();
+            assert!(c.modelled_comm_seconds() > 0.0, "fabric time must accrue");
+            assert!(c.world_bytes_sent() >= 4096, "payload bytes still counted");
+        });
+    }
+
+    #[test]
+    fn frontier_model_reflects_the_machine_constants() {
+        let m = NetModel::frontier_paper(8);
+        assert_eq!(m.latency, FRONTIER.net_latency);
+        // 8 ranks on one node share 4×25 GB/s NICs: 12.5 GB/s fair share,
+        // and one node's bisection slice cannot beat its injection.
+        assert!(m.bytes_per_second <= 12.5e9 + 1.0);
+        assert!(m.bytes_per_second > 1.0e9);
+        // More ranks through the same tapered bisection → smaller share.
+        let big = NetModel::from_machine(&FRONTIER, 512, 8, 1.0);
+        assert!(big.bytes_per_second <= m.bytes_per_second);
+    }
+
+    #[test]
+    fn delay_model_is_latency_plus_bandwidth() {
+        let m = NetModel {
+            latency: 2e-6,
+            bytes_per_second: 1e9,
+            time_scale: 0.0,
+        };
+        let d = m.delay_seconds(3, 1_000_000);
+        assert!((d - (6e-6 + 1e-3)).abs() < 1e-12);
+    }
+}

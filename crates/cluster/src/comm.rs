@@ -116,6 +116,14 @@ impl Communicator {
         self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Record `bytes` of payload carried by messages whose size the type
+    /// system hides (e.g. a broadcast of structured samples). Callers
+    /// that know the serialized size of an opaque payload use this to
+    /// keep [`Self::world_bytes_sent`] honest.
+    pub fn account_payload(&self, bytes: u64) {
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Send `value` to rank `dest` with message tag `tag`.
     ///
     /// Never blocks (channels are unbounded, as MPI eager sends effectively

@@ -7,6 +7,11 @@
 //! - [`comm`] — an MPI-like communicator backed by OS threads and channels.
 //!   PIC domain decomposition, the staging engine and DDP training all talk
 //!   through it, exactly like the original codes talk through MPI/RCCL.
+//! - [`collective`] — the pluggable transport layer: the [`Collective`]
+//!   trait every workflow crate is generic over, with the in-process
+//!   [`collective::ChannelComm`] backend and the netsim-delayed
+//!   [`collective::SimNetComm`] backend that charges [`machine`]-preset
+//!   fabric costs on one box.
 //! - [`netsim`] — a flow-level network simulator with max-min fair bandwidth
 //!   sharing. It turns "N nodes each stream 5.86 GB through a 25 GB/s NIC
 //!   into a shared fabric" into wall-clock estimates, which is what the
@@ -19,6 +24,7 @@
 //!   limit the paper hits beyond ~100 nodes.
 //! - [`fom`] — the weak-scaling Figure-of-Merit model behind Fig. 4.
 
+pub mod collective;
 pub mod collectives;
 pub mod comm;
 pub mod fom;
@@ -28,6 +34,7 @@ pub mod sockets;
 
 pub mod prelude {
     //! Commonly used cluster types.
+    pub use crate::collective::{ChannelComm, Collective, NetModel, SimNetComm};
     pub use crate::collectives::{allreduce_cost, AllReduceAlgo, CollectiveCost};
     pub use crate::comm::{CommWorld, Communicator};
     pub use crate::machine::{MachineSpec, FRONTIER, SUMMIT};

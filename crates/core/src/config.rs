@@ -1,6 +1,19 @@
 //! Workflow configuration.
+//!
+//! Besides the physics/topology knobs, this module owns the two levers
+//! of the pluggable communication layer
+//! ([`as_cluster::collective::Collective`]):
+//!
+//! - [`CommBackend`] picks the transport every rank group (producer
+//!   slabs, DDP learners) is wired with — the in-process channels or the
+//!   netsim-delayed fabric model;
+//! - [`WorkflowConfig::overlap_grad_sync`] switches the DDP consumers
+//!   from the blocking bucketed gradient all-reduce to the non-blocking
+//!   comm-worker mode ([`as_nn::ddp::OverlappedGradSync`]), which is
+//!   bit-identical but overlaps reduction with main-thread work.
 
 use crate::encode::EncodeConfig;
+use as_cluster::machine::{MachineSpec, FRONTIER, SUMMIT};
 use as_nn::model::ModelConfig;
 use as_nn::optim::AdamConfig;
 use as_pic::grid::GridSpec;
@@ -53,7 +66,7 @@ pub enum ConsumerPolicy {
     /// Consume every streamed window in order (the legacy behaviour);
     /// back-pressure is the flow control.
     BlockingEveryStep,
-    /// Always jump to the newest published window, dropping older ones.
+    /// Jump to the newest published window, dropping older ones.
     /// `max_queue` is the staging queue depth used for the run (it
     /// replaces [`WorkflowConfig::queue_limit`]): the producer keeps at
     /// most `max_queue` windows in flight and never waits for a consumer
@@ -61,16 +74,31 @@ pub enum ConsumerPolicy {
     DropSteps {
         /// In-flight window bound for the staging streams.
         max_queue: usize,
+        /// Adaptive drop threshold: skip ahead only when at least this
+        /// many unseen windows are pending on the stream; with a
+        /// shallower backlog, consume the next window in order. `0` (and
+        /// `1`) always jump to the freshest window — the classic
+        /// behaviour and the default of [`ConsumerPolicy::drop_steps`].
+        min_queue: usize,
     },
 }
 
 impl ConsumerPolicy {
+    /// The classic drop-to-freshest policy: skip ahead whenever anything
+    /// newer is pending (`min_queue: 0`).
+    pub fn drop_steps(max_queue: usize) -> Self {
+        ConsumerPolicy::DropSteps {
+            max_queue,
+            min_queue: 0,
+        }
+    }
+
     /// The staging queue limit this policy implies, given the config's
     /// blocking-mode `queue_limit`.
     pub fn effective_queue_limit(&self, blocking_limit: usize) -> usize {
         match self {
             ConsumerPolicy::BlockingEveryStep => blocking_limit,
-            ConsumerPolicy::DropSteps { max_queue } => *max_queue,
+            ConsumerPolicy::DropSteps { max_queue, .. } => *max_queue,
         }
     }
 
@@ -84,6 +112,65 @@ impl ConsumerPolicy {
         match self {
             ConsumerPolicy::BlockingEveryStep => "blocking",
             ConsumerPolicy::DropSteps { .. } => "drop_steps",
+        }
+    }
+}
+
+/// Which [`as_cluster::collective::Collective`] backend carries every
+/// inter-rank exchange of the run (producer halo/migration/merge traffic
+/// and consumer DDP traffic alike).
+///
+/// Concrete endpoints are constructed only by
+/// [`crate::workflow::run_workflow`] from this knob; all rank code is
+/// generic over the trait.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CommBackend {
+    /// The in-process thread/channel transport
+    /// ([`as_cluster::collective::ChannelComm`]) — zero modelled cost,
+    /// bit-exact with the historical direct-communicator paths.
+    InProcess,
+    /// The same transport wrapped in the netsim fabric model
+    /// ([`as_cluster::collective::SimNetComm`]): every operation is
+    /// charged the machine's latency/fair-share-bandwidth cost (derived
+    /// from the [`as_cluster::netsim`] max-min allocation over the
+    /// machine's NIC + bisection topology), and `time_scale` of that
+    /// cost is injected as real wall time. Numerics are bit-identical
+    /// to [`CommBackend::InProcess`].
+    NetSim {
+        /// The modelled machine (e.g. [`FRONTIER`], [`SUMMIT`]).
+        machine: MachineSpec,
+        /// Fraction of the modelled delay injected as wall time
+        /// (`1.0` = full modelled delays, `0.0` = record-only).
+        time_scale: f64,
+    },
+}
+
+impl CommBackend {
+    /// The paper's primary fabric, with modelled delays injected at
+    /// full scale.
+    pub fn netsim_frontier() -> Self {
+        CommBackend::NetSim {
+            machine: FRONTIER,
+            time_scale: 1.0,
+        }
+    }
+
+    /// The paper's 2019 baseline fabric.
+    pub fn netsim_summit() -> Self {
+        CommBackend::NetSim {
+            machine: SUMMIT,
+            time_scale: 1.0,
+        }
+    }
+
+    /// Short label for benchmark output, e.g. `in_process` or
+    /// `netsim-frontier`.
+    pub fn label(&self) -> String {
+        match self {
+            CommBackend::InProcess => "in_process".to_string(),
+            CommBackend::NetSim { machine, .. } => {
+                format!("netsim-{}", machine.name.to_lowercase())
+            }
         }
     }
 }
@@ -133,6 +220,15 @@ pub struct WorkflowConfig {
     /// How consumers pace themselves against the stream (blocking
     /// every-step vs newest-step-only with drops).
     pub policy: ConsumerPolicy,
+    /// Which collective backend carries all inter-rank communication.
+    pub backend: CommBackend,
+    /// With `consumers > 1`: run the DDP gradient all-reduce in the
+    /// non-blocking comm-worker mode ([`as_nn::ddp::OverlappedGradSync`]
+    /// over a dedicated second collective world), overlapping bucket
+    /// reduction with bucket filling and the per-iteration loss mean.
+    /// Bit-identical to the blocking bucketed path; `false` keeps the
+    /// legacy in-line reduction.
+    pub overlap_grad_sync: bool,
     /// With `consumers > 1`: the round-robin owner of a window encodes it
     /// once and broadcasts the encoded samples to the peer ranks, so
     /// every rank's replay buffer sees every window at the cost of one
@@ -182,6 +278,8 @@ impl WorkflowConfig {
             producers: 1,
             consumers: 1,
             policy: ConsumerPolicy::BlockingEveryStep,
+            backend: CommBackend::InProcess,
+            overlap_grad_sync: false,
             sample_broadcast: false,
             grad_bucket: 8192,
             seed: 1,
@@ -248,6 +346,8 @@ mod tests {
         assert_eq!((c.producers, c.consumers), (1, 1), "legacy 1×1 default");
         assert_eq!(c.policy, ConsumerPolicy::BlockingEveryStep, "legacy policy");
         assert!(!c.sample_broadcast, "legacy rank-local buffers");
+        assert_eq!(c.backend, CommBackend::InProcess, "legacy transport");
+        assert!(!c.overlap_grad_sync, "legacy in-line gradient sync");
     }
 
     #[test]
@@ -255,11 +355,26 @@ mod tests {
         let mut c = WorkflowConfig::small();
         c.queue_limit = 3;
         assert_eq!(c.effective_queue_limit(), 3);
-        c.policy = ConsumerPolicy::DropSteps { max_queue: 1 };
+        c.policy = ConsumerPolicy::drop_steps(1);
         assert_eq!(c.effective_queue_limit(), 1);
         assert!(c.policy.drops_steps());
         assert_eq!(c.policy.label(), "drop_steps");
         assert_eq!(ConsumerPolicy::BlockingEveryStep.label(), "blocking");
+        assert_eq!(
+            ConsumerPolicy::drop_steps(4),
+            ConsumerPolicy::DropSteps {
+                max_queue: 4,
+                min_queue: 0
+            },
+            "the constructor defaults to always-jump"
+        );
+    }
+
+    #[test]
+    fn backend_labels() {
+        assert_eq!(CommBackend::InProcess.label(), "in_process");
+        assert_eq!(CommBackend::netsim_frontier().label(), "netsim-frontier");
+        assert_eq!(CommBackend::netsim_summit().label(), "netsim-summit");
     }
 
     #[test]

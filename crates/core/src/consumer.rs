@@ -23,14 +23,16 @@
 //! Both drivers honour [`WorkflowConfig::policy`]:
 //! - `BlockingEveryStep` consumes windows in order, letting the bounded
 //!   SST queue stall the producer when training falls behind;
-//! - [`ConsumerPolicy::DropSteps`] always jumps to the **newest**
-//!   published window, closing older pending windows unread. Skipped
-//!   windows are counted in [`ConsumerReport::dropped_windows`] and their
-//!   queue slots free immediately, so producer stall stays bounded by the
-//!   queue depth. Under DDP, rank 0 picks the freshest window and
-//!   broadcasts its stream-step index so every rank skips the *same*
-//!   window set — the collective schedule (go/no-go, gradient all-reduce,
-//!   hash check) stays identical on all ranks.
+//! - [`ConsumerPolicy::DropSteps`] jumps to the **newest** published
+//!   window — but only once at least `min_queue` unseen windows are
+//!   pending (`0` = always jump); older pending windows are closed
+//!   unread. Skipped windows are counted in
+//!   [`ConsumerReport::dropped_windows`] and their queue slots free
+//!   immediately, so producer stall stays bounded by the queue depth.
+//!   Under DDP, rank 0 picks the target window and broadcasts its
+//!   stream-step index so every rank skips the *same* window set — the
+//!   collective schedule (go/no-go, gradient all-reduce, hash check)
+//!   stays identical on all ranks.
 //!
 //! Every published window is accounted for exactly once:
 //! `windows + dropped_windows + orphaned_windows ==`
@@ -43,8 +45,8 @@
 
 use crate::config::{ConsumerPolicy, WorkflowConfig};
 use crate::encode::{batch_to_tensors, Sample};
-use as_cluster::comm::Communicator;
-use as_nn::ddp::{param_hash, sync_gradients_bucketed};
+use as_cluster::collective::Collective;
+use as_nn::ddp::{param_hash, sync_gradients_bucketed, OverlappedGradSync};
 use as_nn::model::{ArtificialScientistModel, LossReport, ModelOptimizer};
 use as_openpmd::reader::{IterationData, OpenPmdReader};
 use as_pic::diag::FlowRegion;
@@ -90,6 +92,23 @@ pub struct ConsumerReport {
     pub published_windows: u64,
     /// FNV-1a hash of the final parameter bits (DDP sync witness).
     pub param_hash: u64,
+    /// Parameter hash after **every** training iteration, in order — the
+    /// cross-backend determinism witness: two runs of the same seeded
+    /// config under different [`crate::config::CommBackend`]s must
+    /// produce identical sequences (delays may not change numerics).
+    /// Recorded by the DDP driver, where the hash is already computed
+    /// for the per-iteration divergence check; empty for the legacy
+    /// single consumer, which has no cross-rank traffic to witness.
+    pub param_hashes: Vec<u64>,
+    /// Inter-rank payload bytes the learner group's collective backends
+    /// moved (world-wide counters observed at this rank's exit; gradient
+    /// buckets, loss means, go/no-go and hash collectives — summed over
+    /// the main world and, in overlap mode, the dedicated gradient
+    /// world). Zero for the single consumer, which has no peers.
+    pub comm_bytes: u64,
+    /// Modelled fabric seconds charged by the collective backend
+    /// (world-wide; nonzero only under `CommBackend::NetSim`).
+    pub comm_model_seconds: f64,
 }
 
 /// Run the single-rank consumer until the streams end (legacy 1×1 path).
@@ -135,8 +154,8 @@ pub fn run_consumer(
                     }
                 }
             }
-            ConsumerPolicy::DropSteps { .. } => {
-                let (p_skip, p_opt) = p_reader.next_iteration_latest();
+            ConsumerPolicy::DropSteps { min_queue, .. } => {
+                let (p_skip, p_opt) = p_reader.next_iteration_latest_min(min_queue as u64);
                 match pair_drop_steps_window(
                     p_skip,
                     p_opt,
@@ -192,33 +211,55 @@ pub fn run_consumer(
         dropped_windows,
         published_windows,
         param_hash: hash,
+        param_hashes: Vec::new(),
+        comm_bytes: 0,
+        comm_model_seconds: 0.0,
     }
 }
 
 /// Run one rank of a K-way data-parallel consumer group until the
 /// streams end.
 ///
-/// `comm` spans the learner ranks. Window ownership is round-robin in
-/// stream order; training is synchronous and gradient-averaged every
-/// iteration (bucketed — [`as_nn::ddp::sync_gradients_bucketed`] with
-/// `cfg.grad_bucket` elements per bucket), so every rank holds
-/// bit-identical parameters throughout (asserted). Iterations only run
-/// once *every* rank can draw a batch — the go/no-go is collective,
-/// keeping the allreduce schedule identical on all ranks.
+/// `comm` spans the learner ranks (any [`Collective`] backend). Window
+/// ownership is round-robin in stream order; training is synchronous and
+/// gradient-averaged every iteration (bucketed —
+/// [`as_nn::ddp::sync_gradients_bucketed`] with `cfg.grad_bucket`
+/// elements per bucket), so every rank holds bit-identical parameters
+/// throughout (asserted). Iterations only run once *every* rank can draw
+/// a batch — the go/no-go is collective, keeping the allreduce schedule
+/// identical on all ranks.
 ///
-/// Under [`ConsumerPolicy::DropSteps`] rank 0 selects the freshest
-/// published window and broadcasts its stream-step index; every peer
-/// skips to exactly that step. All ranks therefore process (and drop)
-/// the *same* windows, which keeps the per-window collective schedule —
-/// and the round-robin ownership — identical across the group.
-pub fn run_ddp_consumer(
+/// With [`WorkflowConfig::overlap_grad_sync`] the bucket reduction runs
+/// non-blocking on a comm-worker thread over `grad_comm` — a **second**
+/// collective world spanning the same ranks (its own endpoint per rank,
+/// like a NCCL gradient stream), so bucket all-reduces overlap the
+/// per-iteration loss mean on `comm` without the two schedules ever
+/// sharing an endpoint. The reduction itself is bit-identical to the
+/// blocking path ([`as_nn::ddp::OverlappedGradSync`]).
+///
+/// Under [`ConsumerPolicy::DropSteps`] rank 0 selects the target window
+/// (freshest, or next-in-order while fewer than `min_queue` windows are
+/// pending) and broadcasts its stream-step index; every peer skips to
+/// exactly that step. All ranks therefore process (and drop) the *same*
+/// windows, which keeps the per-window collective schedule — and the
+/// round-robin ownership — identical across the group.
+pub fn run_ddp_consumer<C: Collective>(
     cfg: &WorkflowConfig,
-    comm: Communicator,
+    comm: C,
+    grad_comm: Option<C>,
     particle_stream: SstReader,
     radiation_stream: SstReader,
 ) -> ConsumerReport {
     let rank = comm.rank();
     let world = comm.size();
+    let mut overlap = if cfg.overlap_grad_sync {
+        let g = grad_comm.expect("overlap_grad_sync needs a dedicated gradient world");
+        assert_eq!(g.rank(), rank, "gradient world must mirror the main world");
+        assert_eq!(g.size(), world, "gradient world must mirror the main world");
+        Some(OverlappedGradSync::new(std::sync::Arc::new(g)))
+    } else {
+        None
+    };
     // Different data/noise streams per rank, identical weights — the same
     // seeding discipline as `as_nn::ddp::train_ddp`.
     let rank_mix = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rank as u64 + 1);
@@ -239,6 +280,7 @@ pub fn run_ddp_consumer(
     let mut owned_windows = Vec::new();
     let mut orphaned_windows = 0u64;
     let mut dropped_windows = 0u64;
+    let mut param_hashes = Vec::new();
 
     'stream: loop {
         let (mut p_it, mut r_it) = match cfg.policy {
@@ -260,13 +302,15 @@ pub fn run_ddp_consumer(
                     }
                 }
             }
-            ConsumerPolicy::DropSteps { .. } => {
-                // Rank 0 decides which window is freshest; peers follow
-                // to the same stream step. Every rank enters a round with
-                // the same cursor, so the skip counts match and the
-                // group's collective schedule stays aligned.
+            ConsumerPolicy::DropSteps { min_queue, .. } => {
+                // Rank 0 decides which window to take (freshest, or
+                // next-in-order while the backlog is shallower than
+                // min_queue); peers follow to the same stream step.
+                // Every rank enters a round with the same cursor, so the
+                // skip counts match and the group's collective schedule
+                // stays aligned.
                 let (p_skip, p_opt) = if rank == 0 {
-                    let (skip, opt) = p_reader.next_iteration_latest();
+                    let (skip, opt) = p_reader.next_iteration_latest_min(min_queue as u64);
                     let target: Option<u64> = opt.as_ref().map(|it| it.stream_step());
                     comm.broadcast(0, Some(target));
                     (skip, opt)
@@ -306,6 +350,16 @@ pub fn run_ddp_consumer(
             } else {
                 Vec::new()
             };
+            if rank == owner {
+                // The broadcast payload is opaque to the transport;
+                // declare its serialized size (one copy per peer) so the
+                // comm-bytes telemetry stays honest.
+                let per_copy: u64 = fresh
+                    .iter()
+                    .map(|s| ((s.points.len() + s.spectrum.len()) * 4 + 16) as u64)
+                    .sum();
+                comm.account_payload(per_copy * (world as u64 - 1));
+            }
             let shared = comm.broadcast(owner, if rank == owner { Some(fresh) } else { None });
             samples += shared.len() as u64;
             for s in shared {
@@ -337,10 +391,27 @@ pub fn run_ddp_consumer(
             let (points, spectra) = batch_to_tensors(&batch, &cfg.model);
             model.zero_grad();
             let local = model.accumulate_gradients(&points, &spectra, &mut train_rng);
-            sync_gradients_bucketed(&comm, &mut model, cfg.grad_bucket);
+            let loss = match overlap.as_mut() {
+                Some(sync) => {
+                    // Non-blocking mode: the comm worker reduces buckets
+                    // over its dedicated world while this thread runs
+                    // the loss-mean collective on the main world;
+                    // wait-all right before the optimizer step. Same
+                    // buckets, same all-reduce order ⇒ bit-identical to
+                    // the blocking arm below.
+                    sync.begin(&mut model, cfg.grad_bucket);
+                    let loss = mean_loss(&comm, &local, world);
+                    sync.wait_all(&mut model);
+                    loss
+                }
+                None => {
+                    sync_gradients_bucketed(&comm, &mut model, cfg.grad_bucket);
+                    mean_loss(&comm, &local, world)
+                }
+            };
             opt.step(&mut model);
             train_seconds += t0.elapsed().as_secs_f64();
-            report_losses.push(mean_loss(&comm, &local, world));
+            report_losses.push(loss);
             schedule.on_iteration();
             // DDP invariant: identical averaged gradients applied to
             // identical optimizer state ⇒ bit-identical parameters.
@@ -351,6 +422,7 @@ pub fn run_ddp_consumer(
                 "DDP consumer ranks diverged after iteration {}: {hashes:?}",
                 report_losses.len()
             );
+            param_hashes.push(h);
         }
     }
 
@@ -371,6 +443,12 @@ pub fn run_ddp_consumer(
         dropped_windows,
         published_windows,
         param_hash: hash,
+        param_hashes,
+        // In overlap mode the bucket traffic lives on the dedicated
+        // gradient world — fold both worlds into the group totals.
+        comm_bytes: comm.world_bytes_sent() + overlap.as_ref().map_or(0, |s| s.world_bytes_sent()),
+        comm_model_seconds: comm.modelled_comm_seconds()
+            + overlap.as_ref().map_or(0.0, |s| s.modelled_comm_seconds()),
     }
 }
 
@@ -433,7 +511,7 @@ fn drain_stream(reader: &mut OpenPmdReader) -> u64 {
 }
 
 /// Rank-mean of every loss component (what DDP training curves log).
-fn mean_loss(comm: &Communicator, local: &LossReport, world: usize) -> LossReport {
+fn mean_loss<C: Collective>(comm: &C, local: &LossReport, world: usize) -> LossReport {
     let mut buf = [
         local.cd,
         local.kl,

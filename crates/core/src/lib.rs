@@ -46,9 +46,22 @@
 //!   `WorkflowConfig::sample_broadcast` the owner shares its encoded
 //!   samples with every peer rank.
 //! - **DDP invariant**: synchronous training with bucketed gradient
-//!   all-reduce (`as_nn::ddp::sync_gradients_bucketed`) keeps learner
+//!   all-reduce (`as_nn::ddp::sync_gradients_bucketed`, or its
+//!   non-blocking comm-worker twin `as_nn::ddp::OverlappedGradSync`
+//!   under [`config::WorkflowConfig::overlap_grad_sync`]) keeps learner
 //!   parameters bit-identical across ranks; a `param_hash` allgather
 //!   asserts it every iteration.
+//!
+//! # Communication layer
+//!
+//! Every inter-rank exchange goes through the
+//! `as_cluster::collective::Collective` trait; the transport is the
+//! [`config::CommBackend`] knob (in-process channels vs the
+//! netsim-delayed fabric model), constructed only inside
+//! [`workflow::run_workflow`]. Backend swaps are pure timing changes —
+//! `tests/comm_backends.rs` asserts bit-identical `param_hash`
+//! sequences — and per-group collective traffic is surfaced as
+//! `WorkflowReport::{producer_comm_bytes, consumer_comm_bytes}`.
 
 pub mod config;
 pub mod consumer;
@@ -58,14 +71,14 @@ pub mod noop;
 pub mod producer;
 pub mod workflow;
 
-pub use config::{Placement, WorkflowConfig};
+pub use config::{CommBackend, ConsumerPolicy, Placement, WorkflowConfig};
 pub use encode::{EncodeConfig, Sample};
 pub use eval::InversionEval;
 pub use workflow::{run_workflow, ConsumerSummary, WorkflowReport};
 
 pub mod prelude {
     //! Common imports for workflow consumers.
-    pub use crate::config::{Placement, WorkflowConfig};
+    pub use crate::config::{CommBackend, ConsumerPolicy, Placement, WorkflowConfig};
     pub use crate::encode::{EncodeConfig, Sample};
     pub use crate::eval::InversionEval;
     pub use crate::workflow::{run_workflow, ConsumerSummary, WorkflowReport};

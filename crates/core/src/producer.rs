@@ -19,7 +19,7 @@
 //!   ranks by superposition (allreduce) before rank 0 emits the spectra.
 
 use crate::config::WorkflowConfig;
-use as_cluster::comm::Communicator;
+use as_cluster::collective::Collective;
 use as_openpmd::attribute::{UnitDimension, Value};
 use as_openpmd::writer::OpenPmdWriter;
 use as_pic::domain::DistributedSim;
@@ -45,6 +45,14 @@ pub struct ProducerReport {
     /// Wall seconds blocked on staging back-pressure (the bounded SST
     /// queue at its limit) — a strict subset of `emit_seconds`.
     pub stall_seconds: f64,
+    /// Inter-rank payload bytes the producer group's collective backend
+    /// moved (world-wide counter observed at this rank's exit; halo
+    /// exchanges, particle migration, offset allgathers, radiation
+    /// merges). Zero for the single-domain producer, which has no peers.
+    pub comm_bytes: u64,
+    /// Modelled fabric seconds charged by the collective backend
+    /// (world-wide; nonzero only under `CommBackend::NetSim`).
+    pub comm_model_seconds: f64,
 }
 
 impl ProducerReport {
@@ -56,6 +64,8 @@ impl ProducerReport {
             sim_seconds: 0.0,
             emit_seconds: 0.0,
             stall_seconds: 0.0,
+            comm_bytes: 0,
+            comm_model_seconds: 0.0,
         }
     }
 
@@ -127,9 +137,9 @@ pub fn run_producer(
 /// slab-decomposed along x via [`DistributedSim`]. Every rank contributes
 /// its particle shard to the shared multi-writer particle stream; the
 /// radiation stream carries the rank-merged spectra, written by rank 0.
-pub fn run_sharded_producer(
+pub fn run_sharded_producer<C: Collective>(
     cfg: &WorkflowConfig,
-    comm: Communicator,
+    comm: C,
     particle_stream: SstWriter,
     radiation_stream: SstWriter,
 ) -> ProducerReport {
@@ -181,6 +191,8 @@ pub fn run_sharded_producer(
     pw.close();
     rw.close();
     finish_report(&mut report, &pw, &rw);
+    report.comm_bytes = d.comm().world_bytes_sent();
+    report.comm_model_seconds = d.comm().modelled_comm_seconds();
     report
 }
 

@@ -11,13 +11,20 @@
 //!   rank 0 emits the spectra — so consumers see *one* coherent global
 //!   stream regardless of M.
 //! - **K consumers** (`WorkflowConfig::consumers`): each learner rank has
-//!   its own [`as_staging::engine::SstReader`] pair and a
-//!   [`as_cluster::comm::CommWorld`] endpoint. SST delivers every step to
-//!   every reader; the round-robin owner (`window % K`) fetches the
-//!   payload into its rank-local replay buffer, and training is
-//!   synchronous DDP: gradients averaged every iteration through
-//!   [`as_nn::ddp::sync_gradients`], parameters bit-identical across
-//!   ranks (asserted every iteration).
+//!   its own [`as_staging::engine::SstReader`] pair and a collective
+//!   endpoint ([`as_cluster::collective::Collective`]). SST delivers
+//!   every step to every reader; the round-robin owner (`window % K`)
+//!   fetches the payload into its rank-local replay buffer, and training
+//!   is synchronous DDP: gradients averaged every iteration through
+//!   [`as_nn::ddp::sync_gradients_bucketed`] (or its non-blocking
+//!   comm-worker twin under [`WorkflowConfig::overlap_grad_sync`]),
+//!   parameters bit-identical across ranks (asserted every iteration).
+//!
+//! The transport behind every endpoint is the
+//! [`crate::config::CommBackend`] knob: in-process channels, or the
+//! netsim-delayed fabric model that charges Frontier/Summit collective
+//! costs while keeping numerics bit-identical (see
+//! `tests/comm_backends.rs`).
 //!
 //! `producers = consumers = 1` dispatches to the original single-domain
 //! producer and single-rank consumer code paths, bit-for-bit — existing
@@ -35,15 +42,16 @@
 //! Fault tolerance is asymmetric: a consumer drains and reports streams
 //! that end out of sync (a 1×1 producer dying mid-window), but with
 //! M > 1 or K > 1 the ranks of a group are coupled through blocking
-//! collectives ([`as_cluster::comm::Communicator`] has no failure
-//! detection), so a rank dying mid-collective hangs its surviving peers
+//! collectives (no backend implements failure detection), so a rank
+//! dying mid-collective hangs its surviving peers
 //! rather than degrading gracefully. Real-MPI failure semantics are out
 //! of scope here — the Communicator would need timeouts/health checks
 //! first.
 
-use crate::config::WorkflowConfig;
+use crate::config::{CommBackend, WorkflowConfig};
 use crate::consumer::{run_consumer, run_ddp_consumer, ConsumerReport};
 use crate::producer::{run_producer, run_sharded_producer, ProducerReport};
+use as_cluster::collective::{Collective, NetModel, SimNetComm};
 use as_cluster::comm::CommWorld;
 use as_staging::engine::{open_stream, StreamConfig};
 
@@ -76,6 +84,11 @@ pub struct ConsumerSummary {
     /// Windows the producer published on this rank's streams; equals
     /// `windows + dropped_windows + orphaned_windows`.
     pub published_windows: u64,
+    /// Learner-group collective payload bytes observed at this rank's
+    /// exit (world-wide counter; equal-ish across ranks — take the max).
+    pub comm_bytes: u64,
+    /// Modelled fabric seconds charged by the learner group's backend.
+    pub comm_model_seconds: f64,
 }
 
 impl ConsumerSummary {
@@ -92,6 +105,8 @@ impl ConsumerSummary {
             orphaned_windows: report.orphaned_windows,
             dropped_windows: report.dropped_windows,
             published_windows: report.published_windows,
+            comm_bytes: report.comm_bytes,
+            comm_model_seconds: report.comm_model_seconds,
         }
     }
 }
@@ -149,6 +164,43 @@ impl WorkflowReport {
         all.sort_unstable();
         all
     }
+
+    /// Inter-rank payload bytes moved by the producer group's collective
+    /// backend (halo exchange, particle migration, window merges). The
+    /// counter is world-wide, so the per-rank maximum is the final total.
+    pub fn producer_comm_bytes(&self) -> u64 {
+        self.producers
+            .iter()
+            .map(|p| p.comm_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Inter-rank payload bytes moved by the learner group's collective
+    /// backend (gradient buckets, loss means, go/no-go, hash checks).
+    pub fn consumer_comm_bytes(&self) -> u64 {
+        self.consumer_summaries
+            .iter()
+            .map(|s| s.comm_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Modelled fabric seconds across both groups (nonzero only under
+    /// [`crate::config::CommBackend::NetSim`]).
+    pub fn comm_model_seconds(&self) -> f64 {
+        let p = self
+            .producers
+            .iter()
+            .map(|r| r.comm_model_seconds)
+            .fold(0.0, f64::max);
+        let c = self
+            .consumer_summaries
+            .iter()
+            .map(|s| s.comm_model_seconds)
+            .fold(0.0, f64::max);
+        p + c
+    }
 }
 
 fn aggregate_producer(reports: &[ProducerReport]) -> ProducerReport {
@@ -157,12 +209,48 @@ fn aggregate_producer(reports: &[ProducerReport]) -> ProducerReport {
     agg.sim_seconds = reports.iter().map(|r| r.sim_seconds).fold(0.0, f64::max);
     agg.emit_seconds = reports.iter().map(|r| r.emit_seconds).fold(0.0, f64::max);
     agg.stall_seconds = reports.iter().map(|r| r.stall_seconds).fold(0.0, f64::max);
+    // The collective byte/model-time counters are world-wide and
+    // monotone: the last rank out observed the final totals.
+    agg.comm_bytes = reports.iter().map(|r| r.comm_bytes).max().unwrap_or(0);
+    agg.comm_model_seconds = reports
+        .iter()
+        .map(|r| r.comm_model_seconds)
+        .fold(0.0, f64::max);
     agg
 }
 
 /// Run the full in-transit workflow (blocking; spawns M producer threads
 /// and K−1 consumer threads, consumer rank 0 runs on the caller).
+///
+/// This is the **only** place concrete collective backends are
+/// constructed: [`CommBackend`] picks the transport, and one world is
+/// built per rank group (producers; consumers; plus a second consumer
+/// world for the comm-worker when
+/// [`WorkflowConfig::overlap_grad_sync`] is on). Everything downstream
+/// is generic over [`Collective`].
 pub fn run_workflow(cfg: &WorkflowConfig) -> WorkflowReport {
+    match cfg.backend {
+        CommBackend::InProcess => run_workflow_on(cfg, |n| CommWorld::new(n).into_endpoints()),
+        CommBackend::NetSim {
+            machine,
+            time_scale,
+        } => run_workflow_on(cfg, move |n| {
+            let ranks_per_node = machine.gpus_per_node.max(1);
+            SimNetComm::world(
+                n,
+                NetModel::from_machine(&machine, n, ranks_per_node, time_scale),
+            )
+        }),
+    }
+}
+
+/// The generic workflow driver: `make_world(n)` supplies a fresh
+/// `n`-rank collective world of the chosen backend for each rank group.
+fn run_workflow_on<C, F>(cfg: &WorkflowConfig, make_world: F) -> WorkflowReport
+where
+    C: Collective,
+    F: Fn(usize) -> Vec<C>,
+{
     cfg.validate_topology();
     let m = cfg.producers;
     let k = cfg.consumers;
@@ -188,7 +276,7 @@ pub fn run_workflow(cfg: &WorkflowConfig) -> WorkflowReport {
             run_producer(&producer_cfg, pw0, rw0)
         })]
     } else {
-        let endpoints = CommWorld::new(m).into_endpoints();
+        let endpoints = make_world(m);
         endpoints
             .into_iter()
             .zip(pw.into_iter().zip(rw))
@@ -199,22 +287,31 @@ pub fn run_workflow(cfg: &WorkflowConfig) -> WorkflowReport {
             .collect()
     };
 
-    // Consumer side: rank 0 inline, ranks 1..K on threads.
+    // Consumer side: rank 0 inline, ranks 1..K on threads. The overlap
+    // mode gets a second, dedicated world for the gradient comm-worker
+    // threads (one endpoint per rank, mirroring the main world).
     let (rank0, mut peer_reports) = if k == 1 {
         (run_consumer(cfg, pr.remove(0), rr.remove(0)), Vec::new())
     } else {
-        let mut endpoints = CommWorld::new(k).into_endpoints();
+        let mut endpoints = make_world(k);
+        let mut grad_endpoints: Vec<Option<C>> = if cfg.overlap_grad_sync {
+            make_world(k).into_iter().map(Some).collect()
+        } else {
+            (0..k).map(|_| None).collect()
+        };
         let comm0 = endpoints.remove(0);
+        let grad0 = grad_endpoints.remove(0);
         let (pr0, rr0) = (pr.remove(0), rr.remove(0));
         let peer_handles: Vec<_> = endpoints
             .into_iter()
+            .zip(grad_endpoints)
             .zip(pr.into_iter().zip(rr))
-            .map(|(comm, (pr_i, rr_i))| {
+            .map(|((comm, grad), (pr_i, rr_i))| {
                 let consumer_cfg = cfg.clone();
-                std::thread::spawn(move || run_ddp_consumer(&consumer_cfg, comm, pr_i, rr_i))
+                std::thread::spawn(move || run_ddp_consumer(&consumer_cfg, comm, grad, pr_i, rr_i))
             })
             .collect();
-        let rank0 = run_ddp_consumer(cfg, comm0, pr0, rr0);
+        let rank0 = run_ddp_consumer(cfg, comm0, grad0, pr0, rr0);
         let peers: Vec<ConsumerReport> = peer_handles
             .into_iter()
             .map(|h| h.join().expect("consumer rank panicked"))

@@ -8,15 +8,37 @@
 //! must do a collective all-reduce communication to average the
 //! gradients."*
 //!
-//! Replicas here are threads; the gradient all-reduce is the real ring
-//! all-reduce of [`as_cluster::comm`]. Because every replica starts from
+//! Replicas here are threads; the gradient all-reduce is a real ring
+//! all-reduce through the [`as_cluster::collective::Collective`] trait,
+//! so the same training code runs over the in-process channel backend or
+//! the netsim-delayed fabric model. Because every replica starts from
 //! the same seed and applies identical averaged gradients, parameters stay
 //! bit-identical across ranks — asserted in the tests, like DDP guarantees.
+//!
+//! Three gradient-averaging modes share one deterministic bucket
+//! schedule (the flatten order of `visit_all` cut every `bucket_elems`
+//! values):
+//!
+//! - [`sync_gradients`] — one whole-model flat all-reduce;
+//! - [`sync_gradients_bucketed`] — buckets reduced synchronously as the
+//!   flatten fills them;
+//! - [`OverlappedGradSync`] — the non-blocking mode: a dedicated
+//!   comm-worker thread (holding its **own** collective endpoint, like a
+//!   NCCL stream) reduces filled buckets while the caller keeps filling
+//!   the next ones, with a wait-all barrier right before the optimizer
+//!   step. Same buckets, same all-reduce sequence ⇒ results are
+//!   **bit-identical** to [`sync_gradients_bucketed`] (asserted in the
+//!   tests and again end-to-end in `tests/consumer_policies.rs`).
+//!
+//! The backend and overlap knobs are threaded through the streaming
+//! workflow by `as_core::config` (`CommBackend`, `overlap_grad_sync`).
 
 use crate::model::{ArtificialScientistModel, LossReport, ModelConfig, ModelOptimizer};
 use crate::optim::AdamConfig;
-use as_cluster::comm::{CommWorld, Communicator};
+use as_cluster::collective::Collective;
 use as_tensor::{Tensor, TensorRng};
+use std::sync::mpsc;
+use std::sync::Arc;
 
 /// Configuration of a data-parallel training run.
 #[derive(Debug, Clone)]
@@ -44,7 +66,7 @@ impl Default for DdpConfig {
 
 /// Average the accumulated gradients of `model` across all ranks of `comm`
 /// using one flat ring all-reduce (the way DDP buckets flatten gradients).
-pub fn sync_gradients(comm: &Communicator, model: &mut ArtificialScientistModel) {
+pub fn sync_gradients<C: Collective>(comm: &C, model: &mut ArtificialScientistModel) {
     let mut flat: Vec<f32> = Vec::new();
     model.visit_all(&mut |_p: &mut Tensor, g: &mut Tensor| {
         flat.extend_from_slice(g.data());
@@ -83,14 +105,31 @@ pub const DEFAULT_BUCKET_ELEMS: usize = 8192;
 /// across ranks** (the invariant [`param_hash`] asserts downstream),
 /// though not bit-identical to [`sync_gradients`]'s single-flat-buffer
 /// result, whose different chunking sums in a different order.
-pub fn sync_gradients_bucketed(
-    comm: &Communicator,
+pub fn sync_gradients_bucketed<C: Collective>(
+    comm: &C,
     model: &mut ArtificialScientistModel,
     bucket_elems: usize,
 ) {
-    assert!(bucket_elems > 0, "bucket size must be positive");
-    let inv = 1.0 / comm.size() as f32;
     let mut reduced: Vec<f32> = Vec::new();
+    for_each_grad_bucket(model, bucket_elems, |mut bucket| {
+        comm.allreduce_sum_f32(&mut bucket);
+        reduced.extend_from_slice(&bucket);
+    });
+    write_back_averaged(model, &reduced, comm.size());
+}
+
+/// Walk the model's gradients in the fixed `visit_all` flatten order,
+/// handing `sink` one owned bucket of `bucket_elems` values at a time
+/// (the last bucket may be shorter). This is **the** bucket schedule:
+/// every gradient-averaging mode cuts buckets here, so bucket boundaries
+/// — and therefore summation order — are identical across ranks and
+/// across the blocking/overlapped modes.
+fn for_each_grad_bucket(
+    model: &mut ArtificialScientistModel,
+    bucket_elems: usize,
+    mut sink: impl FnMut(Vec<f32>),
+) {
+    assert!(bucket_elems > 0, "bucket size must be positive");
     let mut bucket: Vec<f32> = Vec::with_capacity(bucket_elems.min(1 << 20));
     model.visit_all(&mut |_p: &mut Tensor, g: &mut Tensor| {
         let data = g.data();
@@ -100,16 +139,22 @@ pub fn sync_gradients_bucketed(
             bucket.extend_from_slice(&data[off..off + take]);
             off += take;
             if bucket.len() == bucket_elems {
-                comm.allreduce_sum_f32(&mut bucket);
-                reduced.extend_from_slice(&bucket);
-                bucket.clear();
+                sink(std::mem::replace(
+                    &mut bucket,
+                    Vec::with_capacity(bucket_elems.min(1 << 20)),
+                ));
             }
         }
     });
     if !bucket.is_empty() {
-        comm.allreduce_sum_f32(&mut bucket);
-        reduced.extend_from_slice(&bucket);
+        sink(bucket);
     }
+}
+
+/// Scatter the concatenated reduced buckets back into the model's
+/// gradients, dividing by the world size (the DDP average).
+fn write_back_averaged(model: &mut ArtificialScientistModel, reduced: &[f32], world: usize) {
+    let inv = 1.0 / world as f32;
     let mut cursor = 0usize;
     model.visit_all(&mut |_p: &mut Tensor, g: &mut Tensor| {
         let n = g.numel();
@@ -118,6 +163,120 @@ pub fn sync_gradients_bucketed(
         }
         cursor += n;
     });
+}
+
+/// Non-blocking bucketed gradient averaging: a dedicated comm-worker
+/// thread drains a bucket queue and runs the all-reduces, so reduction
+/// of bucket *i* proceeds **concurrently** with the caller filling
+/// buckets *i+1…* (and with any other main-thread work between
+/// [`OverlappedGradSync::begin`] and [`OverlappedGradSync::wait_all`] —
+/// the streaming consumer overlaps the per-iteration loss mean there).
+///
+/// The worker owns its collective endpoint outright (construct a second
+/// world for it — `as_core::workflow` does), mirroring how NCCL gives
+/// gradient reduction its own communicator/stream: the main thread's
+/// collectives and the bucket all-reduces can never interleave on one
+/// endpoint, so both schedules stay deterministic.
+///
+/// Buckets come from the same schedule as [`sync_gradients_bucketed`]
+/// and are concatenated in send order at [`OverlappedGradSync::wait_all`],
+/// making the averaged gradients — and everything downstream, parameters
+/// included — **bit-identical** to the blocking bucketed path.
+pub struct OverlappedGradSync<C: Collective> {
+    /// The gradient world's endpoint, shared with the comm worker —
+    /// kept here so the bucket traffic still shows up in per-run comm
+    /// accounting after the worker takes its clone.
+    grad_comm: Arc<C>,
+    to_worker: Option<mpsc::Sender<Vec<f32>>>,
+    from_worker: mpsc::Receiver<Vec<f32>>,
+    worker: Option<std::thread::JoinHandle<()>>,
+    world: usize,
+    inflight: usize,
+}
+
+impl<C: Collective> OverlappedGradSync<C> {
+    /// Spawn the comm-worker thread over its own collective endpoint.
+    ///
+    /// `grad_comm` must span the same ranks as the caller's main
+    /// endpoint; every rank of the group must construct its
+    /// `OverlappedGradSync` from its endpoint of that dedicated world.
+    pub fn new(grad_comm: Arc<C>) -> Self {
+        let (to_worker, bucket_rx) = mpsc::channel::<Vec<f32>>();
+        let (reduced_tx, from_worker) = mpsc::channel::<Vec<f32>>();
+        let world = grad_comm.size();
+        let comm = grad_comm.clone();
+        let worker = std::thread::spawn(move || {
+            // Buckets arrive and are reduced strictly in schedule order;
+            // ranks pipeline through the ring without barriers.
+            for mut bucket in bucket_rx {
+                comm.allreduce_sum_f32(&mut bucket);
+                if reduced_tx.send(bucket).is_err() {
+                    break; // caller dropped mid-sync (teardown)
+                }
+            }
+        });
+        Self {
+            grad_comm,
+            to_worker: Some(to_worker),
+            from_worker,
+            worker: Some(worker),
+            world,
+            inflight: 0,
+        }
+    }
+
+    /// Payload bytes the gradient world has moved so far (world-wide
+    /// counter — the bucket traffic that would otherwise be invisible to
+    /// the caller's main-world accounting).
+    pub fn world_bytes_sent(&self) -> u64 {
+        self.grad_comm.world_bytes_sent()
+    }
+
+    /// Modelled fabric seconds charged on the gradient world.
+    pub fn modelled_comm_seconds(&self) -> f64 {
+        self.grad_comm.modelled_comm_seconds()
+    }
+
+    /// Cut the model's gradients into the fixed bucket schedule and hand
+    /// them to the comm worker; returns immediately once the flatten is
+    /// done (reduction keeps running in the background). Must be paired
+    /// with [`Self::wait_all`] before the next `begin` or any use of the
+    /// gradients.
+    pub fn begin(&mut self, model: &mut ArtificialScientistModel, bucket_elems: usize) {
+        assert_eq!(self.inflight, 0, "previous overlapped sync not awaited");
+        let tx = self.to_worker.as_ref().expect("comm worker alive");
+        let mut sent = 0usize;
+        for_each_grad_bucket(model, bucket_elems, |bucket| {
+            tx.send(bucket).expect("comm worker died mid-sync");
+            sent += 1;
+        });
+        self.inflight = sent;
+    }
+
+    /// Wait-all: collect every outstanding reduced bucket (in schedule
+    /// order) and write the averaged gradients back into `model`. Call
+    /// right before the optimizer step.
+    pub fn wait_all(&mut self, model: &mut ArtificialScientistModel) {
+        let mut reduced: Vec<f32> = Vec::new();
+        for _ in 0..self.inflight {
+            let bucket = self
+                .from_worker
+                .recv()
+                .expect("comm worker died before completing the sync");
+            reduced.extend_from_slice(&bucket);
+        }
+        self.inflight = 0;
+        write_back_averaged(model, &reduced, self.world);
+    }
+}
+
+impl<C: Collective> Drop for OverlappedGradSync<C> {
+    fn drop(&mut self) {
+        drop(self.to_worker.take()); // closes the queue; worker exits
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
 }
 
 /// FNV-1a hash of the model's parameter bit patterns. Two replicas hold
@@ -147,18 +306,27 @@ pub struct DdpOutcome {
     pub iteration_seconds: Vec<f64>,
 }
 
-/// Run synchronous data-parallel training.
+/// Run synchronous data-parallel training over a caller-supplied
+/// collective world (one endpoint per replica, in rank order — construct
+/// it with `as_cluster::comm::CommWorld` or
+/// `as_cluster::collective::SimNetComm::world`).
 ///
 /// `batches[i]` is the *global* batch of iteration `i` as
 /// `(points:[B,P,6], spectra:[B,S])`; each rank trains on its contiguous
 /// shard of `B / replicas` rows (B must divide evenly).
-pub fn train_ddp(
+pub fn train_ddp<C: Collective>(
     model_cfg: &ModelConfig,
     ddp: &DdpConfig,
     batches: &[(Tensor, Tensor)],
+    endpoints: Vec<C>,
 ) -> DdpOutcome {
     let r = ddp.replicas;
     assert!(r >= 1);
+    assert_eq!(
+        endpoints.len(),
+        r,
+        "need exactly one collective endpoint per replica"
+    );
     for (points, _) in batches {
         assert_eq!(
             points.dims()[0] % r,
@@ -166,7 +334,6 @@ pub fn train_ddp(
             "global batch must divide evenly across replicas"
         );
     }
-    let endpoints = CommWorld::new(r).into_endpoints();
     let mut handles = Vec::with_capacity(r);
     for comm in endpoints {
         let cfg = model_cfg.clone();
@@ -183,10 +350,10 @@ pub fn train_ddp(
     results.remove(0)
 }
 
-fn run_replica(
+fn run_replica<C: Collective>(
     cfg: ModelConfig,
     ddp: DdpConfig,
-    comm: Communicator,
+    comm: C,
     batches: &[(Tensor, Tensor)],
 ) -> DdpOutcome {
     let rank = comm.rank();
@@ -287,6 +454,11 @@ fn unused_loss_report(_r: LossReport) {}
 mod tests {
     use super::*;
     use crate::vae::VaeConfig;
+    use as_cluster::comm::CommWorld;
+
+    fn world(n: usize) -> Vec<as_cluster::collective::ChannelComm> {
+        CommWorld::new(n).into_endpoints()
+    }
 
     fn tiny_cfg() -> ModelConfig {
         let mut cfg = ModelConfig::small();
@@ -331,8 +503,8 @@ mod tests {
             },
             m_vae: 1.0,
         };
-        let a = train_ddp(&cfg, &ddp, &batches);
-        let b = train_ddp(&cfg, &ddp, &batches);
+        let a = train_ddp(&cfg, &ddp, &batches, world(2));
+        let b = train_ddp(&cfg, &ddp, &batches, world(2));
         assert_eq!(a.final_params.len(), b.final_params.len());
         for (x, y) in a.final_params.iter().zip(&b.final_params) {
             assert_eq!(x, y, "DDP must be deterministic for a fixed seed");
@@ -353,7 +525,7 @@ mod tests {
             },
             m_vae: 4.0,
         };
-        let out = train_ddp(&cfg, &ddp, &batches);
+        let out = train_ddp(&cfg, &ddp, &batches, world(2));
         assert!(out.losses.iter().all(|l| l.is_finite()));
         let head: f64 = out.losses[..5].iter().sum::<f64>() / 5.0;
         let tail = tail_loss(&out, 5);
@@ -478,6 +650,110 @@ mod tests {
     }
 
     #[test]
+    fn overlapped_sync_is_bit_identical_to_blocking_bucketed() {
+        // Two ranks, different local batches. Each rank reduces one model
+        // copy through the blocking bucketed path and a second identical
+        // copy through the overlapped comm-worker path (over a separate
+        // dedicated world, as the streaming consumer wires it). The
+        // averaged gradients must match bit for bit — same bucket
+        // schedule, same all-reduce sequence.
+        let cfg = tiny_cfg();
+        for bucket_elems in [7usize, DEFAULT_BUCKET_ELEMS] {
+            let mains = world(2);
+            let grads = world(2);
+            let handles: Vec<_> = mains
+                .into_iter()
+                .zip(grads)
+                .map(|(comm, grad_comm)| {
+                    let cfg = cfg.clone();
+                    std::thread::spawn(move || {
+                        let mut m1 = ArtificialScientistModel::new(cfg.clone(), 5);
+                        let mut m2 = ArtificialScientistModel::new(cfg, 5);
+                        let mut rng1 = TensorRng::seeded(100 + comm.rank() as u64);
+                        let mut rng2 = TensorRng::seeded(100 + comm.rank() as u64);
+                        let pts = rng1.uniform([2, 8, 6], -1.0, 1.0);
+                        let sp = rng1.uniform([2, 4], -1.0, 1.0);
+                        let pts2 = rng2.uniform([2, 8, 6], -1.0, 1.0);
+                        let sp2 = rng2.uniform([2, 4], -1.0, 1.0);
+                        m1.zero_grad();
+                        let _ = m1.accumulate_gradients(&pts, &sp, &mut rng1);
+                        m2.zero_grad();
+                        let _ = m2.accumulate_gradients(&pts2, &sp2, &mut rng2);
+                        sync_gradients_bucketed(&comm, &mut m1, bucket_elems);
+                        let mut overlap = OverlappedGradSync::new(Arc::new(grad_comm));
+                        overlap.begin(&mut m2, bucket_elems);
+                        overlap.wait_all(&mut m2);
+                        let (mut f1, mut f2) = (Vec::new(), Vec::new());
+                        m1.visit_all(&mut |_p: &mut Tensor, g: &mut Tensor| {
+                            f1.extend_from_slice(g.data())
+                        });
+                        m2.visit_all(&mut |_p: &mut Tensor, g: &mut Tensor| {
+                            f2.extend_from_slice(g.data())
+                        });
+                        (f1, f2)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (blocking, overlapped) = h.join().unwrap();
+                assert_eq!(blocking.len(), overlapped.len());
+                for (a, b) in blocking.iter().zip(&overlapped) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "overlapped sync must be bit-identical to blocking (bucket {bucket_elems})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_sync_runs_many_iterations_without_leaking_state() {
+        // The worker thread persists across iterations; repeated
+        // begin/wait cycles must keep ranks synchronized.
+        let grads = world(2);
+        let cfg = tiny_cfg();
+        let handles: Vec<_> = grads
+            .into_iter()
+            .map(|grad_comm| {
+                let cfg = cfg.clone();
+                std::thread::spawn(move || {
+                    let rank = grad_comm.rank() as u64;
+                    let mut model = ArtificialScientistModel::new(cfg, 9);
+                    let mut rng = TensorRng::seeded(7 + rank);
+                    let mut overlap = OverlappedGradSync::new(Arc::new(grad_comm));
+                    let mut hashes = Vec::new();
+                    for _ in 0..3 {
+                        let pts = rng.uniform([2, 8, 6], -1.0, 1.0);
+                        let sp = rng.uniform([2, 4], -1.0, 1.0);
+                        model.zero_grad();
+                        let _ = model.accumulate_gradients(&pts, &sp, &mut rng);
+                        overlap.begin(&mut model, 64);
+                        overlap.wait_all(&mut model);
+                        let mut flat = Vec::new();
+                        model.visit_all(&mut |_p: &mut Tensor, g: &mut Tensor| {
+                            flat.extend_from_slice(g.data())
+                        });
+                        let mut h = 0xcbf2_9ce4_8422_2325u64;
+                        for v in flat {
+                            h ^= v.to_bits() as u64;
+                            h = h.wrapping_mul(0x100_0000_01b3);
+                        }
+                        hashes.push(h);
+                    }
+                    hashes
+                })
+            })
+            .collect();
+        let results: Vec<Vec<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(
+            results[0], results[1],
+            "per-iteration reduced gradients must agree across ranks"
+        );
+    }
+
+    #[test]
     fn param_hash_detects_any_weight_change() {
         let cfg = tiny_cfg();
         let mut a = ArtificialScientistModel::new(cfg.clone(), 42);
@@ -511,6 +787,7 @@ mod tests {
                 m_vae: 1.0,
             },
             &batches,
+            world(2),
         );
         let single = train_single(&cfg, 11, AdamConfig::default(), 1.0, &batches);
         for (a, b) in ddp_out.losses.iter().zip(&single.losses) {

@@ -44,6 +44,17 @@ impl OpenPmdReader {
         (skipped, step.map(Self::wrap_step))
     }
 
+    /// Adaptive freshest-read: jump to the newest published iteration
+    /// only when at least `min_pending` unseen iterations are pending,
+    /// otherwise take the next one in order (no skip). `min_pending <= 1`
+    /// is [`Self::next_iteration_latest`]. The `DropSteps { min_queue }`
+    /// consumer path; see
+    /// [`as_staging::engine::SstReader::begin_latest_step_min`].
+    pub fn next_iteration_latest_min(&mut self, min_pending: u64) -> (u64, Option<IterationData>) {
+        let (skipped, step) = self.sst.begin_latest_step_min(min_pending);
+        (skipped, step.map(Self::wrap_step))
+    }
+
     /// Wait for the first iteration at stream step `>= target`, skipping
     /// (closing unread) older pending iterations; used to keep a second
     /// stream in lockstep with a [`Self::next_iteration_latest`] read on

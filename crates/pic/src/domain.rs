@@ -13,13 +13,18 @@
 //!
 //! A single-rank world degenerates to the periodic wraps of
 //! [`crate::sim::Simulation`]; the equivalence is asserted in the tests.
+//!
+//! All exchanges go through the [`Collective`] trait, so the same slab
+//! code runs over the in-process channel backend or the netsim-delayed
+//! fabric model (`as_cluster::collective::SimNetComm`); the backend
+//! defaults to [`ChannelComm`] for existing call sites.
 
 use crate::field::{ScalarField3, VecField3, GHOSTS};
 use crate::grid::GridSpec;
 use crate::particles::ParticleBuffer;
 use crate::sim::{Simulation, SimulationBuilder};
 use crate::tile::{fused_push_deposit, wrap_coord, Wrap};
-use as_cluster::comm::Communicator;
+use as_cluster::collective::{ChannelComm, Collective};
 
 const TAG_FIELD_L: u64 = 100;
 const TAG_FIELD_R: u64 = 101;
@@ -27,9 +32,10 @@ const TAG_J_L: u64 = 102;
 const TAG_PART_L: u64 = 104;
 const TAG_PART_R: u64 = 105;
 
-/// One rank's slab of a distributed PIC simulation.
-pub struct DistributedSim {
-    comm: Communicator,
+/// One rank's slab of a distributed PIC simulation, generic over the
+/// collective backend (`C`).
+pub struct DistributedSim<C: Collective = ChannelComm> {
+    comm: C,
     /// The local simulation state (fields sized to the slab).
     pub local: Simulation,
     /// Global x cell index of local cell 0.
@@ -38,14 +44,14 @@ pub struct DistributedSim {
     pub global: GridSpec,
 }
 
-impl DistributedSim {
+impl<C: Collective> DistributedSim<C> {
     /// Split `global` across the communicator and keep the particles of
     /// `all_particles` (global coordinates) that fall into this slab.
     ///
     /// # Panics
     /// Panics unless `global.nx` divides evenly by the world size and each
     /// slab keeps at least `GHOSTS` cells.
-    pub fn new(comm: Communicator, global: GridSpec, all_particles: Vec<ParticleBuffer>) -> Self {
+    pub fn new(comm: C, global: GridSpec, all_particles: Vec<ParticleBuffer>) -> Self {
         global.validate();
         let world = comm.size();
         assert_eq!(global.nx % world, 0, "nx must divide by world size");
@@ -226,10 +232,12 @@ impl DistributedSim {
                     leavers.w[i],
                 );
             }
+            // send_vec (not send) so migration traffic shows up in the
+            // world byte counter alongside the halo exchanges.
             self.comm
-                .send(self.left(), TAG_PART_L + si as u64 * 4, bundle(&to_left));
+                .send_vec(self.left(), TAG_PART_L + si as u64 * 4, bundle(&to_left));
             self.comm
-                .send(self.right(), TAG_PART_R + si as u64 * 4, bundle(&to_right));
+                .send_vec(self.right(), TAG_PART_R + si as u64 * 4, bundle(&to_right));
             let from_right: Vec<f64> = self.comm.recv(self.right(), TAG_PART_L + si as u64 * 4);
             let from_left: Vec<f64> = self.comm.recv(self.left(), TAG_PART_R + si as u64 * 4);
             unbundle(&from_right, &mut self.local.species[si]);
@@ -272,8 +280,8 @@ impl DistributedSim {
         self.comm.size()
     }
 
-    /// Borrow the communicator (for plugins that need collectives).
-    pub fn comm(&self) -> &Communicator {
+    /// Borrow the collective endpoint (for plugins that need collectives).
+    pub fn comm(&self) -> &C {
         &self.comm
     }
 }

@@ -17,7 +17,14 @@ pub mod channel {
     }
 
     /// Receiving half.
-    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+    ///
+    /// Upstream crossbeam receivers are `Sync` (any thread may block on
+    /// `recv`); `std::sync::mpsc::Receiver` is not, so the std receiver
+    /// sits behind a mutex. Concurrent receivers serialise on the lock,
+    /// which matches crossbeam's any-thread-may-receive contract (the
+    /// communicator additionally guarantees one receiving thread per
+    /// endpoint at a time, so the lock is uncontended in practice).
+    pub struct Receiver<T>(std::sync::Mutex<std::sync::mpsc::Receiver<T>>);
 
     /// Error returned when the receiving end is gone.
     #[derive(PartialEq, Eq)]
@@ -38,7 +45,7 @@ pub mod channel {
     /// Create an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = std::sync::mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        (Sender(tx), Receiver(std::sync::Mutex::new(rx)))
     }
 
     impl<T> Sender<T> {
@@ -51,12 +58,20 @@ pub mod channel {
     impl<T> Receiver<T> {
         /// Blocking receive.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv().map_err(|_| RecvError)
+            self.0
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .recv()
+                .map_err(|_| RecvError)
         }
 
         /// Non-blocking receive (None when currently empty).
         pub fn try_recv(&self) -> Result<T, RecvError> {
-            self.0.try_recv().map_err(|_| RecvError)
+            self.0
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .try_recv()
+                .map_err(|_| RecvError)
         }
     }
 

@@ -364,19 +364,34 @@ impl SstReader {
     /// writer blocked on the queue limit resumes — before this call
     /// returns. No payload of a skipped step is ever fetched.
     pub fn begin_latest_step(&mut self) -> (u64, Option<ReadStep>) {
+        self.begin_latest_step_min(0)
+    }
+
+    /// Adaptive variant of [`Self::begin_latest_step`]: jump to the
+    /// newest published step only when at least `min_pending` unseen
+    /// steps are pending for this reader; otherwise take the next step
+    /// **in order** (no skip). `min_pending <= 1` always jumps — the
+    /// classic drop-to-freshest behaviour — because with one pending
+    /// step "next" and "newest" coincide.
+    ///
+    /// This is the `DropSteps { min_queue }` lever: a consumer that is
+    /// only marginally behind keeps full training coverage, and dropping
+    /// starts only once the backlog is `min_pending` deep.
+    pub fn begin_latest_step_min(&mut self, min_pending: u64) -> (u64, Option<ReadStep>) {
         let mut st = self.core.state.lock();
         loop {
-            let newest = st
-                .queue
-                .iter()
-                .map(|s| s.step)
-                .filter(|&s| s >= self.cursor)
-                .max();
-            if let Some(newest) = newest {
-                // Steps publish in order, so every index in
-                // [cursor, newest) is still queued (we never closed it).
+            // Steps publish in order, so this reader's pending set is
+            // exactly [cursor, published) and every index in it is still
+            // queued (we never closed those).
+            let pending = st.published.saturating_sub(self.cursor);
+            if pending > 0 {
+                let target = if pending >= min_pending.max(1) {
+                    st.published - 1 // newest
+                } else {
+                    self.cursor // stay in order
+                };
                 let mut skipped = 0u64;
-                while self.cursor < newest {
+                while self.cursor < target {
                     self.core.close_step_locked(&mut st, self.cursor);
                     self.cursor += 1;
                     skipped += 1;
@@ -384,10 +399,10 @@ impl SstReader {
                 let data = st
                     .queue
                     .iter()
-                    .find(|s| s.step == newest)
-                    .expect("newest step queued")
+                    .find(|s| s.step == target)
+                    .expect("target step queued")
                     .clone();
-                self.cursor = newest + 1;
+                self.cursor = target + 1;
                 return (
                     skipped,
                     Some(ReadStep {
@@ -808,6 +823,32 @@ mod tests {
         w.close();
         assert_eq!(r.begin_latest_step().1.map(|s| s.step()), None);
         assert_eq!(r.published_steps(), 5);
+    }
+
+    #[test]
+    fn latest_step_min_holds_order_until_backlog_is_deep_enough() {
+        let (mut writers, mut readers) = open_stream(StreamConfig {
+            queue_limit: 8,
+            ..StreamConfig::default()
+        });
+        let mut w = writers.remove(0);
+        let mut r = readers.remove(0);
+        for s in 0..5 {
+            w.begin_step();
+            w.put_f64("x", 1, 0, &[s as f64]);
+            w.end_step();
+        }
+        w.close();
+        // 5 pending but the threshold demands 6: read strictly in order.
+        let (skipped, step) = r.begin_latest_step_min(6);
+        assert_eq!(skipped, 0);
+        assert_eq!(step.map(|s| s.step()), Some(0));
+        // 4 pending, threshold 4: now the jump fires and takes step 4.
+        let (skipped, step) = r.begin_latest_step_min(4);
+        assert_eq!(skipped, 3);
+        assert_eq!(step.map(|s| s.step()), Some(4));
+        // min_pending 0 and 1 are the classic always-jump behaviour.
+        assert_eq!(r.begin_latest_step_min(0).1.map(|s| s.step()), None);
     }
 
     #[test]

@@ -59,7 +59,7 @@ fn main() {
     println!("=== consumer streaming policies (full coupled loop) ===");
     for policy in [
         ConsumerPolicy::BlockingEveryStep,
-        ConsumerPolicy::DropSteps { max_queue: 2 },
+        ConsumerPolicy::drop_steps(2),
     ] {
         let mut cfg = WorkflowConfig::small();
         cfg.total_steps = 16;

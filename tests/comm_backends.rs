@@ -1,0 +1,94 @@
+//! Cross-backend determinism: the collective transport may change the
+//! *timing* of a run, never its numerics.
+//!
+//! The same seeded 2×2 workflow runs once over the in-process channel
+//! backend and once over the netsim-delayed Frontier model (which
+//! charges every collective a latency/bandwidth cost and injects it as
+//! real wall time). Parameters — witnessed by the per-iteration
+//! `param_hash` sequence — and losses must be bit-identical.
+
+use artificial_scientist::core::config::{CommBackend, WorkflowConfig};
+use artificial_scientist::core::workflow::{run_workflow, WorkflowReport};
+
+fn seeded_2x2() -> WorkflowConfig {
+    let mut cfg = WorkflowConfig::small();
+    cfg.total_steps = 16;
+    cfg.steps_per_sample = 4;
+    cfg.n_rep = 3;
+    cfg.producers = 2;
+    cfg.consumers = 2;
+    // Blocking policy: every window is consumed in order, so the
+    // training schedule is independent of timing — exactly what makes a
+    // bitwise cross-backend comparison meaningful. (DropSteps schedules
+    // depend on wall-clock races by design.)
+    cfg
+}
+
+fn loss_bits(report: &WorkflowReport) -> Vec<u64> {
+    report
+        .consumer
+        .losses
+        .iter()
+        .map(|l| l.total.to_bits())
+        .collect()
+}
+
+#[test]
+fn netsim_backend_is_bit_identical_to_in_process() {
+    let mut cfg = seeded_2x2();
+    cfg.backend = CommBackend::InProcess;
+    let a = run_workflow(&cfg);
+
+    cfg.backend = CommBackend::netsim_frontier();
+    let b = run_workflow(&cfg);
+
+    // The runs did real work and the witness sequences are non-trivial.
+    assert_eq!(a.producer.windows, 4);
+    assert!(!a.consumer.param_hashes.is_empty());
+
+    // Delays may not change numerics: identical per-iteration parameter
+    // evolution and identical losses, bit for bit.
+    assert_eq!(
+        a.consumer.param_hashes, b.consumer.param_hashes,
+        "param_hash sequences must match across backends"
+    );
+    assert_eq!(a.consumer.param_hash, b.consumer.param_hash);
+    assert_eq!(
+        loss_bits(&a),
+        loss_bits(&b),
+        "loss sequences must match bitwise across backends"
+    );
+    assert_eq!(
+        a.tail_loss(4).to_bits(),
+        b.tail_loss(4).to_bits(),
+        "final loss must match bitwise"
+    );
+
+    // Same collective schedule ⇒ same accounted traffic on both sides.
+    assert!(a.producer_comm_bytes() > 0, "sharded producers talk");
+    assert!(a.consumer_comm_bytes() > 0, "DDP learners talk");
+    assert_eq!(a.producer_comm_bytes(), b.producer_comm_bytes());
+    assert_eq!(a.consumer_comm_bytes(), b.consumer_comm_bytes());
+
+    // Only the netsim run charges modelled fabric time.
+    assert_eq!(a.comm_model_seconds(), 0.0);
+    assert!(
+        b.comm_model_seconds() > 0.0,
+        "the netsim backend must charge fabric time"
+    );
+}
+
+#[test]
+fn netsim_backend_with_overlap_still_matches_in_process() {
+    // Compose both new levers: the netsim fabric and the non-blocking
+    // gradient sync together must still be a pure timing change.
+    let mut cfg = seeded_2x2();
+    cfg.overlap_grad_sync = true;
+    cfg.backend = CommBackend::InProcess;
+    let a = run_workflow(&cfg);
+    cfg.backend = CommBackend::netsim_frontier();
+    let b = run_workflow(&cfg);
+    assert!(!a.consumer.param_hashes.is_empty());
+    assert_eq!(a.consumer.param_hashes, b.consumer.param_hashes);
+    assert_eq!(loss_bits(&a), loss_bits(&b));
+}

@@ -114,6 +114,7 @@ fn ddp_matches_single_process_convergence() {
             m_vae: 1.0,
         },
         &batches,
+        artificial_scientist::cluster::comm::CommWorld::new(2).into_endpoints(),
     );
     let single = train_single(&cfg, 9, adam, 1.0, &batches);
     // Both must make progress and land in the same loss band (not
