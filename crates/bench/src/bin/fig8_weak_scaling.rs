@@ -8,8 +8,21 @@
 //! Part 2 evaluates the calibrated batch-time model at the paper's node
 //! counts: efficiency 100 % → ≈35 %, with the all-reduce contributing
 //! ≈30 % deficit and the naive distributed MMD the rest.
+//!
+//! Part 3 *executes* the collective schedules at 16/32/64 modelled
+//! ranks on record-only netsim worlds, comparing the linear baselines to
+//! the log-depth algorithms (binomial tree, Bruck, size-selected
+//! allreduce): the latency-bound control collectives drop from O(K) to
+//! O(log K) fabric seconds.
+//!
+//! Pass `--smoke` for the CI-sized run (2 DDP replicas max, 16 modelled
+//! ranks only).
 
-use as_bench::{fig8_batch_time, fig8_efficiency_series, PAPER_BATCH_COMPUTE, PAPER_GRAD_BYTES};
+use as_bench::{
+    collective_microbench, fig8_batch_time, fig8_efficiency_series, PAPER_BATCH_COMPUTE,
+    PAPER_GRAD_BYTES,
+};
+use as_cluster::algos::CollectiveAlgo;
 use as_cluster::comm::CommWorld;
 use as_cluster::machine::FRONTIER;
 use as_nn::ddp::{train_ddp, DdpConfig};
@@ -30,7 +43,7 @@ fn make_batches(n: usize, b: usize, points: usize, sdim: usize) -> Vec<(Tensor, 
         .collect()
 }
 
-fn measured_ddp() {
+fn measured_ddp(smoke: bool) {
     println!("-- measured: real DDP replicas on threads (batch 8 per replica) --");
     println!(
         "{:>9} {:>14} {:>12}",
@@ -38,7 +51,8 @@ fn measured_ddp() {
     );
     let cfg = ModelConfig::small();
     let mut base = 0.0;
-    for replicas in [1usize, 2, 4] {
+    let replica_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+    for &replicas in replica_counts {
         let batches = make_batches(6, 8 * replicas, 64, cfg.spectrum_dim);
         let out = train_ddp(
             &cfg,
@@ -90,8 +104,39 @@ fn modelled_scaling() {
     println!("  total batch sizes: 256 → 3072 (8 per GCD), sqrt-scaled lr.");
 }
 
+fn executed_collective_scaleout(smoke: bool) {
+    println!();
+    println!("-- executed: collective schedules on record-only netsim worlds --");
+    println!(
+        "{:>7} {:>18} {:>14} {:>14} {:>8}",
+        "ranks", "op", "linear [µs]", "log [µs]", "ratio"
+    );
+    let rank_counts: &[usize] = if smoke { &[16] } else { &[16, 32, 64] };
+    for &ranks in rank_counts {
+        let lin = collective_microbench(&FRONTIER, CollectiveAlgo::Linear, ranks);
+        let log = collective_microbench(&FRONTIER, CollectiveAlgo::Log, ranks);
+        for (l, g) in lin.iter().zip(&log) {
+            println!(
+                "{:>7} {:>18} {:>14.2} {:>14.2} {:>7.1}x",
+                ranks,
+                l.op,
+                l.modelled_seconds * 1e6,
+                g.modelled_seconds * 1e6,
+                l.modelled_seconds / g.modelled_seconds
+            );
+        }
+    }
+    println!();
+    println!("  the control collectives (broadcast, small allreduce) are");
+    println!("  latency-bound: O(K) serialized sends under the linear fan-out,");
+    println!("  O(log K) under the binomial-tree/Bruck schedules. The 64 KiB");
+    println!("  gradient bucket stays on the bandwidth-optimal ring either way.");
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     println!("=== Fig. 8: in-transit training weak scaling ===");
-    measured_ddp();
+    measured_ddp(smoke);
     modelled_scaling();
+    executed_collective_scaleout(smoke);
 }

@@ -29,10 +29,19 @@
 //! payloads — asserted in `tests/comm_backends.rs`) with every
 //! collective charged Frontier's latency/fair-share-bandwidth cost.
 //!
+//! Each row also carries the collective-algorithm family
+//! (`--algos linear,log`, default both): the log-depth schedules
+//! (binomial tree, Bruck, size-selected allreduce) move the same bytes —
+//! asserted bit-identical in `tests/comm_backends.rs` — but send the
+//! latency-critical control collectives in O(log K) serialized hops
+//! instead of O(K), which the `*_comm_messages` and
+//! `comm_model_seconds` columns record.
+//!
 //! Pass `--smoke` for the CI-sized run, `--backends in_process` (or
 //! `netsim_frontier`) to restrict the sweep,
 //! `--steps/--steps-per-sample/--n-rep/--out` to override.
 
+use as_cluster::algos::CollectiveAlgo;
 use as_core::config::{CommBackend, ConsumerPolicy, WorkflowConfig};
 use as_core::workflow::run_workflow;
 
@@ -41,6 +50,7 @@ struct Args {
     steps_per_sample: usize,
     n_rep: u32,
     backends: Vec<CommBackend>,
+    algos: Vec<CollectiveAlgo>,
     out: String,
 }
 
@@ -53,12 +63,21 @@ fn parse_backend(label: &str) -> CommBackend {
     }
 }
 
+fn parse_algo(label: &str) -> CollectiveAlgo {
+    match label {
+        "linear" => CollectiveAlgo::Linear,
+        "log" => CollectiveAlgo::Log,
+        other => panic!("unknown algo {other} (linear|log)"),
+    }
+}
+
 fn parse_args() -> Args {
     let mut a = Args {
         steps: 48,
         steps_per_sample: 4,
         n_rep: 6,
         backends: vec![CommBackend::InProcess, CommBackend::netsim_frontier()],
+        algos: vec![CollectiveAlgo::Linear, CollectiveAlgo::Log],
         out: "BENCH_workflow.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -72,6 +91,7 @@ fn parse_args() -> Args {
             "--steps-per-sample" => a.steps_per_sample = val().parse().expect("--steps-per-sample"),
             "--n-rep" => a.n_rep = val().parse().expect("--n-rep"),
             "--backends" => a.backends = val().split(',').map(parse_backend).collect(),
+            "--algos" => a.algos = val().split(',').map(parse_algo).collect(),
             "--out" => a.out = val(),
             "--smoke" => {
                 // CI-sized but still consumer-bound: windows come every 2
@@ -90,6 +110,7 @@ fn parse_args() -> Args {
 
 struct TopoRow {
     backend: String,
+    algo: &'static str,
     producers: usize,
     consumers: usize,
     policy: &'static str,
@@ -103,6 +124,8 @@ struct TopoRow {
     bytes: u64,
     producer_comm_bytes: u64,
     consumer_comm_bytes: u64,
+    producer_comm_messages: u64,
+    consumer_comm_messages: u64,
     comm_model_seconds: f64,
     samples: u64,
     iterations: usize,
@@ -115,91 +138,100 @@ fn main() {
     let mut rows: Vec<TopoRow> = Vec::new();
 
     for &backend in &a.backends {
-        for (m, k) in topologies {
-            for drop in [false, true] {
-                let mut cfg = WorkflowConfig::small();
-                cfg.total_steps = a.steps;
-                cfg.steps_per_sample = a.steps_per_sample;
-                cfg.n_rep = a.n_rep;
-                cfg.producers = m;
-                cfg.consumers = k;
-                cfg.backend = backend;
-                if drop {
-                    // Same queue depth as blocking: the row differences are
-                    // the policy, not the buffer budget.
-                    cfg.policy = ConsumerPolicy::drop_steps(cfg.queue_limit);
-                    cfg.sample_broadcast = k > 1;
-                    cfg.overlap_grad_sync = k > 1;
-                }
-                eprintln!(
-                    "fig_workflow_scaling: {m}×{k} {} on {} ({} steps, window every {}, n_rep {})",
+        for &algo in &a.algos {
+            for (m, k) in topologies {
+                for drop in [false, true] {
+                    let mut cfg = WorkflowConfig::small();
+                    cfg.total_steps = a.steps;
+                    cfg.steps_per_sample = a.steps_per_sample;
+                    cfg.n_rep = a.n_rep;
+                    cfg.producers = m;
+                    cfg.consumers = k;
+                    cfg.backend = backend;
+                    cfg.collective_algo = algo;
+                    if drop {
+                        // Same queue depth as blocking: the row differences are
+                        // the policy, not the buffer budget.
+                        cfg.policy = ConsumerPolicy::drop_steps(cfg.queue_limit);
+                        cfg.sample_broadcast = k > 1;
+                        cfg.overlap_grad_sync = k > 1;
+                    }
+                    eprintln!(
+                    "fig_workflow_scaling: {m}×{k} {} on {}/{} ({} steps, window every {}, n_rep {})",
                     cfg.policy.label(),
                     cfg.backend.label(),
+                    algo.label(),
                     a.steps,
                     a.steps_per_sample,
                     a.n_rep
                 );
-                let report = run_workflow(&cfg);
-                // Unique encodes: with sample_broadcast every rank's buffer
-                // receives every encoded sample, so any single rank's count
-                // is the total — summing across ranks would double-count.
-                let samples: u64 = if cfg.sample_broadcast {
-                    report.consumer.samples
-                } else {
-                    report.consumer_summaries.iter().map(|s| s.samples).sum()
-                };
-                let consumed = report.consumed_windows();
-                for s in &report.consumer_summaries {
-                    assert_eq!(
-                        s.windows + s.dropped_windows + s.orphaned_windows,
-                        s.published_windows,
-                        "{m}×{k} {}: rank {} must account for every published window",
-                        cfg.policy.label(),
-                        s.rank
+                    let report = run_workflow(&cfg);
+                    // Unique encodes: with sample_broadcast every rank's buffer
+                    // receives every encoded sample, so any single rank's count
+                    // is the total — summing across ranks would double-count.
+                    let samples: u64 = if cfg.sample_broadcast {
+                        report.consumer.samples
+                    } else {
+                        report.consumer_summaries.iter().map(|s| s.samples).sum()
+                    };
+                    let consumed = report.consumed_windows();
+                    for s in &report.consumer_summaries {
+                        assert_eq!(
+                            s.windows + s.dropped_windows + s.orphaned_windows,
+                            s.published_windows,
+                            "{m}×{k} {}: rank {} must account for every published window",
+                            cfg.policy.label(),
+                            s.rank
+                        );
+                    }
+                    if !drop {
+                        assert_eq!(
+                            consumed.len() as u64,
+                            report.producer.windows,
+                            "{m}×{k} blocking: every window must be consumed exactly once"
+                        );
+                    }
+                    let h0 = report.consumer_summaries[0].param_hash;
+                    assert!(
+                        report.consumer_summaries.iter().all(|s| s.param_hash == h0),
+                        "{m}×{k}: learner ranks must stay bit-identical"
                     );
-                }
-                if !drop {
-                    assert_eq!(
-                        consumed.len() as u64,
-                        report.producer.windows,
-                        "{m}×{k} blocking: every window must be consumed exactly once"
-                    );
-                }
-                let h0 = report.consumer_summaries[0].param_hash;
-                assert!(
-                    report.consumer_summaries.iter().all(|s| s.param_hash == h0),
-                    "{m}×{k}: learner ranks must stay bit-identical"
-                );
-                let row = TopoRow {
-                    backend: cfg.backend.label(),
-                    producers: m,
-                    consumers: k,
-                    policy: cfg.policy.label(),
-                    windows: report.producer.windows,
-                    consumed: consumed.len() as u64,
-                    dropped: report.consumer.dropped_windows,
-                    wall_seconds: report.wall_seconds,
-                    windows_per_sec: report.windows_per_second(),
-                    stall_seconds: report.producer.stall_seconds,
-                    stall_fraction: report.producer.stall_fraction(),
-                    bytes: report.producer.bytes,
-                    producer_comm_bytes: report.producer_comm_bytes(),
-                    consumer_comm_bytes: report.consumer_comm_bytes(),
-                    comm_model_seconds: report.comm_model_seconds(),
-                    samples,
-                    iterations: report.consumer.losses.len(),
-                    tail_loss: report.tail_loss(4),
-                };
-                eprintln!(
-                    "  {:>4.1} windows/s  stall {:5.1} %  dropped {}  comm {}+{} B  tail loss {:.4}",
+                    let row = TopoRow {
+                        backend: cfg.backend.label(),
+                        algo: algo.label(),
+                        producers: m,
+                        consumers: k,
+                        policy: cfg.policy.label(),
+                        windows: report.producer.windows,
+                        consumed: consumed.len() as u64,
+                        dropped: report.consumer.dropped_windows,
+                        wall_seconds: report.wall_seconds,
+                        windows_per_sec: report.windows_per_second(),
+                        stall_seconds: report.producer.stall_seconds,
+                        stall_fraction: report.producer.stall_fraction(),
+                        bytes: report.producer.bytes,
+                        producer_comm_bytes: report.producer_comm_bytes(),
+                        consumer_comm_bytes: report.consumer_comm_bytes(),
+                        producer_comm_messages: report.producer_comm_messages(),
+                        consumer_comm_messages: report.consumer_comm_messages(),
+                        comm_model_seconds: report.comm_model_seconds(),
+                        samples,
+                        iterations: report.consumer.losses.len(),
+                        tail_loss: report.tail_loss(4),
+                    };
+                    eprintln!(
+                    "  {:>4.1} windows/s  stall {:5.1} %  dropped {}  comm {}+{} B ({}+{} msgs)  tail loss {:.4}",
                     row.windows_per_sec,
                     row.stall_fraction * 100.0,
                     row.dropped,
                     row.producer_comm_bytes,
                     row.consumer_comm_bytes,
+                    row.producer_comm_messages,
+                    row.consumer_comm_messages,
                     row.tail_loss
                 );
-                rows.push(row);
+                    rows.push(row);
+                }
             }
         }
     }
@@ -211,8 +243,9 @@ fn main() {
     ));
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"backend\": \"{}\", \"producers\": {}, \"consumers\": {}, \"policy\": \"{}\", \"windows\": {}, \"consumed\": {}, \"dropped\": {}, \"wall_seconds\": {:.4}, \"windows_per_sec\": {:.3}, \"stall_seconds\": {:.4}, \"stall_fraction\": {:.4}, \"bytes\": {}, \"producer_comm_bytes\": {}, \"consumer_comm_bytes\": {}, \"comm_model_seconds\": {:.6}, \"samples\": {}, \"iterations\": {}, \"tail_loss\": {:.6}}}{}\n",
+            "    {{\"backend\": \"{}\", \"algo\": \"{}\", \"producers\": {}, \"consumers\": {}, \"policy\": \"{}\", \"windows\": {}, \"consumed\": {}, \"dropped\": {}, \"wall_seconds\": {:.4}, \"windows_per_sec\": {:.3}, \"stall_seconds\": {:.4}, \"stall_fraction\": {:.4}, \"bytes\": {}, \"producer_comm_bytes\": {}, \"consumer_comm_bytes\": {}, \"producer_comm_messages\": {}, \"consumer_comm_messages\": {}, \"comm_model_seconds\": {:.6}, \"samples\": {}, \"iterations\": {}, \"tail_loss\": {:.6}}}{}\n",
             r.backend,
+            r.algo,
             r.producers,
             r.consumers,
             r.policy,
@@ -226,6 +259,8 @@ fn main() {
             r.bytes,
             r.producer_comm_bytes,
             r.consumer_comm_bytes,
+            r.producer_comm_messages,
+            r.consumer_comm_messages,
             r.comm_model_seconds,
             r.samples,
             r.iterations,

@@ -15,6 +15,8 @@
 //! The models here combine *measured* small-scale runs (real code paths on
 //! this machine) with the `as-cluster` wall-clock models at paper scale.
 
+use as_cluster::algos::CollectiveAlgo;
+use as_cluster::collective::{ChannelComm, Collective, NetModel, SimNetComm};
 use as_cluster::collectives::{allgather_cost, allreduce_cost, graph_break_penalty, AllReduceAlgo};
 use as_cluster::machine::{MachineSpec, FRONTIER};
 use as_staging::dataplane::DataPlane;
@@ -96,6 +98,129 @@ pub const PAPER_GRAD_BYTES: f64 = 4.3e6 * 4.0;
 /// batch 8; calibrated so the modelled efficiency at 96 nodes lands at
 /// the paper's ≈35 %).
 pub const PAPER_BATCH_COMPUTE: f64 = 3.0e-3;
+
+/// One row of the per-algorithm collective microbench
+/// (`fig_collectives` / the fig-8 modelled scale-out): a single
+/// collective executed on a fresh record-only netsim world, with the
+/// backend's own telemetry counters as the measurement.
+pub struct CollectiveBenchRow {
+    /// Collective name, e.g. `broadcast_1KiB`.
+    pub op: &'static str,
+    /// Algorithm family label (`linear` | `log`).
+    pub algo: &'static str,
+    /// World size.
+    pub ranks: usize,
+    /// Application payload per rank (what the caller handed the
+    /// collective), bytes.
+    pub payload_bytes: u64,
+    /// Wire bytes the backend accounted (0 for the data collectives,
+    /// whose byte telemetry is schedule-independent by design).
+    pub wire_bytes: u64,
+    /// Point-to-point messages sent world-wide.
+    pub messages: u64,
+    /// Modelled fabric seconds (critical path over ranks).
+    pub modelled_seconds: f64,
+}
+
+/// Execute one collective on every rank of a fresh record-only netsim
+/// world and return `(wire_bytes, messages, modelled_seconds)` from the
+/// backend's world counters.
+fn run_one_collective<F>(
+    machine: &MachineSpec,
+    algo: CollectiveAlgo,
+    ranks: usize,
+    op: F,
+) -> (u64, u64, f64)
+where
+    F: Fn(&SimNetComm<ChannelComm>) + Send + Sync + Copy + 'static,
+{
+    let ranks_per_node = machine.gpus_per_node.max(1);
+    let model = NetModel::from_machine(machine, ranks, ranks_per_node, 0.0);
+    let eps = SimNetComm::world_with_algo(ranks, model, algo);
+    let handles: Vec<_> = eps
+        .into_iter()
+        .map(|c| {
+            std::thread::spawn(move || {
+                op(&c);
+                c
+            })
+        })
+        .collect();
+    let eps: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("bench rank panicked"))
+        .collect();
+    (
+        eps[0].world_bytes_sent(),
+        eps[0].world_messages_sent(),
+        eps[0].modelled_comm_seconds(),
+    )
+}
+
+/// The fixed microbench suite: the collectives the coupled workflow
+/// actually issues (control broadcast, offset gather/allgather, the
+/// small control allreduce and one gradient-bucket ring allreduce), each
+/// run once per `(algo, ranks)` on its own world.
+pub fn collective_microbench(
+    machine: &MachineSpec,
+    algo: CollectiveAlgo,
+    ranks: usize,
+) -> Vec<CollectiveBenchRow> {
+    let mut rows = Vec::new();
+    let mut push = |op: &'static str, payload_bytes: u64, m: (u64, u64, f64)| {
+        rows.push(CollectiveBenchRow {
+            op,
+            algo: algo.label(),
+            ranks,
+            payload_bytes,
+            wire_bytes: m.0,
+            messages: m.1,
+            modelled_seconds: m.2,
+        });
+    };
+    push(
+        "broadcast_1KiB",
+        1024,
+        run_one_collective(machine, algo, ranks, |c| {
+            let _ = if c.rank() == 0 {
+                c.broadcast(0, Some([0u8; 1024]))
+            } else {
+                c.broadcast::<[u8; 1024]>(0, None)
+            };
+        }),
+    );
+    push(
+        "gather_1KiB",
+        1024,
+        run_one_collective(machine, algo, ranks, |c| {
+            let _ = c.gather(0, [0u8; 1024]);
+        }),
+    );
+    push(
+        "allgather_1KiB",
+        1024,
+        run_one_collective(machine, algo, ranks, |c| {
+            let _ = c.allgather([0u8; 1024]);
+        }),
+    );
+    push(
+        "allreduce_48B",
+        48,
+        run_one_collective(machine, algo, ranks, |c| {
+            let mut buf = [1.0f64; 6];
+            c.allreduce_sum_f64(&mut buf);
+        }),
+    );
+    push(
+        "allreduce_64KiB",
+        16384 * 4,
+        run_one_collective(machine, algo, ranks, |c| {
+            let mut buf = vec![1.0f32; 16384];
+            c.allreduce_sum_f32(&mut buf);
+        }),
+    );
+    rows
+}
 
 /// Render a five-number summary row like the Fig. 6 boxplots.
 pub fn format_box_row(label: &str, samples: &[f64], scale: f64, unit: &str) -> String {
@@ -189,6 +314,39 @@ mod tests {
             (0.15..0.40).contains(&deficit),
             "allreduce-only deficit {deficit}"
         );
+    }
+
+    #[test]
+    fn microbench_shows_log_depth_winning_at_scale() {
+        // The latency-bound collectives must get cheaper under the
+        // log-depth schedules — that is the tentpole claim the JSON
+        // artefact records.
+        for op in ["broadcast_1KiB", "allreduce_48B"] {
+            let lin = collective_microbench(&FRONTIER, CollectiveAlgo::Linear, 64);
+            let log = collective_microbench(&FRONTIER, CollectiveAlgo::Log, 64);
+            let t_lin = lin.iter().find(|r| r.op == op).unwrap().modelled_seconds;
+            let t_log = log.iter().find(|r| r.op == op).unwrap().modelled_seconds;
+            assert!(
+                t_log < t_lin / 2.0,
+                "{op}: log {t_log:.3e}s should beat linear {t_lin:.3e}s at 64 ranks"
+            );
+        }
+    }
+
+    #[test]
+    fn microbench_counters_are_populated() {
+        let rows = collective_microbench(&FRONTIER, CollectiveAlgo::Log, 8);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(r.messages > 0, "{} must send messages", r.op);
+            assert!(r.modelled_seconds > 0.0, "{} must cost fabric time", r.op);
+        }
+        // The allreduces account real wire bytes; the broadcast is
+        // world-total p−1 messages under any algorithm.
+        assert!(rows
+            .iter()
+            .any(|r| r.op.starts_with("allreduce") && r.wire_bytes > 0));
+        assert_eq!(rows[0].messages, 7);
     }
 
     #[test]

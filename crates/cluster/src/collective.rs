@@ -14,7 +14,7 @@
 //!   direct-`Communicator` paths — the trait impl is pure delegation.
 //! - [`SimNetComm`]: wraps any backend and charges every operation the
 //!   latency/bandwidth cost of a modelled fabric ([`NetModel`], derived
-//!   from [`crate::netsim::NetSpec`] max-min fair sharing and the
+//!   from [`crate::netsim`] max-min fair sharing and the
 //!   [`crate::machine`] presets), optionally injecting the modelled
 //!   delay as real wall time. Payloads are untouched, so numerics are
 //!   **bit-identical** to the wrapped backend — only timing (and the
@@ -28,27 +28,48 @@
 //! worker (`as_nn::ddp::OverlappedGradSync`) relies on the `Send + Sync`
 //! supertrait bounds to share an endpoint with its comm thread.
 //!
+//! # Pricing = the executed schedule
+//!
+//! [`SimNetComm`] does not hand-write per-collective formulas. It walks
+//! the same [`crate::algos`] message schedule the wrapped executor runs
+//! — this rank's serialized sends for the algorithm in force
+//! ([`Collective::algo`]) — and charges each hop its [`NetModel`] cost:
+//! intra- or inter-node latency plus payload over the corresponding
+//! fair-share bandwidth, decided by the [`NodeMap`] placement. Costs
+//! accumulate on a **per-rank** timeline; the world-wide
+//! [`Collective::modelled_comm_seconds`] is the *maximum* over ranks —
+//! critical-path semantics, so a binomial broadcast costs the root's
+//! `⌈log₂ p⌉` serialized hops, not the `p-1` total messages. The α-β
+//! models in [`crate::collectives`] are therefore the measured cost, a
+//! correspondence asserted within tolerance by `tests/alpha_beta_model.rs`.
+//!
 //! # Bytes accounting
 //!
 //! [`Collective::world_bytes_sent`] exposes the world-wide payload
-//! traffic counter (slice-typed sends and the ring collectives are
+//! traffic counter (slice-typed sends and the sized allreduce paths are
 //! counted automatically; for opaque structured messages the sender
-//! declares the serialized size via [`Collective::account_payload`] —
+//! declares the serialized size via [`Collective::account_payload`] or,
+//! for broadcast fan-outs, [`Collective::account_broadcast_payload`] —
 //! the consumer's sample broadcast does). The workflow surfaces the
-//! counter per run in `WorkflowReport` and `BENCH_workflow.json`.
+//! counter per run in `WorkflowReport` and `BENCH_workflow.json`, along
+//! with the [`Collective::world_messages_sent`] hop counter.
 
+use crate::algos::{
+    allgather_events, allreduce_events, broadcast_events, gather_events, CollectiveAlgo, MsgEvent,
+};
 use crate::comm::{CommWorld, Communicator};
 use crate::machine::{MachineSpec, FRONTIER, SUMMIT};
-use crate::netsim::{Flow, NetSim, NetSpec};
+use crate::netsim::NetSim;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The in-process backend: the thread/channel [`Communicator`] itself.
 ///
-/// Construct worlds with [`crate::comm::CommWorld::new`]; the trait impl
-/// below delegates every method to the inherent implementation, so code
-/// written against `Collective` is bit-exact with code that called the
-/// `Communicator` directly.
+/// Construct worlds with [`crate::comm::CommWorld::new`] (or
+/// [`crate::comm::CommWorld::with_algo`] to select the collective
+/// schedules); the trait impl below delegates every method to the
+/// inherent implementation, so code written against `Collective` is
+/// bit-exact with code that called the `Communicator` directly.
 pub type ChannelComm = Communicator;
 
 /// An MPI-like collective-communication endpoint: one rank's handle in a
@@ -64,9 +85,11 @@ pub type ChannelComm = Communicator;
 ///   per `(source, tag)` pair, which is what lets back-to-back ring
 ///   all-reduces (the DDP gradient buckets of
 ///   `as_nn::ddp::sync_gradients_bucketed`) pipeline without barriers;
-/// - the reduction order inside each all-reduce is deterministic and
-///   identical on every rank, so post-reduce buffers are bit-identical
-///   across ranks and across backends.
+/// - the reduction order inside each all-reduce is deterministic,
+///   identical on every rank **and identical across algorithm choices**
+///   (the log-depth small-buffer path replays the canonical ring order —
+///   see [`crate::algos`]), so post-reduce buffers are bit-identical
+///   across ranks, across backends and across algorithms.
 ///
 /// `Send + Sync + 'static` is part of the trait: endpoints move into
 /// rank threads, and an endpoint may be shared (behind `Arc`) with a
@@ -79,6 +102,10 @@ pub trait Collective: Send + Sync + 'static {
 
     /// Number of ranks in the world.
     fn size(&self) -> usize;
+
+    /// The collective algorithm family this world executes (and that the
+    /// pricing layer charges for).
+    fn algo(&self) -> CollectiveAlgo;
 
     /// Synchronise all ranks.
     fn barrier(&self);
@@ -123,8 +150,15 @@ pub trait Collective: Send + Sync + 'static {
     }
 
     /// Total payload bytes sent across the whole world so far (slice-
-    /// typed sends and ring collectives; monotone, shared by all ranks).
+    /// typed sends and sized allreduce paths; monotone, shared by all
+    /// ranks).
     fn world_bytes_sent(&self) -> u64;
+
+    /// Total point-to-point messages sent across the whole world so far,
+    /// collective-internal hops included (monotone, shared by all
+    /// ranks). The message count is what separates the linear and
+    /// log-depth schedules when payloads are small.
+    fn world_messages_sent(&self) -> u64;
 
     /// Record `bytes` of payload carried by opaque messages this rank is
     /// about to send (a `broadcast`/`gather` of structured values whose
@@ -134,8 +168,22 @@ pub trait Collective: Send + Sync + 'static {
     /// on one rank cannot desynchronise a collective schedule.
     fn account_payload(&self, bytes: u64);
 
+    /// Record the payload of an opaque broadcast from `root` that ships
+    /// `bytes_per_copy` serialized bytes to each receiving rank. The
+    /// world traffic counter grows by `bytes_per_copy × (size-1)` (one
+    /// delivered copy per non-root rank, independent of algorithm);
+    /// modelled fabrics charge the *broadcast algorithm's* bandwidth on
+    /// the caller's timeline — `⌈log₂ p⌉` copies down the binomial tree
+    /// instead of the linear `p-1`. Call on the broadcasting rank,
+    /// alongside the `broadcast` itself.
+    fn account_broadcast_payload(&self, root: usize, bytes_per_copy: u64) {
+        let _ = root;
+        self.account_payload(bytes_per_copy.saturating_mul(self.size() as u64 - 1));
+    }
+
     /// Seconds of fabric time the backend's network model has charged so
-    /// far, world-wide. `0.0` for backends without a model (the
+    /// far — the maximum over all ranks' serialized timelines (the
+    /// modelled critical path). `0.0` for backends without a model (the
     /// in-process channels are "free"); [`SimNetComm`] accumulates the
     /// modelled latency/bandwidth cost here whether or not it injects
     /// the delay as wall time.
@@ -150,6 +198,9 @@ impl Collective for Communicator {
     }
     fn size(&self) -> usize {
         Communicator::size(self)
+    }
+    fn algo(&self) -> CollectiveAlgo {
+        Communicator::algo(self)
     }
     fn barrier(&self) {
         Communicator::barrier(self)
@@ -187,69 +238,160 @@ impl Collective for Communicator {
     fn world_bytes_sent(&self) -> u64 {
         Communicator::world_bytes_sent(self)
     }
+    fn world_messages_sent(&self) -> u64 {
+        Communicator::world_messages_sent(self)
+    }
     fn account_payload(&self, bytes: u64) {
         Communicator::account_payload(self, bytes)
     }
 }
 
-/// Per-rank fabric cost model behind [`SimNetComm`]: a fixed per-message
-/// latency plus a fair-share bandwidth, with a knob for how much of the
+/// Rank → modelled-node placement map for a [`NetModel`].
+///
+/// An empty map (the default) places every rank on its own node — all
+/// hops are inter-node, which is the conservative legacy behaviour. A
+/// populated map prices hops between co-located ranks at the intra-node
+/// link instead of the fabric, which is what makes the `InterNode`
+/// placement (producer slabs and learner ranks on distinct modelled
+/// nodes) cost more fabric time than the packed `IntraNode` one.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NodeMap {
+    node_of: Vec<usize>,
+}
+
+impl NodeMap {
+    /// Dense placement: `ranks` ranks filled `per_node` to a node, with
+    /// node ids starting at `node_offset` (so two groups — producers and
+    /// learners — can occupy provably distinct modelled nodes).
+    pub fn placed(ranks: usize, per_node: usize, node_offset: usize) -> Self {
+        let per_node = per_node.max(1);
+        Self {
+            node_of: (0..ranks).map(|r| node_offset + r / per_node).collect(),
+        }
+    }
+
+    /// The modelled node hosting `rank`. Ranks beyond the map (and every
+    /// rank of an empty map) live on their own private node.
+    pub fn node_of(&self, rank: usize) -> usize {
+        self.node_of.get(rank).copied().unwrap_or(usize::MAX - rank)
+    }
+
+    /// True when both ranks share a modelled node.
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Number of distinct modelled nodes in the map (0 for an empty map).
+    pub fn node_count(&self) -> usize {
+        let mut nodes: Vec<usize> = self.node_of.clone();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.len()
+    }
+}
+
+/// Per-rank fabric cost model behind [`SimNetComm`]: per-message
+/// latencies plus fair-share bandwidths — one (latency, bandwidth) pair
+/// for inter-node hops and one for intra-node hops, selected per message
+/// by the [`NodeMap`] placement — with a knob for how much of the
 /// modelled delay is injected as real wall time.
 ///
-/// The bandwidth is **not** a free parameter: [`NetModel::from_machine`]
-/// builds the machine's topology as a [`NetSpec`] (one NIC-share egress
-/// link per rank, one tapered global bisection link) and runs the
-/// [`NetSim`] max-min fair allocation with all ranks transmitting at
-/// once — the steady-state fair share under full contention is the rate
-/// every message is charged at. That reproduces the congestion knee the
-/// paper's scaling studies hinge on: below the bisection saturation
-/// point the NIC share limits, beyond it the bisection does.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// The inter-node bandwidth is **not** a free parameter:
+/// [`NetModel::from_machine`] runs the machine's NIC + tapered-bisection
+/// topology through the [`crate::netsim`] max-min fair allocation with
+/// all ranks transmitting at once — the steady-state fair share under
+/// full contention is the rate every inter-node message is charged at.
+/// That reproduces the congestion knee the paper's scaling studies hinge
+/// on: below the bisection saturation point the NIC share limits, beyond
+/// it the bisection does.
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetModel {
-    /// Seconds charged per message (per hop aggregate).
+    /// Seconds charged per inter-node message (per hop aggregate).
     pub latency: f64,
-    /// Fair-share bandwidth per rank under full contention, bytes/second.
+    /// Fair-share inter-node bandwidth per rank under full contention,
+    /// bytes/second.
     pub bytes_per_second: f64,
+    /// Seconds charged per intra-node message.
+    pub intra_latency: f64,
+    /// Intra-node link bandwidth, bytes/second.
+    pub intra_bytes_per_second: f64,
     /// Fraction of the modelled delay injected as real wall time
     /// (`thread::sleep`). `1.0` delays in "real" modelled time, `0.0`
     /// records the cost without sleeping (numerics are unaffected either
     /// way — delays never change payloads).
     pub time_scale: f64,
+    /// Rank → modelled node placement; empty = every rank its own node.
+    pub nodes: NodeMap,
 }
 
 impl NetModel {
+    /// A placement-free model: every hop pays `latency` +
+    /// `bytes/bytes_per_second`, like a fabric with no intra-node
+    /// shortcut. The analytic α-β comparisons use this.
+    pub fn uniform(latency: f64, bytes_per_second: f64, time_scale: f64) -> Self {
+        Self {
+            latency,
+            bytes_per_second: bytes_per_second.max(1.0),
+            intra_latency: latency,
+            intra_bytes_per_second: bytes_per_second.max(1.0),
+            time_scale,
+            nodes: NodeMap::default(),
+        }
+    }
+
     /// Derive the fair-share model for `ranks` ranks placed
-    /// `ranks_per_node` per node on `machine`, by running the max-min
-    /// fair [`NetSim`] allocation on the machine's NIC + bisection
-    /// topology with every rank transmitting concurrently.
+    /// `ranks_per_node` per node on `machine` (NIC shared by the same
+    /// `ranks_per_node`), by running the max-min fair [`crate::netsim`]
+    /// allocation on the machine's NIC + bisection topology with every
+    /// rank transmitting concurrently.
     pub fn from_machine(
         machine: &MachineSpec,
         ranks: usize,
         ranks_per_node: usize,
         time_scale: f64,
     ) -> Self {
+        Self::from_machine_placed(
+            machine,
+            ranks,
+            ranks_per_node,
+            ranks_per_node,
+            0,
+            time_scale,
+        )
+    }
+
+    /// [`NetModel::from_machine`] with the placement degrees of freedom
+    /// exposed: this group's ranks are packed `group_ranks_per_node` per
+    /// modelled node starting at `node_offset`, while each NIC is shared
+    /// by `nic_share_ranks` ranks (the *machine-wide* occupancy — on a
+    /// node hosting both producer and learner ranks the NIC is split
+    /// among all of them, not just this group's share).
+    pub fn from_machine_placed(
+        machine: &MachineSpec,
+        ranks: usize,
+        group_ranks_per_node: usize,
+        nic_share_ranks: usize,
+        node_offset: usize,
+        time_scale: f64,
+    ) -> Self {
         let ranks = ranks.max(1);
-        let ranks_per_node = ranks_per_node.max(1);
-        let nodes = ranks.div_ceil(ranks_per_node);
-        let mut spec = NetSpec::new();
-        let bisection = spec.add_link(machine.bisection_bandwidth(nodes).max(1.0));
+        let group_ranks_per_node = group_ranks_per_node.max(1);
+        let nic_share_ranks = nic_share_ranks.max(1);
+        let nodes = ranks.div_ceil(group_ranks_per_node);
         let egress_cap =
-            machine.nic_bandwidth * machine.nics_per_node as f64 / ranks_per_node as f64;
-        let egress: Vec<_> = (0..ranks).map(|_| spec.add_link(egress_cap)).collect();
-        // One equal-sized flow per rank through (its egress, the
-        // bisection): the max-min allocation under full contention.
-        let mut sim = NetSim::new(spec);
-        let payload = 1.0e6;
-        for e in egress {
-            sim.add_flow(Flow::immediate(vec![e, bisection], payload));
-        }
-        let outcomes = sim.run();
-        // All flows are identical, so every mean rate is the fair share.
-        let fair_rate = outcomes[0].mean_rate.min(egress_cap);
+            machine.nic_bandwidth * machine.nics_per_node as f64 / nic_share_ranks as f64;
+        let fair_rate = NetSim::contended_fair_share(
+            ranks,
+            egress_cap,
+            machine.bisection_bandwidth(nodes).max(1.0),
+        );
         Self {
             latency: machine.net_latency,
             bytes_per_second: fair_rate.max(1.0),
+            intra_latency: machine.intra_node_latency,
+            intra_bytes_per_second: machine.intra_node_bandwidth.max(1.0),
             time_scale,
+            nodes: NodeMap::placed(ranks, group_ranks_per_node, node_offset),
         }
     }
 
@@ -264,7 +406,20 @@ impl NetModel {
         Self::from_machine(&SUMMIT, ranks, SUMMIT.gpus_per_node, 1.0)
     }
 
-    /// Modelled cost of `messages` messages moving `bytes` payload.
+    /// Modelled cost of one message of `bytes` payload between `from`
+    /// and `to`: the intra-node latency/bandwidth when the placement
+    /// co-locates them, the fabric fair share otherwise.
+    pub fn hop_cost(&self, from: usize, to: usize, bytes: u64) -> f64 {
+        if self.nodes.same_node(from, to) {
+            self.intra_latency + bytes as f64 / self.intra_bytes_per_second
+        } else {
+            self.latency + bytes as f64 / self.bytes_per_second
+        }
+    }
+
+    /// Modelled cost of `messages` inter-node messages moving `bytes`
+    /// payload (placement-blind; kept for coarse charges like
+    /// [`Collective::account_payload`]).
     pub fn delay_seconds(&self, messages: u64, bytes: u64) -> f64 {
         messages as f64 * self.latency + bytes as f64 / self.bytes_per_second
     }
@@ -272,34 +427,43 @@ impl NetModel {
 
 /// A [`Collective`] backend wrapped with a modelled network fabric.
 ///
-/// Every operation first charges the [`NetModel`] cost of the messages
-/// it is about to put on the wire (accumulated world-wide in
-/// [`Collective::modelled_comm_seconds`] and, scaled by
-/// `NetModel::time_scale`, injected as real wall time), then delegates
-/// to the inner backend unchanged. Because payloads never change,
-/// **numerics are bit-identical to the wrapped backend** — asserted
-/// end-to-end by the cross-backend workflow determinism test.
+/// Every operation walks the [`crate::algos`] schedule the wrapped
+/// executor runs and charges this rank's serialized hops their
+/// [`NetModel`] cost (accumulated per rank; the world-wide
+/// [`Collective::modelled_comm_seconds`] is the per-rank maximum — the
+/// modelled critical path — and, scaled by `NetModel::time_scale`, the
+/// cost is injected as real wall time), then delegates to the inner
+/// backend unchanged. Because payloads never change, **numerics are
+/// bit-identical to the wrapped backend** — asserted end-to-end by the
+/// cross-backend workflow determinism test.
 ///
-/// Charging is byte-accurate for the sized operations (the ring
-/// all-reduces and `send_vec`) and latency-only for opaque single-value
-/// messages (`send`, `broadcast`, `gather`, `allgather`), whose payload
-/// size the type system hides.
+/// Charging is byte-accurate for the sized operations (the allreduce
+/// paths and `send_vec`), shallow-size-accurate for typed single-value
+/// collectives (`broadcast`/`gather`/`allgather` price
+/// `size_of::<T>()`), and latency-only for opaque `send`s; callers that
+/// know the heap size of an opaque payload declare it via
+/// [`Collective::account_payload`] /
+/// [`Collective::account_broadcast_payload`].
 pub struct SimNetComm<C: Collective> {
     inner: C,
     model: NetModel,
-    /// World-wide modelled fabric nanoseconds (shared by all endpoints).
-    modelled_nanos: Arc<AtomicU64>,
+    /// This endpoint's serialized modelled nanoseconds.
+    local_nanos: AtomicU64,
+    /// World-wide maximum of the per-rank timelines (shared by all
+    /// endpoints): the modelled critical path.
+    world_max_nanos: Arc<AtomicU64>,
 }
 
 impl<C: Collective> SimNetComm<C> {
     /// Wrap one endpoint. All endpoints of a world must share the
-    /// `modelled_nanos` counter — use [`SimNetComm::world`] unless you
+    /// `world_max_nanos` counter — use [`SimNetComm::world`] unless you
     /// are assembling a world by hand.
-    pub fn new(inner: C, model: NetModel, modelled_nanos: Arc<AtomicU64>) -> Self {
+    pub fn new(inner: C, model: NetModel, world_max_nanos: Arc<AtomicU64>) -> Self {
         Self {
             inner,
             model,
-            modelled_nanos,
+            local_nanos: AtomicU64::new(0),
+            world_max_nanos,
         }
     }
 
@@ -313,13 +477,15 @@ impl<C: Collective> SimNetComm<C> {
         &self.model
     }
 
-    fn charge(&self, messages: u64, bytes: u64) {
-        if messages == 0 && bytes == 0 {
+    /// Charge `secs` of modelled fabric time to this rank's timeline,
+    /// fold it into the world maximum, and optionally sleep it off.
+    fn charge_seconds(&self, secs: f64) {
+        if secs <= 0.0 {
             return;
         }
-        let secs = self.model.delay_seconds(messages, bytes);
-        self.modelled_nanos
-            .fetch_add((secs * 1e9) as u64, Ordering::Relaxed);
+        let nanos = (secs * 1e9).round() as u64;
+        let local = self.local_nanos.fetch_add(nanos, Ordering::Relaxed) + nanos;
+        self.world_max_nanos.fetch_max(local, Ordering::Relaxed);
         if self.model.time_scale > 0.0 {
             let wall = secs * self.model.time_scale;
             if wall > 0.0 {
@@ -328,30 +494,39 @@ impl<C: Collective> SimNetComm<C> {
         }
     }
 
-    /// Cost of one ring all-reduce over `bytes` of payload, charged to
-    /// the calling rank: `2(p-1)` message latencies and `2(p-1)/p` of
-    /// the buffer crossing this rank's link (the [`crate::collectives`]
-    /// alpha-beta ring model, matching the real traffic the inner
-    /// implementation generates).
-    fn charge_ring_allreduce(&self, bytes: u64) {
-        let p = self.size() as u64;
-        if p <= 1 || bytes == 0 {
-            return;
-        }
-        let wire_bytes = (2 * (p - 1)).saturating_mul(bytes) / p;
-        self.charge(2 * (p - 1), wire_bytes);
+    /// Sum the hop costs of this rank's events and charge them as one
+    /// quantum (one f64 sum → at most 1 ns of quantization per
+    /// collective, which is what keeps the α-β comparison tests tight).
+    fn charge_events(&self, events: &[MsgEvent]) {
+        let rank = self.inner.rank();
+        let secs: f64 = events
+            .iter()
+            .map(|e| self.model.hop_cost(rank, e.peer, e.bytes))
+            .sum();
+        self.charge_seconds(secs);
     }
 }
 
 impl SimNetComm<ChannelComm> {
     /// Build a full world of `size` in-process endpoints wrapped with
-    /// `model`, sharing one modelled-time counter.
+    /// `model`, sharing one modelled-critical-path counter. The
+    /// executors run the default log-depth schedules; use
+    /// [`SimNetComm::world_with_algo`] to select.
     pub fn world(size: usize, model: NetModel) -> Vec<SimNetComm<ChannelComm>> {
+        Self::world_with_algo(size, model, CollectiveAlgo::Log)
+    }
+
+    /// [`SimNetComm::world`] with an explicit collective algorithm.
+    pub fn world_with_algo(
+        size: usize,
+        model: NetModel,
+        algo: CollectiveAlgo,
+    ) -> Vec<SimNetComm<ChannelComm>> {
         let nanos = Arc::new(AtomicU64::new(0));
-        CommWorld::new(size)
+        CommWorld::with_algo(size, algo)
             .into_endpoints()
             .into_iter()
-            .map(|c| SimNetComm::new(c, model, nanos.clone()))
+            .map(|c| SimNetComm::new(c, model.clone(), nanos.clone()))
             .collect()
     }
 }
@@ -363,16 +538,21 @@ impl<C: Collective> Collective for SimNetComm<C> {
     fn size(&self) -> usize {
         self.inner.size()
     }
+    fn algo(&self) -> CollectiveAlgo {
+        self.inner.algo()
+    }
     fn barrier(&self) {
-        self.charge(1, 0);
+        // One fabric round-trip's worth of latency, charged uniformly.
+        self.charge_seconds(self.model.latency);
         self.inner.barrier()
     }
     fn send<T: Send + 'static>(&self, dest: usize, tag: u64, value: T) {
-        self.charge(1, 0);
+        self.charge_seconds(self.model.hop_cost(self.rank(), dest, 0));
         self.inner.send(dest, tag, value)
     }
     fn send_vec<T: Send + 'static>(&self, dest: usize, tag: u64, value: Vec<T>) {
-        self.charge(1, (value.len() * std::mem::size_of::<T>()) as u64);
+        let bytes = (value.len() * std::mem::size_of::<T>()) as u64;
+        self.charge_seconds(self.model.hop_cost(self.rank(), dest, bytes));
         self.inner.send_vec(dest, tag, value)
     }
     fn recv<T: Send + 'static>(&self, source: usize, tag: u64) -> T {
@@ -380,51 +560,81 @@ impl<C: Collective> Collective for SimNetComm<C> {
         self.inner.recv(source, tag)
     }
     fn broadcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
-        if self.rank() == root {
-            self.charge(self.size() as u64 - 1, 0);
-        }
+        let ev = broadcast_events(
+            self.algo(),
+            self.size(),
+            root,
+            self.rank(),
+            std::mem::size_of::<T>() as u64,
+        );
+        self.charge_events(&ev);
         self.inner.broadcast(root, value)
     }
     fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
-        if self.rank() != root {
-            self.charge(1, 0);
-        }
+        let ev = gather_events(
+            self.algo(),
+            self.size(),
+            root,
+            self.rank(),
+            std::mem::size_of::<T>() as u64,
+        );
+        self.charge_events(&ev);
         self.inner.gather(root, value)
     }
     fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
-        // Gather to root + broadcast back: every non-root rank pays one
-        // send, root pays the fan-out.
-        let p = self.size() as u64;
-        if p > 1 {
-            if self.rank() == 0 {
-                self.charge(p - 1, 0);
-            } else {
-                self.charge(1, 0);
-            }
-        }
+        let ev = allgather_events(
+            self.algo(),
+            self.size(),
+            self.rank(),
+            std::mem::size_of::<T>() as u64,
+        );
+        self.charge_events(&ev);
         self.inner.allgather(value)
     }
     fn allreduce_sum_f32(&self, buf: &mut [f32]) {
-        self.charge_ring_allreduce((buf.len() * 4) as u64);
+        let ev = allreduce_events(self.algo(), self.size(), self.rank(), buf.len(), 4);
+        self.charge_events(&ev);
         self.inner.allreduce_sum_f32(buf)
     }
     fn allreduce_sum_f64(&self, buf: &mut [f64]) {
-        self.charge_ring_allreduce((buf.len() * 8) as u64);
+        let ev = allreduce_events(self.algo(), self.size(), self.rank(), buf.len(), 8);
+        self.charge_events(&ev);
         self.inner.allreduce_sum_f64(buf)
     }
     fn allreduce_max_f64(&self, buf: &mut [f64]) {
-        self.charge_ring_allreduce((buf.len() * 8) as u64);
+        let ev = allreduce_events(self.algo(), self.size(), self.rank(), buf.len(), 8);
+        self.charge_events(&ev);
         self.inner.allreduce_max_f64(buf)
     }
     fn world_bytes_sent(&self) -> u64 {
         self.inner.world_bytes_sent()
     }
+    fn world_messages_sent(&self) -> u64 {
+        self.inner.world_messages_sent()
+    }
     fn account_payload(&self, bytes: u64) {
-        self.charge(0, bytes);
+        self.charge_seconds(bytes as f64 / self.model.bytes_per_second);
         self.inner.account_payload(bytes);
     }
+    fn account_broadcast_payload(&self, root: usize, bytes_per_copy: u64) {
+        // Bandwidth only — the accompanying `broadcast` call already
+        // charged the per-hop latencies of the same schedule.
+        let rank = self.rank();
+        let ev = broadcast_events(self.algo(), self.size(), root, rank, bytes_per_copy);
+        let secs: f64 = ev
+            .iter()
+            .map(|e| {
+                self.model.hop_cost(rank, e.peer, e.bytes) - self.model.hop_cost(rank, e.peer, 0)
+            })
+            .sum();
+        self.charge_seconds(secs);
+        // The world traffic counter stays algorithm-independent: one
+        // delivered copy per non-root rank.
+        self.inner
+            .account_payload(bytes_per_copy.saturating_mul(self.size() as u64 - 1));
+    }
     fn modelled_comm_seconds(&self) -> f64 {
-        self.modelled_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+        self.world_max_nanos.load(Ordering::Relaxed) as f64 * 1e-9
     }
 }
 
@@ -448,11 +658,7 @@ mod tests {
     }
 
     fn fast_model() -> NetModel {
-        NetModel {
-            latency: 1e-7,
-            bytes_per_second: 1e9,
-            time_scale: 0.0, // record-only: tests stay fast
-        }
+        NetModel::uniform(1e-7, 1e9, 0.0) // record-only: tests stay fast
     }
 
     #[test]
@@ -517,17 +723,67 @@ mod tests {
             c.barrier();
             assert!(c.modelled_comm_seconds() > 0.0, "fabric time must accrue");
             assert!(c.world_bytes_sent() >= 4096, "payload bytes still counted");
+            assert!(c.world_messages_sent() > 0, "hops are counted");
         });
+    }
+
+    #[test]
+    fn modelled_seconds_are_the_critical_path_not_the_sum() {
+        // A broadcast from rank 0 in a 4-rank world under the tree algo:
+        // the root's serialized share is ⌈log₂ 4⌉ = 2 hops; leaves send
+        // nothing. The world counter must be the root's timeline (2α),
+        // not the 3α world total.
+        let model = NetModel::uniform(1e-3, 1e12, 0.0);
+        run_world(SimNetComm::world(4, model), |c| {
+            let _ = if c.rank() == 0 {
+                c.broadcast(0, Some(0u8))
+            } else {
+                c.broadcast::<u8>(0, None)
+            };
+            c.barrier();
+            let secs = c.modelled_comm_seconds();
+            // 2 root hops + 1 barrier latency, ±quantization.
+            assert!((secs - 3e-3).abs() < 1e-6, "got {secs}");
+        });
+    }
+
+    #[test]
+    fn internode_placement_prices_hops_differently() {
+        let mut model = NetModel::uniform(2e-6, 1e9, 0.0);
+        model.intra_latency = 0.5e-6;
+        model.intra_bytes_per_second = 50e9;
+        model.nodes = NodeMap::placed(4, 2, 0);
+        // Ranks 0,1 share node 0; ranks 2,3 share node 1.
+        assert!(model.nodes.same_node(0, 1));
+        assert!(!model.nodes.same_node(1, 2));
+        assert_eq!(model.nodes.node_count(), 2);
+        let close = model.hop_cost(0, 1, 1_000_000);
+        let far = model.hop_cost(1, 2, 1_000_000);
+        assert!(close < far, "intra-node hops must be cheaper");
+        // Offset placements occupy disjoint nodes.
+        let learners = NodeMap::placed(4, 2, 2);
+        for p in 0..4 {
+            for l in 0..4 {
+                assert_ne!(
+                    model.nodes.node_of(p),
+                    learners.node_of(l),
+                    "offset groups may not share a node"
+                );
+            }
+        }
     }
 
     #[test]
     fn frontier_model_reflects_the_machine_constants() {
         let m = NetModel::frontier_paper(8);
         assert_eq!(m.latency, FRONTIER.net_latency);
+        assert_eq!(m.intra_latency, FRONTIER.intra_node_latency);
         // 8 ranks on one node share 4×25 GB/s NICs: 12.5 GB/s fair share,
         // and one node's bisection slice cannot beat its injection.
         assert!(m.bytes_per_second <= 12.5e9 + 1.0);
         assert!(m.bytes_per_second > 1.0e9);
+        // One node's worth of ranks all land on modelled node 0.
+        assert_eq!(m.nodes.node_count(), 1);
         // More ranks through the same tapered bisection → smaller share.
         let big = NetModel::from_machine(&FRONTIER, 512, 8, 1.0);
         assert!(big.bytes_per_second <= m.bytes_per_second);
@@ -535,11 +791,7 @@ mod tests {
 
     #[test]
     fn delay_model_is_latency_plus_bandwidth() {
-        let m = NetModel {
-            latency: 2e-6,
-            bytes_per_second: 1e9,
-            time_scale: 0.0,
-        };
+        let m = NetModel::uniform(2e-6, 1e9, 0.0);
         let d = m.delay_seconds(3, 1_000_000);
         assert!((d - (6e-6 + 1e-3)).abs() < 1e-12);
     }

@@ -2,11 +2,18 @@
 //! scaling behaviour.
 //!
 //! The *implementations* of the collectives live on
-//! [`crate::comm::Communicator`] and move real bytes between threads. At
-//! paper scale (up to 384 GCDs for training, 36 864+ for the simulation) we
-//! additionally need wall-clock *models*; the standard alpha-beta model for
-//! ring and tree algorithms is used, with per-machine constants taken from
+//! [`crate::comm::Communicator`] and move real bytes between threads,
+//! executing the [`crate::algos`] schedules. At paper scale (up to 384
+//! GCDs for training, 36 864+ for the simulation) we additionally need
+//! wall-clock *models*; the standard alpha-beta model for ring and tree
+//! algorithms is used, with per-machine constants taken from
 //! [`crate::machine`].
+//!
+//! These models are not commentary: [`crate::collective::SimNetComm`]
+//! prices each collective by walking the same schedule the executor
+//! runs, so its modelled seconds match the closed forms here
+//! (`tests/alpha_beta_model.rs` asserts the correspondence at 16 and 64
+//! ranks).
 
 use crate::machine::MachineSpec;
 
@@ -40,7 +47,7 @@ impl CollectiveCost {
 /// `ranks_per_node` participants share the node's NICs; intra-node stages of
 /// hierarchical algorithms use the (faster) intra-node links, which we fold
 /// into an effective value.
-fn effective_link_bandwidth(spec: &MachineSpec, ranks_per_node: usize) -> f64 {
+pub fn effective_link_bandwidth(spec: &MachineSpec, ranks_per_node: usize) -> f64 {
     let nic = spec.nic_bandwidth * spec.nics_per_node as f64 / ranks_per_node.max(1) as f64;
     nic.min(spec.intra_node_bandwidth)
 }
@@ -75,7 +82,10 @@ pub fn allreduce_cost(
     }
 }
 
-/// Model the cost of an all-gather where each rank contributes `bytes`.
+/// Model the cost of an all-gather where each rank contributes `bytes`:
+/// the Bruck dissemination schedule — `⌈log₂ p⌉` latency steps, with
+/// every rank still moving the unavoidable `(p-1)·bytes` through its
+/// link.
 pub fn allgather_cost(
     spec: &MachineSpec,
     ranks: usize,
@@ -91,9 +101,66 @@ pub fn allgather_cost(
     let p = ranks as f64;
     let bw = effective_link_bandwidth(spec, ranks_per_node);
     CollectiveCost {
-        latency: (p - 1.0) * spec.net_latency,
+        latency: p.log2().ceil() * spec.net_latency,
         bandwidth: (p - 1.0) * bytes / bw,
     }
+}
+
+/// Model the cost of a binomial-tree broadcast of `bytes`: the root's
+/// critical path is `⌈log₂ p⌉` serialized full-payload sends.
+pub fn broadcast_cost(
+    spec: &MachineSpec,
+    ranks: usize,
+    ranks_per_node: usize,
+    bytes: f64,
+) -> CollectiveCost {
+    if ranks <= 1 {
+        return CollectiveCost {
+            latency: 0.0,
+            bandwidth: 0.0,
+        };
+    }
+    let steps = (ranks as f64).log2().ceil();
+    let bw = effective_link_bandwidth(spec, ranks_per_node);
+    CollectiveCost {
+        latency: steps * spec.net_latency,
+        bandwidth: steps * bytes / bw,
+    }
+}
+
+/// Model the cost of a binomial-tree gather where each rank contributes
+/// `bytes`: the root receives `⌈log₂ p⌉` subtree messages totalling the
+/// unavoidable `(p-1)·bytes`.
+pub fn gather_cost(
+    spec: &MachineSpec,
+    ranks: usize,
+    ranks_per_node: usize,
+    bytes: f64,
+) -> CollectiveCost {
+    if ranks <= 1 {
+        return CollectiveCost {
+            latency: 0.0,
+            bandwidth: 0.0,
+        };
+    }
+    let p = ranks as f64;
+    let bw = effective_link_bandwidth(spec, ranks_per_node);
+    CollectiveCost {
+        latency: p.log2().ceil() * spec.net_latency,
+        bandwidth: (p - 1.0) * bytes / bw,
+    }
+}
+
+/// Model the cost of the small-buffer log-depth allreduce (allgather of
+/// full contributions + local reduction, communication-wise an allgather
+/// of the whole `bytes` buffer).
+pub fn allreduce_small_cost(
+    spec: &MachineSpec,
+    ranks: usize,
+    ranks_per_node: usize,
+    bytes: f64,
+) -> CollectiveCost {
+    allgather_cost(spec, ranks, ranks_per_node, bytes)
 }
 
 /// Host-synchronisation penalty for operations that break the device graph.
@@ -150,6 +217,35 @@ mod tests {
         let c8 = allgather_cost(&FRONTIER, 8, 8, 1e6).total();
         let c64 = allgather_cost(&FRONTIER, 64, 8, 1e6).total();
         assert!(c64 > 5.0 * c8);
+    }
+
+    #[test]
+    fn allgather_latency_is_logarithmic() {
+        // Bruck: tiny payloads are latency-bound, ⌈log₂ p⌉ steps.
+        let l16 = allgather_cost(&FRONTIER, 16, 8, 1.0).latency;
+        let l64 = allgather_cost(&FRONTIER, 64, 8, 1.0).latency;
+        assert!((l16 - 4.0 * FRONTIER.net_latency).abs() < 1e-12);
+        assert!((l64 - 6.0 * FRONTIER.net_latency).abs() < 1e-12);
+    }
+
+    #[test]
+    fn broadcast_and_gather_are_log_depth() {
+        for p in [16usize, 64] {
+            let steps = (p as f64).log2().ceil();
+            let b = broadcast_cost(&FRONTIER, p, 8, 1e6);
+            assert!((b.latency - steps * FRONTIER.net_latency).abs() < 1e-12);
+            let g = gather_cost(&FRONTIER, p, 8, 1e6);
+            assert!((g.latency - steps * FRONTIER.net_latency).abs() < 1e-12);
+            // Gather still moves all (p-1) contributions through the root.
+            assert!(g.bandwidth > b.bandwidth);
+        }
+    }
+
+    #[test]
+    fn small_allreduce_is_an_allgather_in_cost() {
+        let a = allreduce_small_cost(&FRONTIER, 16, 8, 48.0);
+        let b = allgather_cost(&FRONTIER, 16, 8, 48.0);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -6,6 +6,14 @@
 //! the point-to-point layer we provide barriers and the collectives used by
 //! the PIC halo exchange, the staging metadata path and DDP training.
 //!
+//! Collectives execute the explicit schedules from [`crate::algos`]: under
+//! the default [`CollectiveAlgo::Log`] a broadcast walks a binomial tree,
+//! gather mirrors it, allgather runs the Bruck dissemination rounds, and a
+//! small allreduce takes the allgather-based path with the canonical ring
+//! reduction order (so numerics are bit-identical across algorithms — see
+//! the `algos` module docs). [`CollectiveAlgo::Linear`] keeps the
+//! historical root-fan-out loops as a baseline.
+//!
 //! Messages between ranks never copy through shared memory owned by a third
 //! party: the payload is moved through a channel, which mirrors the
 //! zero-intermediate-storage philosophy of the paper's in-transit design.
@@ -18,6 +26,10 @@ use std::sync::{Arc, Barrier};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
+use crate::algos::{
+    allreduce_goes_log, binomial_plan, bruck_rounds, reduce_in_ring_order, CollectiveAlgo,
+};
+
 /// Wildcard tag: matches any tag in [`Communicator::recv_any_tag`].
 pub const ANY_TAG: u64 = u64::MAX;
 
@@ -28,6 +40,8 @@ const BCAST_TAG: u64 = RESERVED_TAG_BASE;
 const GATHER_TAG: u64 = RESERVED_TAG_BASE + (1 << 32);
 const RS_TAG: u64 = RESERVED_TAG_BASE + (2 << 32);
 const AG_TAG: u64 = RESERVED_TAG_BASE + (3 << 32);
+const BRUCK_TAG: u64 = RESERVED_TAG_BASE + (4 << 32);
+const SMALL_AR_TAG: u64 = RESERVED_TAG_BASE + (5 << 32);
 
 type Payload = Box<dyn Any + Send>;
 
@@ -46,11 +60,20 @@ pub struct CommWorld {
 }
 
 impl CommWorld {
-    /// Create a world with `size` ranks.
+    /// Create a world with `size` ranks running the default log-depth
+    /// collective schedules ([`CollectiveAlgo::Log`]).
     ///
     /// # Panics
     /// Panics if `size == 0`.
     pub fn new(size: usize) -> Self {
+        Self::with_algo(size, CollectiveAlgo::Log)
+    }
+
+    /// Create a world with `size` ranks running `algo` collectives.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn with_algo(size: usize, algo: CollectiveAlgo) -> Self {
         assert!(size > 0, "communicator world must have at least one rank");
         let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(size);
         let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(size);
@@ -61,17 +84,20 @@ impl CommWorld {
         }
         let barrier = Arc::new(Barrier::new(size));
         let bytes_sent = Arc::new(AtomicU64::new(0));
+        let messages_sent = Arc::new(AtomicU64::new(0));
         let endpoints = receivers
             .into_iter()
             .enumerate()
             .map(|(rank, rx)| Communicator {
                 rank,
                 size,
+                algo,
                 peers: senders.clone(),
                 inbox: rx,
                 stash: Mutex::new(HashMap::new()),
                 barrier: barrier.clone(),
                 bytes_sent: bytes_sent.clone(),
+                messages_sent: messages_sent.clone(),
             })
             .collect();
         Self { endpoints }
@@ -87,12 +113,14 @@ impl CommWorld {
 pub struct Communicator {
     rank: usize,
     size: usize,
+    algo: CollectiveAlgo,
     peers: Vec<Sender<Envelope>>,
     inbox: Receiver<Envelope>,
     /// Out-of-order messages parked until a matching `recv` arrives.
     stash: Mutex<HashMap<(usize, u64), Vec<Envelope>>>,
     barrier: Arc<Barrier>,
     bytes_sent: Arc<AtomicU64>,
+    messages_sent: Arc<AtomicU64>,
 }
 
 impl Communicator {
@@ -106,10 +134,23 @@ impl Communicator {
         self.size
     }
 
+    /// The collective algorithm family this world executes.
+    pub fn algo(&self) -> CollectiveAlgo {
+        self.algo
+    }
+
     /// Total payload bytes sent across the whole world so far (for traffic
     /// accounting in scaling studies). Only slice-typed sends are counted.
     pub fn world_bytes_sent(&self) -> u64 {
         self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total point-to-point messages sent across the whole world so far —
+    /// every `send`, including collective-internal hops, counts one. The
+    /// message count is what separates the linear and log-depth schedules
+    /// when payloads are small, so benchmarks report it alongside bytes.
+    pub fn world_messages_sent(&self) -> u64 {
+        self.messages_sent.load(Ordering::Relaxed)
     }
 
     fn account(&self, bytes: usize) {
@@ -131,6 +172,7 @@ impl Communicator {
     pub fn send<T: Send + 'static>(&self, dest: usize, tag: u64, value: T) {
         assert!(dest < self.size, "send to out-of-range rank {dest}");
         assert_ne!(tag, ANY_TAG, "ANY_TAG is reserved for receives");
+        self.messages_sent.fetch_add(1, Ordering::Relaxed);
         let env = Envelope {
             source: self.rank,
             tag,
@@ -214,71 +256,198 @@ impl Communicator {
     }
 
     /// Broadcast `value` from `root` to all ranks; every rank returns it.
+    ///
+    /// Under [`CollectiveAlgo::Log`] the value moves down a binomial tree
+    /// (depth `⌈log₂ p⌉`, the root sends `⌈log₂ p⌉` messages); under
+    /// [`CollectiveAlgo::Linear`] the root fans out `p-1` messages.
     pub fn broadcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
-        if self.rank == root {
-            let v = value.expect("root must supply the broadcast value");
-            for dest in 0..self.size {
-                if dest != root {
-                    self.send(dest, BCAST_TAG, v.clone());
+        match self.algo {
+            CollectiveAlgo::Linear => {
+                if self.rank == root {
+                    let v = value.expect("root must supply the broadcast value");
+                    for dest in 0..self.size {
+                        if dest != root {
+                            self.send(dest, BCAST_TAG, v.clone());
+                        }
+                    }
+                    v
+                } else {
+                    self.recv::<T>(root, BCAST_TAG)
                 }
             }
-            v
-        } else {
-            self.recv::<T>(root, BCAST_TAG)
+            CollectiveAlgo::Log => {
+                let plan = binomial_plan(self.size, root, self.rank);
+                let v = match plan.parent {
+                    None => value.expect("root must supply the broadcast value"),
+                    Some(parent) => self.recv::<T>(parent, BCAST_TAG),
+                };
+                for &(child, _) in &plan.children {
+                    self.send(child, BCAST_TAG, v.clone());
+                }
+                v
+            }
         }
     }
 
     /// Gather every rank's value at `root`; returns `Some(values)` on root
     /// (indexed by rank), `None` elsewhere.
+    ///
+    /// Under [`CollectiveAlgo::Log`] contributions merge up the binomial
+    /// tree as `(rank, value)` pair lists, so every rank sends exactly one
+    /// message (its whole subtree) and the root receives `⌈log₂ p⌉`.
     pub fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
-        if self.rank == root {
-            let mut out: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
-            out[root] = Some(value);
-            for (src, slot) in out.iter_mut().enumerate() {
-                if src != root {
-                    *slot = Some(self.recv::<T>(src, GATHER_TAG));
+        match self.algo {
+            CollectiveAlgo::Linear => {
+                if self.rank == root {
+                    let mut out: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
+                    out[root] = Some(value);
+                    for (src, slot) in out.iter_mut().enumerate() {
+                        if src != root {
+                            *slot = Some(self.recv::<T>(src, GATHER_TAG));
+                        }
+                    }
+                    Some(out.into_iter().map(|v| v.expect("gather slot")).collect())
+                } else {
+                    self.send(root, GATHER_TAG, value);
+                    None
                 }
             }
-            Some(out.into_iter().map(|v| v.expect("gather slot")).collect())
-        } else {
-            self.send(root, GATHER_TAG, value);
-            None
+            CollectiveAlgo::Log => {
+                let plan = binomial_plan(self.size, root, self.rank);
+                let mut subtree: Vec<(usize, T)> = vec![(self.rank, value)];
+                for &(child, _) in plan.children.iter().rev() {
+                    let got: Vec<(usize, T)> = self.recv(child, GATHER_TAG);
+                    subtree.extend(got);
+                }
+                match plan.parent {
+                    Some(parent) => {
+                        self.send(parent, GATHER_TAG, subtree);
+                        None
+                    }
+                    None => {
+                        let mut out: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
+                        for (r, v) in subtree {
+                            debug_assert!(out[r].is_none(), "duplicate gather contribution");
+                            out[r] = Some(v);
+                        }
+                        Some(out.into_iter().map(|v| v.expect("gather slot")).collect())
+                    }
+                }
+            }
         }
     }
 
     /// All-gather: every rank contributes `value`, every rank receives the
     /// rank-indexed vector of all contributions.
+    ///
+    /// Under [`CollectiveAlgo::Log`] this is the single-phase Bruck
+    /// dissemination schedule — `⌈log₂ p⌉` rounds, each rank sending and
+    /// receiving once per round, every block crossing the wire exactly
+    /// once. [`CollectiveAlgo::Linear`] keeps the historical
+    /// gather-to-root-then-broadcast, which moves (and prices) every
+    /// payload twice.
     pub fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
-        let gathered = self.gather(0, value);
-        if self.rank == 0 {
-            let v = gathered.expect("root gather");
-            self.broadcast(0, Some(v))
-        } else {
-            self.broadcast::<Vec<T>>(0, None)
+        match self.algo {
+            CollectiveAlgo::Linear => {
+                let gathered = self.gather(0, value);
+                if self.rank == 0 {
+                    let v = gathered.expect("root gather");
+                    self.broadcast(0, Some(v))
+                } else {
+                    self.broadcast::<Vec<T>>(0, None)
+                }
+            }
+            CollectiveAlgo::Log => self.bruck_allgather(value, BRUCK_TAG, 0),
         }
     }
 
-    /// In-place ring all-reduce (sum) over an `f32` buffer.
-    ///
-    /// Implements reduce-scatter followed by all-gather, the same algorithm
-    /// NCCL/RCCL uses for large tensors, so the traffic pattern matches the
-    /// gradient averaging the paper's DDP training performs every step.
-    pub fn allreduce_sum_f32(&self, buf: &mut [f32]) {
-        self.ring_allreduce(buf, |a, b| *a += b);
+    /// The Bruck dissemination allgather: after round `k` this rank holds
+    /// blocks `rank..rank + 2^{k+1}` (mod `p`) in order, so the first
+    /// `blocks` held entries are exactly what the next peer is missing.
+    /// When `bytes_per_block > 0` each send accounts `blocks ×` that size
+    /// in the world traffic counter.
+    fn bruck_allgather<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        tag_base: u64,
+        bytes_per_block: usize,
+    ) -> Vec<T> {
+        let mut held: Vec<(usize, T)> = vec![(self.rank, value)];
+        for (k, round) in bruck_rounds(self.size, self.rank).into_iter().enumerate() {
+            let out: Vec<(usize, T)> = held[..round.blocks].to_vec();
+            if bytes_per_block > 0 {
+                self.account(round.blocks * bytes_per_block);
+            }
+            self.send(round.to, tag_base + k as u64, out);
+            let incoming: Vec<(usize, T)> = self.recv(round.from, tag_base + k as u64);
+            held.extend(incoming);
+        }
+        let mut out: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
+        for (r, v) in held {
+            debug_assert!(out[r].is_none(), "duplicate allgather block");
+            out[r] = Some(v);
+        }
+        out.into_iter()
+            .map(|v| v.expect("allgather block"))
+            .collect()
     }
 
-    /// In-place ring all-reduce (sum) over an `f64` buffer.
+    /// In-place all-reduce (sum) over an `f32` buffer.
+    ///
+    /// Large buffers take the bandwidth-optimal ring reduce-scatter +
+    /// all-gather, the same algorithm NCCL/RCCL uses for large tensors, so
+    /// the traffic pattern matches the gradient averaging the paper's DDP
+    /// training performs every step. Small buffers (at most
+    /// [`crate::algos::SMALL_ALLREDUCE_BYTES`], under the log-depth algo)
+    /// instead Bruck-allgather the raw contributions and reduce locally in
+    /// the canonical ring order — `⌈log₂ p⌉` latency instead of `2(p-1)`,
+    /// bit-identical results.
+    pub fn allreduce_sum_f32(&self, buf: &mut [f32]) {
+        self.allreduce(buf, |a, b| *a += b);
+    }
+
+    /// In-place all-reduce (sum) over an `f64` buffer.
     pub fn allreduce_sum_f64(&self, buf: &mut [f64]) {
-        self.ring_allreduce(buf, |a, b| *a += b);
+        self.allreduce(buf, |a, b| *a += b);
     }
 
     /// In-place all-reduce taking the element-wise maximum.
     pub fn allreduce_max_f64(&self, buf: &mut [f64]) {
-        self.ring_allreduce(buf, |a, b| {
+        self.allreduce(buf, |a, b| {
             if b > *a {
                 *a = b
             }
         });
+    }
+
+    /// Size-selected allreduce: log-depth allgather path for small
+    /// buffers, ring for everything else (see [`crate::algos`]).
+    fn allreduce<T, F>(&self, buf: &mut [T], reduce: F)
+    where
+        T: Copy + Send + 'static,
+        F: FnMut(&mut T, T),
+    {
+        if allreduce_goes_log(self.algo, std::mem::size_of_val(buf)) {
+            self.small_allreduce(buf, reduce);
+        } else {
+            self.ring_allreduce(buf, reduce);
+        }
+    }
+
+    /// Log-depth small-buffer allreduce: every rank Bruck-allgathers its
+    /// full contribution (accounting the real wire bytes), then reduces
+    /// locally in the canonical ring order, which makes the result
+    /// bit-identical to [`Self::ring_allreduce`].
+    fn small_allreduce<T, F>(&self, buf: &mut [T], reduce: F)
+    where
+        T: Copy + Send + 'static,
+        F: FnMut(&mut T, T),
+    {
+        if self.size == 1 || buf.is_empty() {
+            return;
+        }
+        let contribs = self.bruck_allgather(buf.to_vec(), SMALL_AR_TAG, std::mem::size_of_val(buf));
+        reduce_in_ring_order(&contribs, buf, reduce);
     }
 
     fn ring_allreduce<T, F>(&self, buf: &mut [T], mut reduce: F)
@@ -347,7 +516,14 @@ mod tests {
     where
         F: Fn(Communicator) + Send + Sync + Copy + 'static,
     {
-        let eps = CommWorld::new(n).into_endpoints();
+        run_world_algo(n, CollectiveAlgo::Log, f);
+    }
+
+    fn run_world_algo<F>(n: usize, algo: CollectiveAlgo, f: F)
+    where
+        F: Fn(Communicator) + Send + Sync + Copy + 'static,
+    {
+        let eps = CommWorld::with_algo(n, algo).into_endpoints();
         let handles: Vec<_> = eps
             .into_iter()
             .map(|c| thread::spawn(move || f(c)))
@@ -356,6 +532,8 @@ mod tests {
             h.join().expect("rank thread panicked");
         }
     }
+
+    const BOTH_ALGOS: [CollectiveAlgo; 2] = [CollectiveAlgo::Linear, CollectiveAlgo::Log];
 
     #[test]
     fn point_to_point_roundtrip() {
@@ -388,34 +566,126 @@ mod tests {
 
     #[test]
     fn broadcast_reaches_all_ranks() {
-        run_world(4, |c| {
-            let v = if c.rank() == 2 {
-                c.broadcast(2, Some(vec![9u8; 3]))
-            } else {
-                c.broadcast::<Vec<u8>>(2, None)
-            };
-            assert_eq!(v, vec![9u8; 3]);
-        });
+        // Both algorithms, power-of-two and non-power-of-two worlds,
+        // non-zero roots included.
+        for algo in BOTH_ALGOS {
+            for n in [1usize, 2, 4, 5, 7] {
+                run_world_algo(n, algo, move |c| {
+                    let root = 2 % c.size();
+                    let v = if c.rank() == root {
+                        c.broadcast(root, Some(vec![9u8; 3]))
+                    } else {
+                        c.broadcast::<Vec<u8>>(root, None)
+                    };
+                    assert_eq!(v, vec![9u8; 3]);
+                });
+            }
+        }
     }
 
     #[test]
     fn gather_collects_in_rank_order() {
-        run_world(5, |c| {
-            let got = c.gather(0, c.rank() as u64 * 10);
-            if c.rank() == 0 {
-                assert_eq!(got.expect("root"), vec![0, 10, 20, 30, 40]);
-            } else {
-                assert!(got.is_none());
+        for algo in BOTH_ALGOS {
+            for n in [1usize, 3, 5, 8] {
+                run_world_algo(n, algo, move |c| {
+                    let root = c.size() - 1;
+                    let got = c.gather(root, c.rank() as u64 * 10);
+                    if c.rank() == root {
+                        let expect: Vec<u64> = (0..c.size() as u64).map(|r| r * 10).collect();
+                        assert_eq!(got.expect("root"), expect);
+                    } else {
+                        assert!(got.is_none());
+                    }
+                });
             }
-        });
+        }
     }
 
     #[test]
     fn allgather_is_symmetric() {
-        run_world(3, |c| {
-            let all = c.allgather(c.rank());
-            assert_eq!(all, vec![0, 1, 2]);
-        });
+        for algo in BOTH_ALGOS {
+            for n in [1usize, 2, 3, 6, 8] {
+                run_world_algo(n, algo, move |c| {
+                    let all = c.allgather(c.rank());
+                    let expect: Vec<usize> = (0..c.size()).collect();
+                    assert_eq!(all, expect);
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn world_message_counter_counts_collective_hops() {
+        fn messages_after_broadcast(algo: CollectiveAlgo) -> u64 {
+            let eps = CommWorld::with_algo(8, algo).into_endpoints();
+            let handles: Vec<_> = eps
+                .into_iter()
+                .map(|c| {
+                    thread::spawn(move || {
+                        let _ = if c.rank() == 0 {
+                            c.broadcast(0, Some(1u8))
+                        } else {
+                            c.broadcast::<u8>(0, None)
+                        };
+                        c.barrier();
+                        c.world_messages_sent()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .max()
+                .expect("non-empty world")
+        }
+        // A broadcast delivers the value to every non-root rank exactly
+        // once under either algorithm, so the world total is p-1 hops for
+        // both; what differs is the *root's serialized share* (p-1 linear
+        // vs ⌈log₂ p⌉ on the tree), which the pricing layer charges.
+        assert_eq!(messages_after_broadcast(CollectiveAlgo::Linear), 7);
+        assert_eq!(messages_after_broadcast(CollectiveAlgo::Log), 7);
+    }
+
+    #[test]
+    fn small_allreduce_is_bit_identical_to_ring() {
+        // The log-depth path must reproduce the ring's reduction order
+        // exactly, bit for bit, for an order-sensitive float sum.
+        for n in [2usize, 3, 4, 7, 8] {
+            let results: Vec<Vec<u32>> = BOTH_ALGOS
+                .iter()
+                .map(|&algo| {
+                    let eps = CommWorld::with_algo(n, algo).into_endpoints();
+                    let handles: Vec<_> = eps
+                        .into_iter()
+                        .map(|c| {
+                            thread::spawn(move || {
+                                // Values chosen so different summation orders
+                                // give different last-bit rounding.
+                                let mut buf: Vec<f32> = (0..13)
+                                    .map(|i| 0.1f32 + (c.rank() as f32) * 0.3 + i as f32 * 1e-4)
+                                    .collect();
+                                c.allreduce_sum_f32(&mut buf);
+                                buf.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+                            })
+                        })
+                        .collect();
+                    let mut per_rank: Vec<Vec<u32>> = handles
+                        .into_iter()
+                        .map(|h| h.join().expect("rank thread panicked"))
+                        .collect();
+                    // All ranks agree with each other.
+                    let first = per_rank.remove(0);
+                    for other in &per_rank {
+                        assert_eq!(&first, other, "ranks disagree, n={n}");
+                    }
+                    first
+                })
+                .collect();
+            assert_eq!(
+                results[0], results[1],
+                "linear (ring) vs log (allgather) allreduce differ, n={n}"
+            );
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //!   limit the paper hits beyond ~100 nodes.
 //! - [`fom`] — the weak-scaling Figure-of-Merit model behind Fig. 4.
 
+pub mod algos;
 pub mod collective;
 pub mod collectives;
 pub mod comm;
@@ -34,7 +35,8 @@ pub mod sockets;
 
 pub mod prelude {
     //! Commonly used cluster types.
-    pub use crate::collective::{ChannelComm, Collective, NetModel, SimNetComm};
+    pub use crate::algos::CollectiveAlgo;
+    pub use crate::collective::{ChannelComm, Collective, NetModel, NodeMap, SimNetComm};
     pub use crate::collectives::{allreduce_cost, AllReduceAlgo, CollectiveCost};
     pub use crate::comm::{CommWorld, Communicator};
     pub use crate::machine::{MachineSpec, FRONTIER, SUMMIT};

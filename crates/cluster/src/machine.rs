@@ -21,6 +21,10 @@ pub struct MachineSpec {
     pub nics_per_node: usize,
     /// Small-message network latency, seconds (per hop, approximate).
     pub net_latency: f64,
+    /// Small-message latency between devices of the same node (Infinity
+    /// Fabric / NVLink hop), seconds — approximate, well below the NIC
+    /// latency, which is what makes intra-node collective hops cheap.
+    pub intra_node_latency: f64,
     /// Aggregate parallel-filesystem write bandwidth, bytes/second.
     pub pfs_bandwidth: f64,
     /// Aggregate node-local SSD write bandwidth (whole system), bytes/second.
@@ -58,6 +62,7 @@ pub const FRONTIER: MachineSpec = MachineSpec {
     nic_bandwidth: 25.0e9,
     nics_per_node: 4,
     net_latency: 2.0e-6,
+    intra_node_latency: 0.7e-6,
     pfs_bandwidth: 10.0e12,
     node_ssd_bandwidth: 35.0e12,
     intra_node_bandwidth: 50.0e9,
@@ -72,6 +77,7 @@ pub const SUMMIT: MachineSpec = MachineSpec {
     nic_bandwidth: 12.5e9,
     nics_per_node: 2,
     net_latency: 1.5e-6,
+    intra_node_latency: 0.8e-6,
     pfs_bandwidth: 2.5e12,
     node_ssd_bandwidth: 7.4e12,
     intra_node_bandwidth: 25.0e9,
@@ -107,6 +113,18 @@ mod tests {
     fn bisection_below_injection() {
         for nodes in [16usize, 1024, 9408] {
             assert!(FRONTIER.bisection_bandwidth(nodes) < FRONTIER.injection_bandwidth(nodes));
+        }
+    }
+
+    #[test]
+    fn intra_node_hops_are_cheaper_than_the_fabric() {
+        for m in [FRONTIER, SUMMIT] {
+            assert!(m.intra_node_latency < m.net_latency, "{}", m.name);
+            assert!(
+                m.intra_node_bandwidth >= m.nic_bandwidth,
+                "{}: device links beat one NIC",
+                m.name
+            );
         }
     }
 

@@ -226,6 +226,29 @@ impl NetSim {
             .collect()
     }
 
+    /// Max-min fair per-flow rate when `ranks` identical flows each push
+    /// through their own egress link (capacity `egress_cap`) and one
+    /// shared bisection link (capacity `bisection_cap`) simultaneously —
+    /// the full-contention steady state the collective cost models charge
+    /// at. Below the bisection saturation point the egress limits the
+    /// share; beyond it the bisection does.
+    pub fn contended_fair_share(ranks: usize, egress_cap: f64, bisection_cap: f64) -> f64 {
+        let ranks = ranks.max(1);
+        let mut spec = NetSpec::new();
+        let bisection = spec.add_link(bisection_cap.max(1.0));
+        let egress: Vec<_> = (0..ranks)
+            .map(|_| spec.add_link(egress_cap.max(1.0)))
+            .collect();
+        let mut sim = NetSim::new(spec);
+        let payload = 1.0e6;
+        for e in egress {
+            sim.add_flow(Flow::immediate(vec![e, bisection], payload));
+        }
+        let outcomes = sim.run();
+        // All flows are identical, so every mean rate is the fair share.
+        outcomes[0].mean_rate.min(egress_cap)
+    }
+
     /// Aggregate throughput of a set of same-sized flows: total bytes over
     /// the makespan (latest completion minus earliest start). This is the
     /// "global data size divided by measured time" metric of §IV-B.
@@ -355,6 +378,17 @@ mod tests {
         let out = sim.run();
         let agg = sim.aggregate_throughput(&out);
         assert!((agg - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn contended_fair_share_has_the_two_regimes() {
+        // Few flows: each gets its full egress. Many flows: the shared
+        // bisection divides evenly and the share drops below egress.
+        let few = NetSim::contended_fair_share(2, 25.0e9, 100.0e9);
+        assert!((few - 25.0e9).abs() / 25.0e9 < 1e-6);
+        let many = NetSim::contended_fair_share(16, 25.0e9, 100.0e9);
+        assert!((many - 100.0e9 / 16.0).abs() / many < 1e-6);
+        assert!(many < few);
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! The analytic α-β cost models and the executed/priced schedules may
+//! not drift apart: for every collective, the modelled seconds
+//! `SimNetComm` charges (by walking the real `as_cluster::algos`
+//! schedule) must match the closed forms in `as_cluster::collectives`
+//! within tolerance, at 16 and 64 ranks.
+//!
+//! The comparison uses a placement-free uniform model whose (α, β) are
+//! exactly the machine constants the analytic side uses — one fresh
+//! world per operation, no barriers, so the measured critical path is
+//! the collective alone (quantization is ≤ 1 ns per rank, far below the
+//! 1% tolerance).
+
+use as_cluster::algos::CollectiveAlgo;
+use as_cluster::collective::{ChannelComm, Collective, NetModel, SimNetComm};
+use as_cluster::collectives::{
+    allgather_cost, allreduce_cost, allreduce_small_cost, broadcast_cost, effective_link_bandwidth,
+    gather_cost, AllReduceAlgo,
+};
+use as_cluster::machine::FRONTIER;
+use std::thread;
+
+const RANKS: [usize; 2] = [16, 64];
+const TOLERANCE: f64 = 0.01;
+
+fn analytic_model() -> NetModel {
+    // ranks_per_node = 1 on the analytic side → β is the full NIC
+    // aggregate capped by the intra-node link, identical on both sides.
+    NetModel::uniform(
+        FRONTIER.net_latency,
+        effective_link_bandwidth(&FRONTIER, 1),
+        0.0,
+    )
+}
+
+/// Run `op` once on every rank of a fresh record-only world and return
+/// the modelled critical-path seconds.
+fn measure<F>(p: usize, op: F) -> f64
+where
+    F: Fn(&SimNetComm<ChannelComm>) + Send + Sync + Copy + 'static,
+{
+    let eps = SimNetComm::world_with_algo(p, analytic_model(), CollectiveAlgo::Log);
+    let handles: Vec<_> = eps
+        .into_iter()
+        .map(|c| {
+            thread::spawn(move || {
+                op(&c);
+                c
+            })
+        })
+        .collect();
+    let eps: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("rank thread panicked"))
+        .collect();
+    eps[0].modelled_comm_seconds()
+}
+
+fn assert_close(measured: f64, analytic: f64, what: &str) {
+    assert!(
+        analytic > 0.0 && (measured - analytic).abs() / analytic < TOLERANCE,
+        "{what}: measured {measured:.3e}s vs analytic {analytic:.3e}s"
+    );
+}
+
+#[test]
+fn broadcast_matches_the_tree_model() {
+    for p in RANKS {
+        let measured = measure(p, |c| {
+            let _ = if c.rank() == 0 {
+                c.broadcast(0, Some([0u8; 1024]))
+            } else {
+                c.broadcast::<[u8; 1024]>(0, None)
+            };
+        });
+        let analytic = broadcast_cost(&FRONTIER, p, 1, 1024.0).total();
+        assert_close(measured, analytic, &format!("broadcast p={p}"));
+    }
+}
+
+#[test]
+fn gather_matches_the_tree_model() {
+    for p in RANKS {
+        let measured = measure(p, |c| {
+            let _ = c.gather(0, [0u8; 1024]);
+        });
+        let analytic = gather_cost(&FRONTIER, p, 1, 1024.0).total();
+        assert_close(measured, analytic, &format!("gather p={p}"));
+    }
+}
+
+#[test]
+fn allgather_matches_the_bruck_model() {
+    for p in RANKS {
+        let measured = measure(p, |c| {
+            let _ = c.allgather([0u8; 1024]);
+        });
+        let analytic = allgather_cost(&FRONTIER, p, 1, 1024.0).total();
+        assert_close(measured, analytic, &format!("allgather p={p}"));
+    }
+}
+
+#[test]
+fn ring_allreduce_matches_the_ring_model() {
+    // 4096 f32 (16 KiB) is over the small-allreduce threshold, so the
+    // log-depth algo still routes it through the ring; the length is
+    // divisible by both rank counts, so chunks are exact.
+    for p in RANKS {
+        let measured = measure(p, |c| {
+            let mut buf = vec![1.0f32; 4096];
+            c.allreduce_sum_f32(&mut buf);
+        });
+        let analytic = allreduce_cost(&FRONTIER, AllReduceAlgo::Ring, p, 1, 4096.0 * 4.0).total();
+        assert_close(measured, analytic, &format!("ring allreduce p={p}"));
+    }
+}
+
+#[test]
+fn small_allreduce_matches_the_allgather_model() {
+    for p in RANKS {
+        let measured = measure(p, |c| {
+            let mut buf = vec![1.0f64; 6]; // 48 B — a control scalar
+            c.allreduce_sum_f64(&mut buf);
+        });
+        let analytic = allreduce_small_cost(&FRONTIER, p, 1, 48.0).total();
+        assert_close(measured, analytic, &format!("small allreduce p={p}"));
+    }
+}
+
+#[test]
+fn log_depth_beats_linear_at_scale() {
+    // The point of the whole exercise: the same latency-bound broadcast
+    // priced under the linear schedule grows O(p), under the tree
+    // O(log p) — at 64 ranks the gap is an order of magnitude.
+    for p in RANKS {
+        let linear = {
+            let eps = SimNetComm::world_with_algo(p, analytic_model(), CollectiveAlgo::Linear);
+            let handles: Vec<_> = eps
+                .into_iter()
+                .map(|c| {
+                    thread::spawn(move || {
+                        let _ = if c.rank() == 0 {
+                            c.broadcast(0, Some(1u64))
+                        } else {
+                            c.broadcast::<u64>(0, None)
+                        };
+                        c
+                    })
+                })
+                .collect();
+            let eps: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            eps[0].modelled_comm_seconds()
+        };
+        let log = measure(p, |c| {
+            let _ = if c.rank() == 0 {
+                c.broadcast(0, Some(1u64))
+            } else {
+                c.broadcast::<u64>(0, None)
+            };
+        });
+        let steps = (p as f64).log2().ceil();
+        assert!(
+            log < linear * (steps + 1.0) / (p as f64 - 1.0) * 1.5,
+            "p={p}: log {log:.3e}s should be ~{steps}/{d} of linear {linear:.3e}s",
+            d = p - 1
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Property tests: every collective algorithm is bit-identical to the
+//! naive reference — for power-of-two and non-power-of-two world sizes
+//! and for every dtype the trait reduces.
+//!
+//! Floating-point reduction order is the dangerous part: the log-depth
+//! small-buffer allreduce must replay the canonical ring order exactly
+//! (see `as_cluster::algos`), so its buffers match the ring's bit for
+//! bit. The data collectives (broadcast/gather/allgather) move values
+//! untouched, so any algorithm must reproduce the naive reference
+//! exactly by construction.
+
+use as_cluster::algos::{reduce_in_ring_order, CollectiveAlgo};
+use as_cluster::comm::CommWorld;
+use proptest::prelude::*;
+use std::thread;
+
+const RANKS: [usize; 5] = [2, 3, 4, 8, 16];
+const ALGOS: [CollectiveAlgo; 2] = [CollectiveAlgo::Linear, CollectiveAlgo::Log];
+
+/// Run one allreduce on every rank of a fresh world; returns the reduced
+/// buffer bits per rank.
+fn world_allreduce_f64(
+    n: usize,
+    algo: CollectiveAlgo,
+    contribs: &[Vec<f64>],
+    max: bool,
+) -> Vec<Vec<u64>> {
+    let eps = CommWorld::with_algo(n, algo).into_endpoints();
+    let handles: Vec<_> = eps
+        .into_iter()
+        .zip(contribs.to_vec())
+        .map(|(c, mut buf)| {
+            thread::spawn(move || {
+                if max {
+                    c.allreduce_max_f64(&mut buf);
+                } else {
+                    c.allreduce_sum_f64(&mut buf);
+                }
+                buf.iter().map(|v| v.to_bits()).collect::<Vec<u64>>()
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("rank thread panicked"))
+        .collect()
+}
+
+fn world_allreduce_f32(n: usize, algo: CollectiveAlgo, contribs: &[Vec<f32>]) -> Vec<Vec<u32>> {
+    let eps = CommWorld::with_algo(n, algo).into_endpoints();
+    let handles: Vec<_> = eps
+        .into_iter()
+        .zip(contribs.to_vec())
+        .map(|(c, mut buf)| {
+            thread::spawn(move || {
+                c.allreduce_sum_f32(&mut buf);
+                buf.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("rank thread panicked"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// f64 sum allreduce: both algorithms reproduce the canonical
+    /// ring-order reference bitwise on every rank. Buffer lengths cross
+    /// the small-allreduce threshold (4096 B = 512 f64), so both the
+    /// log-depth allgather path and the ring path are exercised.
+    #[test]
+    fn allreduce_sum_f64_is_bit_identical_across_algorithms(
+        vals in prop::collection::vec(-100.0f64..100.0, 1..700),
+        scale in 0.5f64..2.0,
+    ) {
+        for &n in &RANKS {
+            let contribs: Vec<Vec<f64>> = (0..n)
+                .map(|r| vals.iter().map(|v| v * (scale + r as f64 * 0.37)).collect())
+                .collect();
+            let mut reference = vec![0.0f64; vals.len()];
+            reduce_in_ring_order(&contribs, &mut reference, |a, b| *a += b);
+            let ref_bits: Vec<u64> = reference.iter().map(|v| v.to_bits()).collect();
+            for algo in ALGOS {
+                for rank_out in world_allreduce_f64(n, algo, &contribs, false) {
+                    prop_assert_eq!(&rank_out, &ref_bits, "n={} algo={:?}", n, algo);
+                }
+            }
+        }
+    }
+
+    /// f32 sum allreduce: same bitwise contract at the other dtype.
+    #[test]
+    fn allreduce_sum_f32_is_bit_identical_across_algorithms(
+        vals in prop::collection::vec(-50.0f32..50.0, 1..1200),
+        scale in 0.5f32..2.0,
+    ) {
+        for &n in &RANKS {
+            let contribs: Vec<Vec<f32>> = (0..n)
+                .map(|r| vals.iter().map(|v| v * (scale + r as f32 * 0.31)).collect())
+                .collect();
+            let mut reference = vec![0.0f32; vals.len()];
+            reduce_in_ring_order(&contribs, &mut reference, |a, b| *a += b);
+            let ref_bits: Vec<u32> = reference.iter().map(|v| v.to_bits()).collect();
+            for algo in ALGOS {
+                for rank_out in world_allreduce_f32(n, algo, &contribs) {
+                    prop_assert_eq!(&rank_out, &ref_bits, "n={} algo={:?}", n, algo);
+                }
+            }
+        }
+    }
+
+    /// Element-wise max allreduce: order-insensitive, but the schedules
+    /// must still deliver the exact maximum everywhere.
+    #[test]
+    fn allreduce_max_f64_matches_reference(
+        vals in prop::collection::vec(-100.0f64..100.0, 1..64),
+    ) {
+        for &n in &RANKS {
+            let contribs: Vec<Vec<f64>> = (0..n)
+                .map(|r| vals.iter().map(|v| v + r as f64 * 0.5).collect())
+                .collect();
+            let mut reference = vec![0.0f64; vals.len()];
+            reduce_in_ring_order(&contribs, &mut reference, |a, b| {
+                if b > *a {
+                    *a = b
+                }
+            });
+            let ref_bits: Vec<u64> = reference.iter().map(|v| v.to_bits()).collect();
+            for algo in ALGOS {
+                for rank_out in world_allreduce_f64(n, algo, &contribs, true) {
+                    prop_assert_eq!(&rank_out, &ref_bits, "n={} algo={:?}", n, algo);
+                }
+            }
+        }
+    }
+
+    /// Broadcast, gather and allgather move values untouched: every
+    /// algorithm, every world size, every root reproduces the naive
+    /// reference exactly.
+    #[test]
+    fn data_collectives_match_the_naive_reference(seed in any::<u64>()) {
+        for &n in &RANKS {
+            let root = (seed % n as u64) as usize;
+            for algo in ALGOS {
+                let eps = CommWorld::with_algo(n, algo).into_endpoints();
+                let handles: Vec<_> = eps
+                    .into_iter()
+                    .map(|c| {
+                        thread::spawn(move || {
+                            let mine = seed ^ (c.rank() as u64).wrapping_mul(0x9E37_79B9);
+                            let expect_all: Vec<u64> = (0..c.size() as u64)
+                                .map(|r| seed ^ r.wrapping_mul(0x9E37_79B9))
+                                .collect();
+                            let all = c.allgather(mine);
+                            assert_eq!(all, expect_all);
+                            let got = c.gather(root, mine);
+                            if c.rank() == root {
+                                assert_eq!(got.expect("root gather"), expect_all);
+                            } else {
+                                assert!(got.is_none());
+                            }
+                            let b = if c.rank() == root {
+                                c.broadcast(root, Some(seed))
+                            } else {
+                                c.broadcast::<u64>(root, None)
+                            };
+                            assert_eq!(b, seed);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("rank thread panicked");
+                }
+            }
+        }
+    }
+}

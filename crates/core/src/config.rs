@@ -13,6 +13,7 @@
 //!   bit-identical but overlaps reduction with main-thread work.
 
 use crate::encode::EncodeConfig;
+use as_cluster::algos::CollectiveAlgo;
 use as_cluster::machine::{MachineSpec, FRONTIER, SUMMIT};
 use as_nn::model::ModelConfig;
 use as_nn::optim::AdamConfig;
@@ -222,6 +223,15 @@ pub struct WorkflowConfig {
     pub policy: ConsumerPolicy,
     /// Which collective backend carries all inter-rank communication.
     pub backend: CommBackend,
+    /// Which collective algorithm family every rank world executes (and,
+    /// under the netsim backend, is priced for):
+    /// [`CollectiveAlgo::Log`] (the default) runs binomial-tree
+    /// broadcast/gather, Bruck allgather and the size-selected allreduce;
+    /// [`CollectiveAlgo::Linear`] keeps the historical linear fan-out
+    /// loops as a baseline. Numerics are bit-identical either way — the
+    /// log-depth small allreduce replays the canonical ring reduction
+    /// order.
+    pub collective_algo: CollectiveAlgo,
     /// With `consumers > 1`: run the DDP gradient all-reduce in the
     /// non-blocking comm-worker mode ([`as_nn::ddp::OverlappedGradSync`]
     /// over a dedicated second collective world), overlapping bucket
@@ -279,6 +289,7 @@ impl WorkflowConfig {
             consumers: 1,
             policy: ConsumerPolicy::BlockingEveryStep,
             backend: CommBackend::InProcess,
+            collective_algo: CollectiveAlgo::Log,
             overlap_grad_sync: false,
             sample_broadcast: false,
             grad_bucket: 8192,
@@ -347,6 +358,11 @@ mod tests {
         assert_eq!(c.policy, ConsumerPolicy::BlockingEveryStep, "legacy policy");
         assert!(!c.sample_broadcast, "legacy rank-local buffers");
         assert_eq!(c.backend, CommBackend::InProcess, "legacy transport");
+        assert_eq!(
+            c.collective_algo,
+            CollectiveAlgo::Log,
+            "log-depth collectives are the default"
+        );
         assert!(!c.overlap_grad_sync, "legacy in-line gradient sync");
     }
 

@@ -109,6 +109,11 @@ pub struct ConsumerReport {
     /// Modelled fabric seconds charged by the collective backend
     /// (world-wide; nonzero only under `CommBackend::NetSim`).
     pub comm_model_seconds: f64,
+    /// Point-to-point messages the learner group's collectives sent
+    /// (world-wide counter, summed over the main world and — in overlap
+    /// mode — the dedicated gradient world). Zero for the single
+    /// consumer.
+    pub comm_messages: u64,
 }
 
 /// Run the single-rank consumer until the streams end (legacy 1×1 path).
@@ -214,6 +219,7 @@ pub fn run_consumer(
         param_hashes: Vec::new(),
         comm_bytes: 0,
         comm_model_seconds: 0.0,
+        comm_messages: 0,
     }
 }
 
@@ -352,13 +358,15 @@ pub fn run_ddp_consumer<C: Collective>(
             };
             if rank == owner {
                 // The broadcast payload is opaque to the transport;
-                // declare its serialized size (one copy per peer) so the
-                // comm-bytes telemetry stays honest.
+                // declare its per-copy serialized size so the backend can
+                // price it along the broadcast schedule (the netsim
+                // backend charges the tree's bandwidth terms; byte
+                // telemetry stays one copy per peer under either algo).
                 let per_copy: u64 = fresh
                     .iter()
                     .map(|s| ((s.points.len() + s.spectrum.len()) * 4 + 16) as u64)
                     .sum();
-                comm.account_payload(per_copy * (world as u64 - 1));
+                comm.account_broadcast_payload(owner, per_copy);
             }
             let shared = comm.broadcast(owner, if rank == owner { Some(fresh) } else { None });
             samples += shared.len() as u64;
@@ -449,6 +457,8 @@ pub fn run_ddp_consumer<C: Collective>(
         comm_bytes: comm.world_bytes_sent() + overlap.as_ref().map_or(0, |s| s.world_bytes_sent()),
         comm_model_seconds: comm.modelled_comm_seconds()
             + overlap.as_ref().map_or(0.0, |s| s.modelled_comm_seconds()),
+        comm_messages: comm.world_messages_sent()
+            + overlap.as_ref().map_or(0, |s| s.world_messages_sent()),
     }
 }
 

@@ -53,6 +53,10 @@ pub struct ProducerReport {
     /// Modelled fabric seconds charged by the collective backend
     /// (world-wide; nonzero only under `CommBackend::NetSim`).
     pub comm_model_seconds: f64,
+    /// Point-to-point messages the producer group's collectives sent
+    /// (world-wide counter observed at this rank's exit) — the α-term
+    /// driver the log-depth schedules shrink per rank.
+    pub comm_messages: u64,
 }
 
 impl ProducerReport {
@@ -66,6 +70,7 @@ impl ProducerReport {
             stall_seconds: 0.0,
             comm_bytes: 0,
             comm_model_seconds: 0.0,
+            comm_messages: 0,
         }
     }
 
@@ -193,6 +198,7 @@ pub fn run_sharded_producer<C: Collective>(
     finish_report(&mut report, &pw, &rw);
     report.comm_bytes = d.comm().world_bytes_sent();
     report.comm_model_seconds = d.comm().modelled_comm_seconds();
+    report.comm_messages = d.comm().world_messages_sent();
     report
 }
 

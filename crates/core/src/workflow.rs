@@ -48,12 +48,25 @@
 //! of scope here — the Communicator would need timeouts/health checks
 //! first.
 
-use crate::config::{CommBackend, WorkflowConfig};
+use crate::config::{CommBackend, Placement, WorkflowConfig};
 use crate::consumer::{run_consumer, run_ddp_consumer, ConsumerReport};
 use crate::producer::{run_producer, run_sharded_producer, ProducerReport};
 use as_cluster::collective::{Collective, NetModel, SimNetComm};
 use as_cluster::comm::CommWorld;
 use as_staging::engine::{open_stream, StreamConfig};
+
+/// Which side of the coupled workflow a collective world serves — the
+/// netsim backend places the two groups on modelled nodes according to
+/// [`Placement`], so producer and consumer worlds may get different
+/// node maps (and, inter-node, provably disjoint node sets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RankGroup {
+    /// The M simulation slab ranks.
+    Producer,
+    /// The K DDP learner ranks (the dedicated gradient world of the
+    /// overlap mode counts as this group too — same ranks, same nodes).
+    Consumer,
+}
 
 /// Per-consumer-rank digest (the full [`ConsumerReport`] of rank 0 is
 /// kept in [`WorkflowReport::consumer`]; peers keep their bookkeeping
@@ -89,6 +102,9 @@ pub struct ConsumerSummary {
     pub comm_bytes: u64,
     /// Modelled fabric seconds charged by the learner group's backend.
     pub comm_model_seconds: f64,
+    /// Point-to-point messages the learner group's collectives sent
+    /// (world-wide counter, like `comm_bytes` — take the max).
+    pub comm_messages: u64,
 }
 
 impl ConsumerSummary {
@@ -107,6 +123,7 @@ impl ConsumerSummary {
             published_windows: report.published_windows,
             comm_bytes: report.comm_bytes,
             comm_model_seconds: report.comm_model_seconds,
+            comm_messages: report.comm_messages,
         }
     }
 }
@@ -186,6 +203,27 @@ impl WorkflowReport {
             .unwrap_or(0)
     }
 
+    /// Point-to-point messages sent by the producer group's collectives —
+    /// the latency-term driver the log-depth algorithms shrink on the
+    /// critical path. World-wide monotone counter: per-rank max is the
+    /// total.
+    pub fn producer_comm_messages(&self) -> u64 {
+        self.producers
+            .iter()
+            .map(|p| p.comm_messages)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Point-to-point messages sent by the learner group's collectives.
+    pub fn consumer_comm_messages(&self) -> u64 {
+        self.consumer_summaries
+            .iter()
+            .map(|s| s.comm_messages)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Modelled fabric seconds across both groups (nonzero only under
     /// [`crate::config::CommBackend::NetSim`]).
     pub fn comm_model_seconds(&self) -> f64 {
@@ -212,6 +250,7 @@ fn aggregate_producer(reports: &[ProducerReport]) -> ProducerReport {
     // The collective byte/model-time counters are world-wide and
     // monotone: the last rank out observed the final totals.
     agg.comm_bytes = reports.iter().map(|r| r.comm_bytes).max().unwrap_or(0);
+    agg.comm_messages = reports.iter().map(|r| r.comm_messages).max().unwrap_or(0);
     agg.comm_model_seconds = reports
         .iter()
         .map(|r| r.comm_model_seconds)
@@ -229,27 +268,62 @@ fn aggregate_producer(reports: &[ProducerReport]) -> ProducerReport {
 /// [`WorkflowConfig::overlap_grad_sync`] is on). Everything downstream
 /// is generic over [`Collective`].
 pub fn run_workflow(cfg: &WorkflowConfig) -> WorkflowReport {
+    let algo = cfg.collective_algo;
     match cfg.backend {
-        CommBackend::InProcess => run_workflow_on(cfg, |n| CommWorld::new(n).into_endpoints()),
+        CommBackend::InProcess => run_workflow_on(cfg, move |n, _group| {
+            CommWorld::with_algo(n, algo).into_endpoints()
+        }),
         CommBackend::NetSim {
             machine,
             time_scale,
-        } => run_workflow_on(cfg, move |n| {
-            let ranks_per_node = machine.gpus_per_node.max(1);
-            SimNetComm::world(
-                n,
-                NetModel::from_machine(&machine, n, ranks_per_node, time_scale),
-            )
-        }),
+        } => {
+            let placement = cfg.placement;
+            let producers = cfg.producers;
+            run_workflow_on(cfg, move |n, group| {
+                let gpus = machine.gpus_per_node.max(1);
+                // Placement decides how this group's ranks map onto
+                // modelled nodes. Intra-node splits each node between the
+                // two groups (the paper's 4 sim + 4 train GCDs per node):
+                // a group packs gpus/2 ranks per node, every NIC is still
+                // shared by the node's full GCD complement, and both
+                // groups start at node 0 — so cross-group neighbours are
+                // co-resident and intra-group hops often stay on-node.
+                // Inter-node gives whole nodes to one side: full density,
+                // and the consumer group's nodes start after the last
+                // producer node, making the node sets disjoint.
+                let (group_ranks_per_node, node_offset) = match placement {
+                    Placement::IntraNode => ((gpus / 2).max(1), 0),
+                    Placement::InterNode => (
+                        gpus,
+                        match group {
+                            RankGroup::Producer => 0,
+                            RankGroup::Consumer => producers.div_ceil(gpus),
+                        },
+                    ),
+                };
+                SimNetComm::world_with_algo(
+                    n,
+                    NetModel::from_machine_placed(
+                        &machine,
+                        n,
+                        group_ranks_per_node,
+                        gpus,
+                        node_offset,
+                        time_scale,
+                    ),
+                    algo,
+                )
+            })
+        }
     }
 }
 
-/// The generic workflow driver: `make_world(n)` supplies a fresh
+/// The generic workflow driver: `make_world(n, group)` supplies a fresh
 /// `n`-rank collective world of the chosen backend for each rank group.
 fn run_workflow_on<C, F>(cfg: &WorkflowConfig, make_world: F) -> WorkflowReport
 where
     C: Collective,
-    F: Fn(usize) -> Vec<C>,
+    F: Fn(usize, RankGroup) -> Vec<C>,
 {
     cfg.validate_topology();
     let m = cfg.producers;
@@ -276,7 +350,7 @@ where
             run_producer(&producer_cfg, pw0, rw0)
         })]
     } else {
-        let endpoints = make_world(m);
+        let endpoints = make_world(m, RankGroup::Producer);
         endpoints
             .into_iter()
             .zip(pw.into_iter().zip(rw))
@@ -293,9 +367,12 @@ where
     let (rank0, mut peer_reports) = if k == 1 {
         (run_consumer(cfg, pr.remove(0), rr.remove(0)), Vec::new())
     } else {
-        let mut endpoints = make_world(k);
+        let mut endpoints = make_world(k, RankGroup::Consumer);
         let mut grad_endpoints: Vec<Option<C>> = if cfg.overlap_grad_sync {
-            make_world(k).into_iter().map(Some).collect()
+            make_world(k, RankGroup::Consumer)
+                .into_iter()
+                .map(Some)
+                .collect()
         } else {
             (0..k).map(|_| None).collect()
         };

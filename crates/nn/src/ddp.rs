@@ -237,6 +237,12 @@ impl<C: Collective> OverlappedGradSync<C> {
         self.grad_comm.modelled_comm_seconds()
     }
 
+    /// Point-to-point messages the gradient world has sent so far
+    /// (world-wide counter, like [`Self::world_bytes_sent`]).
+    pub fn world_messages_sent(&self) -> u64 {
+        self.grad_comm.world_messages_sent()
+    }
+
     /// Cut the model's gradients into the fixed bucket schedule and hand
     /// them to the comm worker; returns immediately once the flatten is
     /// done (reduction keeps running in the background). Must be paired

@@ -1,12 +1,15 @@
 //! Cross-backend determinism: the collective transport may change the
-//! *timing* of a run, never its numerics.
+//! *timing* of a run, never its numerics — and neither may the
+//! collective *algorithm* family.
 //!
-//! The same seeded 2×2 workflow runs once over the in-process channel
-//! backend and once over the netsim-delayed Frontier model (which
-//! charges every collective a latency/bandwidth cost and injects it as
-//! real wall time). Parameters — witnessed by the per-iteration
-//! `param_hash` sequence — and losses must be bit-identical.
+//! The same seeded 2×2 workflow runs over every (backend × algorithm)
+//! combination: in-process channels vs the netsim-delayed Frontier model
+//! (which charges every collective a latency/bandwidth cost and injects
+//! it as real wall time), and linear vs log-depth schedules. Parameters
+//! — witnessed by the per-iteration `param_hash` sequence — and losses
+//! must be bit-identical across the whole matrix.
 
+use artificial_scientist::cluster::algos::CollectiveAlgo;
 use artificial_scientist::core::config::{CommBackend, WorkflowConfig};
 use artificial_scientist::core::workflow::{run_workflow, WorkflowReport};
 
@@ -76,6 +79,44 @@ fn netsim_backend_is_bit_identical_to_in_process() {
         b.comm_model_seconds() > 0.0,
         "the netsim backend must charge fabric time"
     );
+}
+
+#[test]
+fn every_backend_and_algorithm_is_bit_identical() {
+    // The full (backend × algorithm) matrix must produce one numeric
+    // history: the log-depth schedules (tree broadcast/gather, Bruck
+    // allgather, size-selected allreduce) replay the canonical ring
+    // reduction order, so swapping the algorithm family — like swapping
+    // the transport — is a pure timing change.
+    let backends = [CommBackend::InProcess, CommBackend::netsim_frontier()];
+    let algos = [CollectiveAlgo::Linear, CollectiveAlgo::Log];
+    let mut reference: Option<WorkflowReport> = None;
+    for backend in backends {
+        for algo in algos {
+            let mut cfg = seeded_2x2();
+            cfg.backend = backend;
+            cfg.collective_algo = algo;
+            let r = run_workflow(&cfg);
+            assert!(!r.consumer.param_hashes.is_empty());
+            match &reference {
+                None => reference = Some(r),
+                Some(a) => {
+                    assert_eq!(
+                        a.consumer.param_hashes,
+                        r.consumer.param_hashes,
+                        "param_hash sequences diverged at {}/{}",
+                        backend.label(),
+                        algo.label()
+                    );
+                    assert_eq!(loss_bits(a), loss_bits(&r));
+                    // The byte telemetry is schedule-independent too: the
+                    // same payloads move, only along different routes.
+                    assert_eq!(a.producer_comm_bytes(), r.producer_comm_bytes());
+                    assert_eq!(a.consumer_comm_bytes(), r.consumer_comm_bytes());
+                }
+            }
+        }
+    }
 }
 
 #[test]
