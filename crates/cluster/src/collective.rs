@@ -58,10 +58,12 @@ use crate::algos::{
     allgather_events, allreduce_events, broadcast_events, gather_events, CollectiveAlgo, MsgEvent,
 };
 use crate::comm::{CommWorld, Communicator};
+use crate::error::CommError;
 use crate::machine::{MachineSpec, FRONTIER, SUMMIT};
 use crate::netsim::NetSim;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// The in-process backend: the thread/channel [`Communicator`] itself.
 ///
@@ -190,6 +192,60 @@ pub trait Collective: Send + Sync + 'static {
     fn modelled_comm_seconds(&self) -> f64 {
         0.0
     }
+
+    // --- fault tolerance (optional capability) ---------------------------
+    //
+    // Backends built over a fault-armed world (`CommWorld::with_faults`)
+    // override these; the defaults describe a world where nothing ever
+    // dies, which keeps every legacy backend valid unchanged. Note that
+    // `barrier` has no tolerant variant — fault-tolerant schedules must
+    // not barrier once a rank may be dead.
+
+    /// True when the transport tolerates rank deaths (suppressed sends,
+    /// liveness tracking) instead of panicking.
+    fn faults_armed(&self) -> bool {
+        false
+    }
+
+    /// Mark `rank` dead in the shared world-health mask. No-op on
+    /// backends without liveness tracking.
+    fn mark_dead(&self, rank: usize) {
+        let _ = rank;
+    }
+
+    /// Bitmask of ranks not marked dead (bit `r` set ⇔ rank `r` alive).
+    fn alive_mask(&self) -> u64 {
+        if self.size() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.size()) - 1
+        }
+    }
+
+    /// True when `rank` has been marked dead.
+    fn is_rank_dead(&self, rank: usize) -> bool {
+        rank < 64 && self.alive_mask() & (1 << rank) == 0
+    }
+
+    /// Deadline-bounded receive reporting failure as a value:
+    /// `Ok(Some(v))` on a match, `Ok(None)` on timeout, a typed
+    /// [`CommError`] on dead peer / teardown / payload mismatch. The
+    /// default declines — only fault-aware backends implement it.
+    fn try_recv_timeout<T: Send + 'static>(
+        &self,
+        source: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Option<T>, CommError> {
+        let _ = (source, tag, timeout);
+        Err(CommError::Unsupported("try_recv_timeout"))
+    }
+
+    /// `(dropped, delayed, duplicated)` injected message-fault counters
+    /// (zeros when no injector is installed).
+    fn injected_fault_counts(&self) -> (u64, u64, u64) {
+        (0, 0, 0)
+    }
 }
 
 impl Collective for Communicator {
@@ -243,6 +299,29 @@ impl Collective for Communicator {
     }
     fn account_payload(&self, bytes: u64) {
         Communicator::account_payload(self, bytes)
+    }
+    fn faults_armed(&self) -> bool {
+        Communicator::faults_armed(self)
+    }
+    fn mark_dead(&self, rank: usize) {
+        Communicator::mark_dead(self, rank)
+    }
+    fn alive_mask(&self) -> u64 {
+        Communicator::alive_mask(self)
+    }
+    fn is_rank_dead(&self, rank: usize) -> bool {
+        Communicator::is_rank_dead(self, rank)
+    }
+    fn try_recv_timeout<T: Send + 'static>(
+        &self,
+        source: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Option<T>, CommError> {
+        Communicator::try_recv_timeout(self, source, tag, timeout)
+    }
+    fn injected_fault_counts(&self) -> (u64, u64, u64) {
+        Communicator::injected_fault_counts(self)
     }
 }
 
@@ -522,9 +601,18 @@ impl SimNetComm<ChannelComm> {
         model: NetModel,
         algo: CollectiveAlgo,
     ) -> Vec<SimNetComm<ChannelComm>> {
+        Self::wrap_world(CommWorld::with_algo(size, algo).into_endpoints(), model)
+    }
+
+    /// Wrap an externally built world (e.g. a fault-armed
+    /// [`CommWorld::with_faults`]) with `model`, sharing one
+    /// modelled-critical-path counter across the returned endpoints.
+    pub fn wrap_world(
+        endpoints: Vec<ChannelComm>,
+        model: NetModel,
+    ) -> Vec<SimNetComm<ChannelComm>> {
         let nanos = Arc::new(AtomicU64::new(0));
-        CommWorld::with_algo(size, algo)
-            .into_endpoints()
+        endpoints
             .into_iter()
             .map(|c| SimNetComm::new(c, model.clone(), nanos.clone()))
             .collect()
@@ -635,6 +723,30 @@ impl<C: Collective> Collective for SimNetComm<C> {
     }
     fn modelled_comm_seconds(&self) -> f64 {
         self.world_max_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+    fn faults_armed(&self) -> bool {
+        self.inner.faults_armed()
+    }
+    fn mark_dead(&self, rank: usize) {
+        self.inner.mark_dead(rank)
+    }
+    fn alive_mask(&self) -> u64 {
+        self.inner.alive_mask()
+    }
+    fn is_rank_dead(&self, rank: usize) -> bool {
+        self.inner.is_rank_dead(rank)
+    }
+    fn try_recv_timeout<T: Send + 'static>(
+        &self,
+        source: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Option<T>, CommError> {
+        // The matching wait is the receiver's; senders carried the cost.
+        self.inner.try_recv_timeout(source, tag, timeout)
+    }
+    fn injected_fault_counts(&self) -> (u64, u64, u64) {
+        self.inner.injected_fault_counts()
     }
 }
 

@@ -22,13 +22,15 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
 use crate::algos::{
     allreduce_goes_log, binomial_plan, bruck_rounds, reduce_in_ring_order, CollectiveAlgo,
 };
+use crate::error::CommError;
 
 /// Wildcard tag: matches any tag in [`Communicator::recv_any_tag`].
 pub const ANY_TAG: u64 = u64::MAX;
@@ -43,12 +45,139 @@ const AG_TAG: u64 = RESERVED_TAG_BASE + (3 << 32);
 const BRUCK_TAG: u64 = RESERVED_TAG_BASE + (4 << 32);
 const SMALL_AR_TAG: u64 = RESERVED_TAG_BASE + (5 << 32);
 
+/// Tag region reserved for the fault-tolerant exchange layer
+/// (`as-core`'s `FtComm`): tags are `FT_TAG_BASE + op_seq`, one stable
+/// tag per FT operation, so a survivor's late receive still matches the
+/// sender's (possibly delayed or duplicated) message.
+pub const FT_TAG_BASE: u64 = RESERVED_TAG_BASE + (9 << 32);
+
 type Payload = Box<dyn Any + Send>;
 
 struct Envelope {
     source: usize,
     tag: u64,
+    /// Injected duplicate delivery: the receiver's dedup layer discards
+    /// flagged envelopes without looking at the payload.
+    dup: bool,
     payload: Payload,
+}
+
+/// Seeded message-level fault knobs for a fault-armed world.
+///
+/// Rates are per-message probabilities decided by a splitmix64 hash of
+/// `(seed, source, dest, per-link sequence number)` — no shared mutable
+/// state, so the same seed and the same per-rank send order give the
+/// **bit-identical fault sequence** on every run. "Dropped" messages
+/// model an eager-transport retransmit: the payload is delivered after a
+/// retransmit timeout (4× `delay_ms`) rather than lost, so collectives
+/// stay correct while their timing degrades.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommFaults {
+    /// Seed for the per-message fault decisions.
+    pub seed: u64,
+    /// Probability a message is "dropped" (delivered after the modelled
+    /// retransmit timeout, 4× `delay_ms`).
+    pub drop_rate: f64,
+    /// Probability a message is delayed by `delay_ms`.
+    pub delay_rate: f64,
+    /// Injected delay quantum in milliseconds.
+    pub delay_ms: u64,
+    /// Probability a message is duplicated (the twin is flagged and
+    /// discarded by the receiver's dedup layer).
+    pub dup_rate: f64,
+}
+
+impl CommFaults {
+    /// No message-level faults (a fault-armed world can still tolerate
+    /// rank deaths without injecting any chaos on the links).
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_rate: 0.0,
+            delay_rate: 0.0,
+            delay_ms: 0,
+            dup_rate: 0.0,
+        }
+    }
+
+    /// True when every rate is zero — no injector is installed.
+    pub fn is_noop(&self) -> bool {
+        self.drop_rate <= 0.0 && self.delay_rate <= 0.0 && self.dup_rate <= 0.0
+    }
+}
+
+enum FaultAction {
+    None,
+    Drop,
+    Delay,
+    Duplicate,
+}
+
+/// Deterministic per-message fault decisions plus world-wide counters.
+pub struct FaultInjector {
+    faults: CommFaults,
+    dropped: AtomicU64,
+    delayed: AtomicU64,
+    duplicated: AtomicU64,
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultInjector {
+    fn new(faults: CommFaults) -> Self {
+        Self {
+            faults,
+            dropped: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+        }
+    }
+
+    /// The fault decision for the `seq`-th message on the `src → dest`
+    /// link. Pure function of `(seed, src, dest, seq)`.
+    fn decide(&self, src: usize, dest: usize, seq: u64) -> FaultAction {
+        let key = self.faults.seed.wrapping_add(splitmix64(
+            (src as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((dest as u64).rotate_left(32))
+                .wrapping_add(seq.wrapping_mul(0xD134_2543_DE82_EF95)),
+        ));
+        let u = (splitmix64(key) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let f = &self.faults;
+        if u < f.drop_rate {
+            FaultAction::Drop
+        } else if u < f.drop_rate + f.delay_rate {
+            FaultAction::Delay
+        } else if u < f.drop_rate + f.delay_rate + f.dup_rate {
+            FaultAction::Duplicate
+        } else {
+            FaultAction::None
+        }
+    }
+
+    /// `(dropped, delayed, duplicated)` counters so far, world-wide.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (
+            self.dropped.load(Ordering::Relaxed),
+            self.delayed.load(Ordering::Relaxed),
+            self.duplicated.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Shared liveness state of a world: which ranks are marked dead, and
+/// whether the endpoints behave tolerantly (suppress sends to dead
+/// ranks, mark a peer dead instead of panicking on a torn-down channel).
+struct WorldHealth {
+    /// Bitmask of dead ranks (worlds are ≤ 64 ranks here).
+    dead: AtomicU64,
+    /// Fault-armed worlds degrade instead of panicking.
+    armed: bool,
 }
 
 /// A fixed-size group of communicating ranks.
@@ -74,6 +203,33 @@ impl CommWorld {
     /// # Panics
     /// Panics if `size == 0`.
     pub fn with_algo(size: usize, algo: CollectiveAlgo) -> Self {
+        Self::build(size, algo, false, None)
+    }
+
+    /// Create a **fault-armed** world: endpoints tolerate dead peers
+    /// (sends to a rank marked dead are suppressed; a torn-down channel
+    /// marks the peer dead instead of panicking) and, when `faults` has
+    /// non-zero rates, every message passes through the deterministic
+    /// [`FaultInjector`].
+    ///
+    /// # Panics
+    /// Panics if `size == 0` or `size > 64` (liveness is a bitmask).
+    pub fn with_faults(size: usize, algo: CollectiveAlgo, faults: CommFaults) -> Self {
+        assert!(size <= 64, "fault-armed worlds are limited to 64 ranks");
+        let injector = if faults.is_noop() {
+            None
+        } else {
+            Some(Arc::new(FaultInjector::new(faults)))
+        };
+        Self::build(size, algo, true, injector)
+    }
+
+    fn build(
+        size: usize,
+        algo: CollectiveAlgo,
+        armed: bool,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> Self {
         assert!(size > 0, "communicator world must have at least one rank");
         let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(size);
         let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(size);
@@ -85,6 +241,10 @@ impl CommWorld {
         let barrier = Arc::new(Barrier::new(size));
         let bytes_sent = Arc::new(AtomicU64::new(0));
         let messages_sent = Arc::new(AtomicU64::new(0));
+        let health = Arc::new(WorldHealth {
+            dead: AtomicU64::new(0),
+            armed,
+        });
         let endpoints = receivers
             .into_iter()
             .enumerate()
@@ -98,6 +258,9 @@ impl CommWorld {
                 barrier: barrier.clone(),
                 bytes_sent: bytes_sent.clone(),
                 messages_sent: messages_sent.clone(),
+                health: health.clone(),
+                injector: injector.clone(),
+                fault_seq: (0..size).map(|_| AtomicU64::new(0)).collect(),
             })
             .collect();
         Self { endpoints }
@@ -121,6 +284,11 @@ pub struct Communicator {
     barrier: Arc<Barrier>,
     bytes_sent: Arc<AtomicU64>,
     messages_sent: Arc<AtomicU64>,
+    health: Arc<WorldHealth>,
+    injector: Option<Arc<FaultInjector>>,
+    /// Per-destination send sequence numbers (this rank's half of the
+    /// deterministic `(src, dest, seq)` fault-decision key).
+    fault_seq: Vec<AtomicU64>,
 }
 
 impl Communicator {
@@ -172,17 +340,93 @@ impl Communicator {
     pub fn send<T: Send + 'static>(&self, dest: usize, tag: u64, value: T) {
         assert!(dest < self.size, "send to out-of-range rank {dest}");
         assert_ne!(tag, ANY_TAG, "ANY_TAG is reserved for receives");
+        if self.health.armed && self.is_rank_dead(dest) {
+            // Tolerant mode: a dead rank receives nothing; the message
+            // evaporates instead of piling up in an orphaned inbox.
+            return;
+        }
         self.messages_sent.fetch_add(1, Ordering::Relaxed);
+        if let Some(inj) = &self.injector {
+            let seq = self.fault_seq[dest].fetch_add(1, Ordering::Relaxed);
+            match inj.decide(self.rank, dest, seq) {
+                FaultAction::None => {}
+                FaultAction::Drop => {
+                    // Eager-transport semantics: the "lost" message is
+                    // retransmitted after a timeout, so it arrives late
+                    // rather than never.
+                    inj.dropped.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(4 * inj.faults.delay_ms.max(1)));
+                }
+                FaultAction::Delay => {
+                    inj.delayed.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(inj.faults.delay_ms.max(1)));
+                }
+                FaultAction::Duplicate => {
+                    // The twin carries a junk payload: receivers discard
+                    // dup-flagged envelopes without downcasting.
+                    inj.duplicated.fetch_add(1, Ordering::Relaxed);
+                    let twin = Envelope {
+                        source: self.rank,
+                        tag,
+                        dup: true,
+                        payload: Box::new(()),
+                    };
+                    let _ = self.peers[dest].send(twin);
+                }
+            }
+        }
         let env = Envelope {
             source: self.rank,
             tag,
+            dup: false,
             payload: Box::new(value),
         };
-        // A send can only fail if the receiving endpoint was dropped, which
-        // is a teardown race we treat as a hard usage error.
-        self.peers[dest]
-            .send(env)
-            .expect("send to a dropped communicator endpoint");
+        match self.peers[dest].send(env) {
+            Ok(()) => {}
+            // In a fault-armed world a torn-down endpoint is a detected
+            // rank death, not a usage error.
+            Err(_) if self.health.armed => self.mark_dead(dest),
+            // A send can only fail if the receiving endpoint was dropped,
+            // which is a teardown race we treat as a hard usage error.
+            Err(_) => panic!("send to a dropped communicator endpoint"),
+        }
+    }
+
+    /// Mark `rank` dead in the shared world-health mask. Subsequent
+    /// tolerant sends to it are suppressed; fault-aware receives
+    /// ([`Self::try_recv_timeout`]) report [`CommError::RankDead`]
+    /// immediately instead of waiting out their timeout.
+    pub fn mark_dead(&self, rank: usize) {
+        if rank < 64 {
+            self.health.dead.fetch_or(1 << rank, Ordering::SeqCst);
+        }
+    }
+
+    /// Bitmask of ranks not (yet) marked dead.
+    pub fn alive_mask(&self) -> u64 {
+        let full = if self.size >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.size) - 1
+        };
+        full & !self.health.dead.load(Ordering::SeqCst)
+    }
+
+    /// True when `rank` has been marked dead.
+    pub fn is_rank_dead(&self, rank: usize) -> bool {
+        rank < 64 && self.health.dead.load(Ordering::SeqCst) & (1 << rank) != 0
+    }
+
+    /// True when this world was built with [`CommWorld::with_faults`]
+    /// (tolerant sends, liveness tracking, optional message chaos).
+    pub fn faults_armed(&self) -> bool {
+        self.health.armed
+    }
+
+    /// `(dropped, delayed, duplicated)` injected-fault counters, or
+    /// zeros when no injector is installed.
+    pub fn injected_fault_counts(&self) -> (u64, u64, u64) {
+        self.injector.as_ref().map_or((0, 0, 0), |i| i.counts())
     }
 
     /// Send a typed vector, accounting its size in the world traffic counter.
@@ -238,6 +482,10 @@ impl Communicator {
                 .inbox
                 .recv()
                 .expect("communicator world torn down while receiving");
+            if env.dup {
+                // Injected duplicate delivery: dedup at intake.
+                continue;
+            }
             let matches = env.source == source && (tag == ANY_TAG || env.tag == tag);
             if matches {
                 return env;
@@ -247,6 +495,68 @@ impl Communicator {
                 .entry((env.source, env.tag))
                 .or_default()
                 .push(env);
+        }
+    }
+
+    /// Receive a `T` from `source`/`tag` with a deadline, reporting
+    /// failure as a value instead of hanging or panicking — the
+    /// primitive the fault-tolerant exchange layer polls on.
+    ///
+    /// Returns `Ok(Some(v))` on a match, `Ok(None)` when the deadline
+    /// elapses with no match (the caller decides whether to retry or
+    /// declare the peer dead), and a typed [`CommError`] when the peer
+    /// is already marked dead, the world tore down, or the payload type
+    /// is wrong.
+    pub fn try_recv_timeout<T: Send + 'static>(
+        &self,
+        source: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Option<T>, CommError> {
+        fn open<T: Send + 'static>(env: Envelope) -> Result<Option<T>, CommError> {
+            let source = env.source;
+            let tag = env.tag;
+            env.payload
+                .downcast::<T>()
+                .map(|b| Some(*b))
+                .map_err(|_| CommError::TypeMismatch { source, tag })
+        }
+        // Fast path: an already-delivered match in the stash.
+        {
+            let mut stash = self.stash.lock();
+            if let Some(q) = stash.get_mut(&(source, tag)) {
+                if !q.is_empty() {
+                    return open(q.remove(0));
+                }
+            }
+        }
+        if self.is_rank_dead(source) {
+            return Err(CommError::RankDead { rank: source });
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Ok(None);
+            };
+            match self.inbox.recv_timeout(remaining) {
+                Ok(env) => {
+                    if env.dup {
+                        continue;
+                    }
+                    if env.source == source && env.tag == tag {
+                        return open(env);
+                    }
+                    self.stash
+                        .lock()
+                        .entry((env.source, env.tag))
+                        .or_default()
+                        .push(env);
+                }
+                Err(RecvTimeoutError::Timeout) => return Ok(None),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::Disconnected { source })
+                }
+            }
         }
     }
 
@@ -742,5 +1052,86 @@ mod tests {
             c.barrier();
             assert!(c.world_bytes_sent() >= 128);
         });
+    }
+
+    #[test]
+    fn try_recv_timeout_times_out_then_matches() {
+        let eps =
+            CommWorld::with_faults(2, CollectiveAlgo::Log, CommFaults::none(1)).into_endpoints();
+        let mut it = eps.into_iter();
+        let a = it.next().unwrap();
+        let b = it.next().unwrap();
+        let h = thread::spawn(move || {
+            // Nothing sent yet: the first poll must time out cleanly.
+            let none: Option<u32> = b
+                .try_recv_timeout(0, 5, Duration::from_millis(10))
+                .expect("timeout is not an error");
+            assert_eq!(none, None);
+            let got: Option<u32> = b
+                .try_recv_timeout(0, 5, Duration::from_millis(2000))
+                .expect("matched receive");
+            assert_eq!(got, Some(77));
+        });
+        thread::sleep(Duration::from_millis(30));
+        a.send(1, 5, 77u32);
+        h.join().expect("rank thread panicked");
+    }
+
+    #[test]
+    fn tolerant_world_suppresses_sends_to_dead_ranks() {
+        let eps =
+            CommWorld::with_faults(2, CollectiveAlgo::Log, CommFaults::none(2)).into_endpoints();
+        let mut it = eps.into_iter();
+        let a = it.next().unwrap();
+        let b = it.next().unwrap();
+        assert!(a.faults_armed());
+        assert_eq!(a.alive_mask(), 0b11);
+        a.mark_dead(1);
+        assert!(b.is_rank_dead(1), "health mask is shared world-wide");
+        assert_eq!(a.alive_mask(), 0b01);
+        // Sending to the dead rank is a silent no-op, and dropping its
+        // endpoint later must not panic tolerant senders either.
+        a.send(1, 9, 1u8);
+        drop(b);
+        a.send(1, 9, 2u8);
+        // Receives addressed to a dead peer fail fast.
+        let e = a.try_recv_timeout::<u8>(1, 9, Duration::from_millis(1));
+        assert_eq!(e, Err(CommError::RankDead { rank: 1 }));
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_and_loses_nothing() {
+        let chaos = CommFaults {
+            seed: 42,
+            drop_rate: 0.2,
+            delay_rate: 0.2,
+            delay_ms: 1,
+            dup_rate: 0.2,
+        };
+        let run = |chaos: CommFaults| -> (Vec<u64>, (u64, u64, u64)) {
+            let eps = CommWorld::with_faults(2, CollectiveAlgo::Log, chaos).into_endpoints();
+            let mut it = eps.into_iter();
+            let a = it.next().unwrap();
+            let b = it.next().unwrap();
+            let h = thread::spawn(move || {
+                (0..40u64)
+                    .map(|i| b.recv::<u64>(0, 100 + i))
+                    .collect::<Vec<_>>()
+            });
+            for i in 0..40u64 {
+                a.send(1, 100 + i, i * 3);
+            }
+            let got = h.join().expect("receiver panicked");
+            (got, a.injected_fault_counts())
+        };
+        let (got1, counts1) = run(chaos.clone());
+        let (got2, counts2) = run(chaos);
+        // Every payload arrives exactly once despite drop/delay/dup...
+        assert_eq!(got1, (0..40u64).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(got1, got2);
+        // ...the chaos actually fired, and identically across runs.
+        let (d, l, u) = counts1;
+        assert!(d + l + u > 0, "rates of 0.2 over 40 messages must fire");
+        assert_eq!(counts1, counts2, "same seed ⇒ same fault sequence");
     }
 }

@@ -1,0 +1,59 @@
+//! Typed communication errors for the fault-tolerant paths.
+//!
+//! The legacy collectives panic on protocol violations — correct for a
+//! healthy world, useless once ranks are allowed to die. The
+//! fault-tolerant layer (`try_recv_timeout`, the `FtComm` exchange in
+//! `as-core`) reports these conditions as values instead, so callers can
+//! retry, declare a peer dead, or degrade gracefully.
+
+/// Errors surfaced by fault-tolerant communicator operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// No matching message arrived before the per-op deadline.
+    Timeout {
+        /// Rank the receive was waiting on.
+        source: usize,
+        /// Message tag the receive was matching.
+        tag: u64,
+    },
+    /// The peer's endpoint is gone (channel disconnected mid-receive).
+    Disconnected {
+        /// Rank whose endpoint disappeared.
+        source: usize,
+    },
+    /// Rank is already marked dead in the world health mask.
+    RankDead {
+        /// The dead rank.
+        rank: usize,
+    },
+    /// A matched message carried an unexpected payload type (protocol bug,
+    /// not a fault — still reported as a value on the tolerant path).
+    TypeMismatch {
+        /// Rank the message came from.
+        source: usize,
+        /// Tag the message carried.
+        tag: u64,
+    },
+    /// The backend does not implement this fault-tolerant operation.
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout { source, tag } => {
+                write!(f, "timed out waiting on rank {source} tag {tag:#x}")
+            }
+            CommError::Disconnected { source } => {
+                write!(f, "rank {source} endpoint disconnected")
+            }
+            CommError::RankDead { rank } => write!(f, "rank {rank} is marked dead"),
+            CommError::TypeMismatch { source, tag } => {
+                write!(f, "payload type mismatch from rank {source} tag {tag:#x}")
+            }
+            CommError::Unsupported(op) => write!(f, "backend does not support {op}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}

@@ -28,6 +28,7 @@ pub mod algos;
 pub mod collective;
 pub mod collectives;
 pub mod comm;
+pub mod error;
 pub mod fom;
 pub mod machine;
 pub mod netsim;
@@ -38,7 +39,8 @@ pub mod prelude {
     pub use crate::algos::CollectiveAlgo;
     pub use crate::collective::{ChannelComm, Collective, NetModel, NodeMap, SimNetComm};
     pub use crate::collectives::{allreduce_cost, AllReduceAlgo, CollectiveCost};
-    pub use crate::comm::{CommWorld, Communicator};
+    pub use crate::comm::{CommFaults, CommWorld, Communicator, FT_TAG_BASE};
+    pub use crate::error::CommError;
     pub use crate::machine::{MachineSpec, FRONTIER, SUMMIT};
     pub use crate::netsim::{Flow, LinkId, NetSim, NetSpec};
     pub use crate::sockets::SocketBudget;

@@ -13,6 +13,7 @@
 //!   bit-identical but overlaps reduction with main-thread work.
 
 use crate::encode::EncodeConfig;
+use crate::faults::FaultPlan;
 use as_cluster::algos::CollectiveAlgo;
 use as_cluster::machine::{MachineSpec, FRONTIER, SUMMIT};
 use as_nn::model::ModelConfig;
@@ -252,6 +253,13 @@ pub struct WorkflowConfig {
     pub grad_bucket: usize,
     /// Master seed.
     pub seed: u64,
+    /// Deterministic fault-injection plan ([`crate::faults::FaultPlan`]).
+    /// Inert by default; when [`FaultPlan::active`] the workflow arms
+    /// tolerant collective worlds, routes consumers through the
+    /// fault-tolerant loops (checkpoint/restart, bounded-timeout
+    /// collectives, graceful rank-death degradation) and executes the
+    /// plan's seeded event schedule.
+    pub faults: FaultPlan,
 }
 
 impl WorkflowConfig {
@@ -294,6 +302,7 @@ impl WorkflowConfig {
             sample_broadcast: false,
             grad_bucket: 8192,
             seed: 1,
+            faults: FaultPlan::default(),
             model,
         }
     }

@@ -43,10 +43,13 @@
 //! longer stream and reports the mismatch in
 //! [`ConsumerReport::orphaned_windows`] instead of panicking.
 
+use crate::checkpoint::{LearnerCheckpoint, LearnerProgress};
 use crate::config::{ConsumerPolicy, WorkflowConfig};
 use crate::encode::{batch_to_tensors, Sample};
+use crate::faults::{InjectedFault, KillMode};
+use crate::ft::FtComm;
 use as_cluster::collective::Collective;
-use as_nn::ddp::{param_hash, sync_gradients_bucketed, OverlappedGradSync};
+use as_nn::ddp::{param_hash, sync_gradients_bucketed, sync_gradients_with, OverlappedGradSync};
 use as_nn::model::{ArtificialScientistModel, LossReport, ModelOptimizer};
 use as_openpmd::reader::{IterationData, OpenPmdReader};
 use as_pic::diag::FlowRegion;
@@ -114,6 +117,22 @@ pub struct ConsumerReport {
     /// mode — the dedicated gradient world). Zero for the single
     /// consumer.
     pub comm_messages: u64,
+    /// Windows destroyed by injected faults on this rank: checkpoint
+    /// rollback after a kill-restart plus scheduled skip events. With it
+    /// the per-rank accounting identity becomes
+    /// `windows + dropped + orphaned + lost == published`. Zero on a
+    /// healthy run.
+    pub lost_windows: u64,
+    /// Kill-restart cycles this rank survived.
+    pub restarts: u64,
+    /// Wall seconds spent recovering: checkpoint restores plus time
+    /// waiting out death budgets on condemned peers.
+    pub recovery_seconds: f64,
+    /// Times this rank watched the learner group shrink (a peer declared
+    /// dead and excluded from the collective schedule).
+    pub degradations: u64,
+    /// Live learner ranks at exit (`world` minus condemned peers).
+    pub world_after: usize,
 }
 
 /// Run the single-rank consumer until the streams end (legacy 1×1 path).
@@ -220,6 +239,11 @@ pub fn run_consumer(
         comm_bytes: 0,
         comm_model_seconds: 0.0,
         comm_messages: 0,
+        lost_windows: 0,
+        restarts: 0,
+        recovery_seconds: 0.0,
+        degradations: 0,
+        world_after: 1,
     }
 }
 
@@ -459,6 +483,536 @@ pub fn run_ddp_consumer<C: Collective>(
             + overlap.as_ref().map_or(0.0, |s| s.modelled_comm_seconds()),
         comm_messages: comm.world_messages_sent()
             + overlap.as_ref().map_or(0, |s| s.world_messages_sent()),
+        lost_windows: 0,
+        restarts: 0,
+        recovery_seconds: 0.0,
+        degradations: 0,
+        world_after: world,
+    }
+}
+
+/// Run the single-rank consumer under an **active fault plan** — the
+/// fault-tolerant twin of [`run_consumer`]. On top of the legacy loop,
+/// keyed on the *arrival counter* (windows taken off the stream):
+///
+/// - **checkpoint capture** every [`crate::faults::FaultPlan::checkpoint_every`]
+///   arrivals, taken at the loop top *before* the kill hook, so a kill
+///   landing on a boundary restores the state captured a moment earlier;
+/// - **kill events**: [`KillMode::Restart`] rolls back to the latest
+///   [`LearnerCheckpoint`] (arrivals consumed since then are counted in
+///   [`ConsumerReport::lost_windows`] — stream steps cannot be re-read)
+///   and continues; [`KillMode::Die`] panics with an [`InjectedFault`]
+///   payload (the orchestrator captures it as a rank failure);
+/// - **skip events** ([`crate::faults::FaultEvent::SkipWindows`]): the
+///   window is read and closed unprocessed, counted as lost — the
+///   reference-run twin of a rollback, for bit-identity comparisons.
+///
+/// Capture never mutates learner state, and with an event-free plan the
+/// training trajectory is bit-identical to [`run_consumer`]'s.
+pub fn run_consumer_ft(
+    cfg: &WorkflowConfig,
+    particle_stream: SstReader,
+    radiation_stream: SstReader,
+) -> ConsumerReport {
+    let plan = &cfg.faults;
+    let mut p_reader = OpenPmdReader::new(particle_stream);
+    let mut r_reader = OpenPmdReader::new(radiation_stream);
+    let mut model = ArtificialScientistModel::new(cfg.model.clone(), cfg.seed);
+    let mut opt = ModelOptimizer::new(cfg.adam, cfg.m_vae);
+    let mut buffer: TrainingBuffer<Sample> = TrainingBuffer::new(cfg.buffer, cfg.seed ^ 0xEB);
+    let mut schedule = ReplaySchedule::new(cfg.n_rep, StallPolicy::StallProducer);
+    let mut enc_rng = StdRng::seed_from_u64(cfg.seed ^ 0xE0C0DE);
+    let mut train_rng = TensorRng::seeded(cfg.seed ^ 0x7241);
+
+    let mut report_losses: Vec<LossReport> = Vec::new();
+    let mut windows = 0u64;
+    let mut samples = 0u64;
+    let mut train_seconds = 0.0;
+    let mut owned_windows: Vec<u64> = Vec::new();
+    let mut orphaned_windows = 0u64;
+    let mut dropped_windows = 0u64;
+    let mut param_hashes: Vec<u64> = Vec::new();
+
+    let kill = plan.consumer_kill(0);
+    let skips = plan.skip_ranges();
+    let mut seen = 0u64;
+    let mut kill_fired = false;
+    let mut ckpt: Option<LearnerCheckpoint> = None;
+    let mut last_capture: Option<u64> = None;
+    let mut lost_windows = 0u64;
+    let mut restarts = 0u64;
+    let mut recovery_seconds = 0.0;
+
+    'stream: loop {
+        if plan.checkpoint_every > 0
+            && seen.is_multiple_of(plan.checkpoint_every)
+            && last_capture != Some(seen)
+        {
+            let progress = LearnerProgress {
+                windows,
+                samples,
+                owned_windows: owned_windows.clone(),
+                losses: report_losses.clone(),
+                param_hashes: param_hashes.clone(),
+            };
+            ckpt = Some(LearnerCheckpoint::capture(
+                &mut model, &opt, &buffer, &schedule, &enc_rng, &train_rng, &progress,
+            ));
+            last_capture = Some(seen);
+        }
+        if let Some((at, mode)) = kill {
+            if !kill_fired && seen == at {
+                kill_fired = true;
+                match mode {
+                    KillMode::Die => std::panic::panic_any(InjectedFault {
+                        rank: 0,
+                        at_window: seen,
+                    }),
+                    KillMode::Restart => {
+                        let t0 = std::time::Instant::now();
+                        let c = ckpt
+                            .as_ref()
+                            .expect("ConsumerKill{Restart} needs checkpoint_every > 0");
+                        let live = windows;
+                        let progress = c.restore(
+                            &mut model,
+                            &mut opt,
+                            &mut buffer,
+                            &mut schedule,
+                            &mut enc_rng,
+                            &mut train_rng,
+                        );
+                        lost_windows += live - progress.windows;
+                        windows = progress.windows;
+                        samples = progress.samples;
+                        owned_windows = progress.owned_windows;
+                        report_losses = progress.losses;
+                        param_hashes = progress.param_hashes;
+                        restarts += 1;
+                        recovery_seconds += t0.elapsed().as_secs_f64();
+                    }
+                }
+            }
+        }
+        let (mut p_it, mut r_it) = match cfg.policy {
+            ConsumerPolicy::BlockingEveryStep => {
+                let p_it = p_reader.next_iteration();
+                let r_it = r_reader.next_iteration();
+                match (p_it, r_it) {
+                    (Some(a), Some(b)) => (a, b),
+                    (None, None) => break,
+                    (Some(a), None) => {
+                        p_reader.close_iteration(a);
+                        orphaned_windows += 1 + drain_stream(&mut p_reader);
+                        break;
+                    }
+                    (None, Some(b)) => {
+                        r_reader.close_iteration(b);
+                        orphaned_windows += 1 + drain_stream(&mut r_reader);
+                        break;
+                    }
+                }
+            }
+            ConsumerPolicy::DropSteps { min_queue, .. } => {
+                let (p_skip, p_opt) = p_reader.next_iteration_latest_min(min_queue as u64);
+                match pair_drop_steps_window(
+                    p_skip,
+                    p_opt,
+                    &mut p_reader,
+                    &mut r_reader,
+                    &mut dropped_windows,
+                    &mut orphaned_windows,
+                ) {
+                    Some(pair) => pair,
+                    None => break 'stream,
+                }
+            }
+        };
+        let arrival = seen;
+        seen += 1;
+        if skips.iter().any(|&(f, t)| arrival >= f && arrival <= t) {
+            p_reader.close_iteration(p_it);
+            r_reader.close_iteration(r_it);
+            lost_windows += 1;
+            continue 'stream;
+        }
+        windows += 1;
+        owned_windows.push(p_it.iteration);
+        let fresh = encode_window(cfg, &mut p_it, &mut r_it, &mut enc_rng);
+        samples += fresh.len() as u64;
+        for s in fresh {
+            buffer.push(s);
+        }
+        p_reader.close_iteration(p_it);
+        r_reader.close_iteration(r_it);
+
+        schedule.on_step();
+        while schedule.should_train() && buffer.ready() {
+            let t0 = std::time::Instant::now();
+            let batch = buffer.sample_batch();
+            let (points, spectra) = batch_to_tensors(&batch, &cfg.model);
+            model.zero_grad();
+            let report = model.accumulate_gradients(&points, &spectra, &mut train_rng);
+            opt.step(&mut model);
+            train_seconds += t0.elapsed().as_secs_f64();
+            report_losses.push(report);
+            schedule.on_iteration();
+            // The per-iteration hash history doubles as the rollback
+            // bit-identity witness (restored and re-grown on restart).
+            param_hashes.push(param_hash(&mut model));
+        }
+    }
+
+    let particle_bytes = p_reader.stats().total_bytes();
+    let published_windows = p_reader.published_steps().max(r_reader.published_steps());
+    let hash = param_hash(&mut model);
+    ConsumerReport {
+        model,
+        losses: report_losses,
+        windows,
+        samples,
+        train_seconds,
+        particle_bytes,
+        rank: 0,
+        world: 1,
+        owned_windows,
+        orphaned_windows,
+        dropped_windows,
+        published_windows,
+        param_hash: hash,
+        param_hashes,
+        comm_bytes: 0,
+        comm_model_seconds: 0.0,
+        comm_messages: 0,
+        lost_windows,
+        restarts,
+        recovery_seconds,
+        degradations: 0,
+        world_after: 1,
+    }
+}
+
+/// Run one rank of a K-way learner group under an **active fault plan**
+/// — the fault-tolerant twin of [`run_ddp_consumer`].
+///
+/// Every windowed collective goes through [`FtComm`]: a membership
+/// exchange opens each round (survivors agree on who is alive *before*
+/// any value-bearing collective), the `DropSteps` window target comes
+/// from an elected root (lowest live rank — re-elected if the root
+/// dies), window ownership is round-robin over the **live members**, the
+/// go/no-go and loss mean sum over the answering members, and the
+/// gradient sync runs the same buckets as the legacy path with the
+/// contributions reduced in canonical ring order
+/// ([`as_nn::ddp::sync_gradients_with`]) — **bit-identical** to
+/// [`run_ddp_consumer`] while every rank is alive.
+///
+/// Kill/checkpoint/skip hooks are as in [`run_consumer_ft`], with two
+/// group-level rules: a [`KillMode::Restart`] must land on a checkpoint
+/// boundary (so the rollback is a state no-op and the collective
+/// schedule never diverges — asserted), and a [`KillMode::Die`] rank
+/// marks itself dead on the shared world before unwinding, so survivors
+/// fast-fail their waits instead of burning the full death budget.
+/// Overlapped gradient sync is not supported under an active plan.
+pub fn run_ddp_consumer_ft<C: Collective>(
+    cfg: &WorkflowConfig,
+    comm: C,
+    particle_stream: SstReader,
+    radiation_stream: SstReader,
+) -> ConsumerReport {
+    let plan = &cfg.faults;
+    assert!(
+        !cfg.overlap_grad_sync,
+        "overlap_grad_sync is not supported under an active fault plan"
+    );
+    let rank = comm.rank();
+    let world = comm.size();
+    let ft = FtComm::new(&comm, plan);
+    let rank_mix = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rank as u64 + 1);
+    let mut p_reader = OpenPmdReader::new(particle_stream);
+    let mut r_reader = OpenPmdReader::new(radiation_stream);
+    let mut model = ArtificialScientistModel::new(cfg.model.clone(), cfg.seed);
+    let mut opt = ModelOptimizer::new(cfg.adam, cfg.m_vae);
+    let mut buffer: TrainingBuffer<Sample> =
+        TrainingBuffer::new(cfg.buffer, cfg.seed ^ 0xEB ^ rank_mix);
+    let mut schedule = ReplaySchedule::new(cfg.n_rep, StallPolicy::StallProducer);
+    let mut enc_rng = StdRng::seed_from_u64(cfg.seed ^ 0xE0C0DE ^ rank_mix);
+    let mut train_rng = TensorRng::seeded(cfg.seed ^ 0x7241 ^ rank_mix);
+
+    let mut report_losses: Vec<LossReport> = Vec::new();
+    let mut windows = 0u64;
+    let mut samples = 0u64;
+    let mut train_seconds = 0.0;
+    let mut owned_windows: Vec<u64> = Vec::new();
+    let mut orphaned_windows = 0u64;
+    let mut dropped_windows = 0u64;
+    let mut param_hashes: Vec<u64> = Vec::new();
+
+    let kill = plan.consumer_kill(rank);
+    let skips = plan.skip_ranges();
+    let mut seen = 0u64;
+    let mut kill_fired = false;
+    let mut ckpt: Option<LearnerCheckpoint> = None;
+    let mut last_capture: Option<u64> = None;
+    let mut lost_windows = 0u64;
+    let mut restarts = 0u64;
+    let mut recovery_seconds = 0.0;
+    let mut degradations = 0u64;
+    let mut members: Vec<usize> = (0..world).collect();
+
+    'stream: loop {
+        if plan.checkpoint_every > 0
+            && seen.is_multiple_of(plan.checkpoint_every)
+            && last_capture != Some(seen)
+        {
+            let progress = LearnerProgress {
+                windows,
+                samples,
+                owned_windows: owned_windows.clone(),
+                losses: report_losses.clone(),
+                param_hashes: param_hashes.clone(),
+            };
+            ckpt = Some(LearnerCheckpoint::capture(
+                &mut model, &opt, &buffer, &schedule, &enc_rng, &train_rng, &progress,
+            ));
+            last_capture = Some(seen);
+        }
+        if let Some((at, mode)) = kill {
+            if !kill_fired && seen == at {
+                kill_fired = true;
+                match mode {
+                    KillMode::Die => {
+                        // Self-mark before unwinding: the health board is
+                        // shared, so survivors fast-fail their pending
+                        // waits instead of burning the full budget.
+                        comm.mark_dead(rank);
+                        std::panic::panic_any(InjectedFault {
+                            rank,
+                            at_window: seen,
+                        });
+                    }
+                    KillMode::Restart => {
+                        let t0 = std::time::Instant::now();
+                        let c = ckpt
+                            .as_ref()
+                            .expect("ConsumerKill{Restart} needs checkpoint_every > 0");
+                        let live = windows;
+                        let progress = c.restore(
+                            &mut model,
+                            &mut opt,
+                            &mut buffer,
+                            &mut schedule,
+                            &mut enc_rng,
+                            &mut train_rng,
+                        );
+                        assert_eq!(
+                            progress.windows, live,
+                            "multi-rank kill-restart must land on a checkpoint boundary \
+                             (checkpoint_every must divide the kill window)"
+                        );
+                        lost_windows += live - progress.windows;
+                        windows = progress.windows;
+                        samples = progress.samples;
+                        owned_windows = progress.owned_windows;
+                        report_losses = progress.losses;
+                        param_hashes = progress.param_hashes;
+                        restarts += 1;
+                        recovery_seconds += t0.elapsed().as_secs_f64();
+                    }
+                }
+            }
+        }
+        // Membership round: agree on who is alive before any
+        // value-bearing collective of this window. A shrink is a
+        // degradation event — ownership, go/no-go threshold and loss
+        // divisor all re-derive from the surviving member list.
+        let now_alive = ft.members();
+        if now_alive.len() < members.len() {
+            degradations += 1;
+        }
+        members = now_alive;
+
+        let (mut p_it, mut r_it) = match cfg.policy {
+            ConsumerPolicy::BlockingEveryStep => {
+                let p_it = p_reader.next_iteration();
+                let r_it = r_reader.next_iteration();
+                match (p_it, r_it) {
+                    (Some(a), Some(b)) => (a, b),
+                    (None, None) => break,
+                    (Some(a), None) => {
+                        p_reader.close_iteration(a);
+                        orphaned_windows += 1 + drain_stream(&mut p_reader);
+                        break;
+                    }
+                    (None, Some(b)) => {
+                        r_reader.close_iteration(b);
+                        orphaned_windows += 1 + drain_stream(&mut r_reader);
+                        break;
+                    }
+                }
+            }
+            ConsumerPolicy::DropSteps { min_queue, .. } => {
+                // The elected root (lowest live rank) picks the target
+                // window and broadcasts its stream step; if the root died
+                // this round the election falls through to the next
+                // survivor, which reads its own stream instead.
+                let mut stash: Option<(u64, Option<IterationData>)> = None;
+                let (root, target) = ft.elect_broadcast(|| {
+                    let (skip, opt) = p_reader.next_iteration_latest_min(min_queue as u64);
+                    let t = opt.as_ref().map(|it| it.stream_step());
+                    stash = Some((skip, opt));
+                    t
+                });
+                let (p_skip, p_opt) = if rank == root {
+                    stash.take().expect("root stashed its read")
+                } else {
+                    match target {
+                        Some(t) => p_reader.next_iteration_at_least(t),
+                        None => (0, None),
+                    }
+                };
+                match pair_drop_steps_window(
+                    p_skip,
+                    p_opt,
+                    &mut p_reader,
+                    &mut r_reader,
+                    &mut dropped_windows,
+                    &mut orphaned_windows,
+                ) {
+                    Some(pair) => pair,
+                    None => break 'stream,
+                }
+            }
+        };
+        let arrival = seen;
+        seen += 1;
+        if skips.iter().any(|&(f, t)| arrival >= f && arrival <= t) {
+            p_reader.close_iteration(p_it);
+            r_reader.close_iteration(r_it);
+            lost_windows += 1;
+            continue 'stream;
+        }
+        let slot = windows;
+        windows += 1;
+        let owner = members[(slot % members.len() as u64) as usize];
+        if cfg.sample_broadcast {
+            let fresh = if rank == owner {
+                owned_windows.push(p_it.iteration);
+                encode_window(cfg, &mut p_it, &mut r_it, &mut enc_rng)
+            } else {
+                Vec::new()
+            };
+            if rank == owner {
+                let per_copy: u64 = fresh
+                    .iter()
+                    .map(|s| ((s.points.len() + s.spectrum.len()) * 4 + 16) as u64)
+                    .sum();
+                comm.account_broadcast_payload(owner, per_copy);
+            }
+            let shared = ft
+                .broadcast_from(owner, if rank == owner { Some(fresh) } else { None })
+                .unwrap_or_default();
+            samples += shared.len() as u64;
+            for s in shared {
+                buffer.push(s);
+            }
+        } else if rank == owner {
+            owned_windows.push(p_it.iteration);
+            let fresh = encode_window(cfg, &mut p_it, &mut r_it, &mut enc_rng);
+            samples += fresh.len() as u64;
+            for s in fresh {
+                buffer.push(s);
+            }
+        }
+        p_reader.close_iteration(p_it);
+        r_reader.close_iteration(r_it);
+
+        schedule.on_step();
+        while schedule.should_train() {
+            // Membership-aware go/no-go: every answering member must be
+            // able to draw a batch before a synchronous iteration runs.
+            let mut vote = [if buffer.ready() { 1.0f64 } else { 0.0 }];
+            let quorum = ft.allreduce_sum(&mut vote);
+            if (vote[0].round() as usize) < quorum {
+                break;
+            }
+            let t0 = std::time::Instant::now();
+            let batch = buffer.sample_batch();
+            let (points, spectra) = batch_to_tensors(&batch, &cfg.model);
+            model.zero_grad();
+            let local = model.accumulate_gradients(&points, &spectra, &mut train_rng);
+            // Same buckets as the legacy path; each bucket's live
+            // contributions are summed in canonical ring order, then
+            // averaged over the answering member count.
+            sync_gradients_with(&mut model, cfg.grad_bucket, |bucket| {
+                ft.allreduce_sum(bucket)
+            });
+            let loss = ft_mean_loss(&ft, &local);
+            opt.step(&mut model);
+            train_seconds += t0.elapsed().as_secs_f64();
+            report_losses.push(loss);
+            schedule.on_iteration();
+            let h = param_hash(&mut model);
+            let hashes = ft.exchange(h);
+            assert!(
+                hashes.values().all(|&x| x == h),
+                "FT DDP ranks diverged after iteration {}: {hashes:?}",
+                report_losses.len()
+            );
+            param_hashes.push(h);
+        }
+    }
+
+    recovery_seconds += ft.condemned_wait_seconds();
+    let particle_bytes = p_reader.stats().total_bytes();
+    let published_windows = p_reader.published_steps().max(r_reader.published_steps());
+    let hash = param_hash(&mut model);
+    ConsumerReport {
+        model,
+        losses: report_losses,
+        windows,
+        samples,
+        train_seconds,
+        particle_bytes,
+        rank,
+        world,
+        owned_windows,
+        orphaned_windows,
+        dropped_windows,
+        published_windows,
+        param_hash: hash,
+        param_hashes,
+        comm_bytes: comm.world_bytes_sent(),
+        comm_model_seconds: comm.modelled_comm_seconds(),
+        comm_messages: comm.world_messages_sent(),
+        lost_windows,
+        restarts,
+        recovery_seconds,
+        degradations,
+        world_after: members.len(),
+    }
+}
+
+/// Rank-mean of every loss component over the answering members (the
+/// fault-tolerant twin of `mean_loss`; identical result while every
+/// rank is alive).
+fn ft_mean_loss<C: Collective>(ft: &FtComm<'_, C>, local: &LossReport) -> LossReport {
+    let mut buf = [
+        local.cd,
+        local.kl,
+        local.mse,
+        local.mmd_z,
+        local.mmd_n,
+        local.total,
+    ];
+    let n = ft.allreduce_sum(&mut buf);
+    let inv = 1.0 / n as f64;
+    LossReport {
+        cd: buf[0] * inv,
+        kl: buf[1] * inv,
+        mse: buf[2] * inv,
+        mmd_z: buf[3] * inv,
+        mmd_n: buf[4] * inv,
+        total: buf[5] * inv,
     }
 }
 

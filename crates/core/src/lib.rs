@@ -42,7 +42,9 @@
 //!   [`config::ConsumerPolicy::BlockingEveryStep`] consumes in order,
 //!   [`config::ConsumerPolicy::DropSteps`] always takes the freshest
 //!   window and counts the skipped ones — per rank,
-//!   `windows + dropped + orphaned == published`, always. With
+//!   `windows + dropped + orphaned + lost == published`, always (`lost`
+//!   counts windows destroyed by injected faults: checkpoint rollback,
+//!   skip events, rank death — zero on a healthy run). With
 //!   `WorkflowConfig::sample_broadcast` the owner shares its encoded
 //!   samples with every peer rank.
 //! - **DDP invariant**: synchronous training with bucketed gradient
@@ -63,23 +65,33 @@
 //! sequences — and per-group collective traffic is surfaced as
 //! `WorkflowReport::{producer_comm_bytes, consumer_comm_bytes}`.
 
+pub mod checkpoint;
 pub mod config;
 pub mod consumer;
 pub mod encode;
 pub mod eval;
+pub mod faults;
+pub mod ft;
 pub mod noop;
 pub mod producer;
 pub mod workflow;
 
+pub use checkpoint::{LearnerCheckpoint, LearnerProgress};
 pub use config::{CommBackend, ConsumerPolicy, Placement, WorkflowConfig};
 pub use encode::{EncodeConfig, Sample};
 pub use eval::InversionEval;
-pub use workflow::{run_workflow, ConsumerSummary, WorkflowReport};
+pub use faults::{FaultEvent, FaultPlan, InjectedFault, KillMode, StreamId};
+pub use ft::FtComm;
+pub use workflow::{run_workflow, ConsumerSummary, RankFailure, RankGroup, WorkflowReport};
 
 pub mod prelude {
     //! Common imports for workflow consumers.
+    pub use crate::checkpoint::{LearnerCheckpoint, LearnerProgress};
     pub use crate::config::{CommBackend, ConsumerPolicy, Placement, WorkflowConfig};
     pub use crate::encode::{EncodeConfig, Sample};
     pub use crate::eval::InversionEval;
-    pub use crate::workflow::{run_workflow, ConsumerSummary, WorkflowReport};
+    pub use crate::faults::{FaultEvent, FaultPlan, InjectedFault, KillMode, StreamId};
+    pub use crate::workflow::{
+        run_workflow, ConsumerSummary, RankFailure, RankGroup, WorkflowReport,
+    };
 }

@@ -19,6 +19,7 @@
 //!   ranks by superposition (allreduce) before rank 0 emits the spectra.
 
 use crate::config::WorkflowConfig;
+use crate::faults::StreamId;
 use as_cluster::collective::Collective;
 use as_openpmd::attribute::{UnitDimension, Value};
 use as_openpmd::writer::OpenPmdWriter;
@@ -60,7 +61,7 @@ pub struct ProducerReport {
 }
 
 impl ProducerReport {
-    fn zero() -> Self {
+    pub(crate) fn zero() -> Self {
         Self {
             steps: 0,
             windows: 0,
@@ -102,6 +103,26 @@ fn finish_report(report: &mut ProducerReport, pw: &OpenPmdWriter, rw: &OpenPmdWr
     report.stall_seconds = pw.stall_seconds() + rw.stall_seconds();
 }
 
+/// Arm the plan's producer-side faults on the stream writers. A
+/// [`crate::faults::FaultEvent::ProducerCrash`] truncates *both* streams
+/// at the same window (a clean, synchronized EOF); a
+/// [`crate::faults::FaultEvent::TruncateStream`] truncates one stream
+/// only (the out-of-sync EOF that produces orphaned windows on the
+/// consumer side). Windows and SST steps coincide: the producers emit
+/// exactly one stream step per window, in order.
+fn arm_faults(cfg: &WorkflowConfig, pw: &mut OpenPmdWriter, rw: &mut OpenPmdWriter) {
+    if let Some(w) = cfg.faults.producer_crash_window() {
+        pw.arm_truncate(w);
+        rw.arm_truncate(w);
+    }
+    if let Some(s) = cfg.faults.stream_truncation(StreamId::Particle) {
+        pw.arm_truncate(s);
+    }
+    if let Some(s) = cfg.faults.stream_truncation(StreamId::Radiation) {
+        rw.arm_truncate(s);
+    }
+}
+
 /// Run the single-domain producer to completion (the legacy 1×1 path).
 pub fn run_producer(
     cfg: &WorkflowConfig,
@@ -112,6 +133,7 @@ pub fn run_producer(
     let mut radiation = flow_regions(cfg);
     let mut pw = OpenPmdWriter::new(particle_stream);
     let mut rw = OpenPmdWriter::new(radiation_stream);
+    arm_faults(cfg, &mut pw, &mut rw);
 
     let mut report = ProducerReport::zero();
 
@@ -127,6 +149,12 @@ pub fn run_producer(
             let n = sim.species[0].len() as u64;
             emit_window(cfg, &sim, &mut radiation, &mut pw, &mut rw, n, 0);
             report.emit_seconds += t1.elapsed().as_secs_f64();
+            // An armed truncation firing inside the emit means this
+            // window (on at least one stream) never published: the
+            // producer "crashed" here. Stop emitting.
+            if pw.is_truncated() || rw.is_truncated() {
+                break;
+            }
             report.windows += 1;
         }
     }
@@ -152,6 +180,7 @@ pub fn run_sharded_producer<C: Collective>(
     let mut radiation = flow_regions(cfg);
     let mut pw = OpenPmdWriter::new(particle_stream);
     let mut rw = OpenPmdWriter::new(radiation_stream);
+    arm_faults(cfg, &mut pw, &mut rw);
 
     let mut report = ProducerReport::zero();
 
@@ -190,6 +219,12 @@ pub fn run_sharded_producer<C: Collective>(
                 offset,
             );
             report.emit_seconds += t1.elapsed().as_secs_f64();
+            // Every rank armed the same truncation step, so all shards
+            // take this break on the same window — the group "crashes"
+            // together and the DistributedSim collectives stay aligned.
+            if pw.is_truncated() || rw.is_truncated() {
+                break;
+            }
             report.windows += 1;
         }
     }

@@ -39,33 +39,89 @@
 //! [`ConsumerSummary::dropped_windows`] accounts for the rest
 //! (`windows + dropped + orphaned = published` on every rank).
 //!
-//! Fault tolerance is asymmetric: a consumer drains and reports streams
-//! that end out of sync (a 1×1 producer dying mid-window), but with
-//! M > 1 or K > 1 the ranks of a group are coupled through blocking
-//! collectives (no backend implements failure detection), so a rank
-//! dying mid-collective hangs its surviving peers
-//! rather than degrading gracefully. Real-MPI failure semantics are out
-//! of scope here — the Communicator would need timeouts/health checks
-//! first.
+//! Fault tolerance is opt-in via [`WorkflowConfig::faults`] (a
+//! [`crate::faults::FaultPlan`]). With an **active** plan the driver:
+//! arms every collective world with the plan's deterministic message
+//! chaos (seeded drop/delay/duplicate — chaos only *delays* traffic);
+//! routes consumers through the fault-tolerant drivers
+//! ([`crate::consumer::run_consumer_ft`] /
+//! [`crate::consumer::run_ddp_consumer_ft`]: learner
+//! checkpoint/restart, membership-aware collectives that condemn a
+//! silent rank within a bounded budget and re-form the shrunk group);
+//! opens **monitored** streams so windows stranded behind a dead rank's
+//! departed readers are counted into [`WorkflowReport::lost_windows`];
+//! and captures rank panics (injected kills included) as
+//! [`RankFailure`] entries instead of tearing down the orchestrator.
+//! With the default inert plan the legacy zero-overhead paths run
+//! bit-for-bit.
 
 use crate::config::{CommBackend, Placement, WorkflowConfig};
-use crate::consumer::{run_consumer, run_ddp_consumer, ConsumerReport};
+use crate::consumer::{
+    run_consumer, run_consumer_ft, run_ddp_consumer, run_ddp_consumer_ft, ConsumerReport,
+};
+use crate::faults::InjectedFault;
 use crate::producer::{run_producer, run_sharded_producer, ProducerReport};
 use as_cluster::collective::{Collective, NetModel, SimNetComm};
 use as_cluster::comm::CommWorld;
-use as_staging::engine::{open_stream, StreamConfig};
+use as_staging::engine::{open_stream_monitored, StreamConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Which side of the coupled workflow a collective world serves — the
 /// netsim backend places the two groups on modelled nodes according to
 /// [`Placement`], so producer and consumer worlds may get different
 /// node maps (and, inter-node, provably disjoint node sets).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RankGroup {
+pub enum RankGroup {
     /// The M simulation slab ranks.
     Producer,
     /// The K DDP learner ranks (the dedicated gradient world of the
     /// overlap mode counts as this group too — same ranks, same nodes).
     Consumer,
+}
+
+/// A rank that terminated by panic instead of returning its report. The
+/// driver captures the unwind at the join point (or around the inline
+/// rank 0), so one dead rank never tears down the whole workflow.
+#[derive(Debug, Clone)]
+pub struct RankFailure {
+    /// Which side of the coupled workflow the rank belonged to.
+    pub group: RankGroup,
+    /// The rank within its group.
+    pub rank: usize,
+    /// True when the panic payload was an [`InjectedFault`] — a
+    /// scheduled [`crate::faults::KillMode::Die`] rather than a bug.
+    pub injected: bool,
+    /// Human-readable panic message.
+    pub message: String,
+}
+
+/// Classify a join-point panic payload into a [`RankFailure`].
+fn failure_of(
+    group: RankGroup,
+    rank: usize,
+    payload: Box<dyn std::any::Any + Send>,
+) -> RankFailure {
+    if let Some(f) = payload.downcast_ref::<InjectedFault>() {
+        return RankFailure {
+            group,
+            rank: f.rank,
+            injected: true,
+            message: format!("injected kill at window {}", f.at_window),
+        };
+    }
+    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "rank panicked (non-string payload)".to_string()
+    };
+    RankFailure {
+        group,
+        rank,
+        injected: false,
+        message,
+    }
 }
 
 /// Per-consumer-rank digest (the full [`ConsumerReport`] of rank 0 is
@@ -95,7 +151,7 @@ pub struct ConsumerSummary {
     /// [`crate::config::ConsumerPolicy::DropSteps`].
     pub dropped_windows: u64,
     /// Windows the producer published on this rank's streams; equals
-    /// `windows + dropped_windows + orphaned_windows`.
+    /// `windows + dropped_windows + orphaned_windows + lost_windows`.
     pub published_windows: u64,
     /// Learner-group collective payload bytes observed at this rank's
     /// exit (world-wide counter; equal-ish across ranks — take the max).
@@ -105,6 +161,19 @@ pub struct ConsumerSummary {
     /// Point-to-point messages the learner group's collectives sent
     /// (world-wide counter, like `comm_bytes` — take the max).
     pub comm_messages: u64,
+    /// Windows lost to faults at this rank (rolled back past a restart
+    /// or skipped by a scheduled [`crate::faults::FaultEvent`]).
+    pub lost_windows: u64,
+    /// Checkpoint restores performed after an injected kill.
+    pub restarts: u64,
+    /// Wall seconds spent in recovery: checkpoint restores plus waiting
+    /// out death budgets on peers that were then condemned.
+    pub recovery_seconds: f64,
+    /// Learner-group shrink events this rank witnessed.
+    pub degradations: u64,
+    /// Live member count when this rank exited (equals the starting
+    /// world size in an unfaulted run).
+    pub world_after: usize,
 }
 
 impl ConsumerSummary {
@@ -124,6 +193,11 @@ impl ConsumerSummary {
             comm_bytes: report.comm_bytes,
             comm_model_seconds: report.comm_model_seconds,
             comm_messages: report.comm_messages,
+            lost_windows: report.lost_windows,
+            restarts: report.restarts,
+            recovery_seconds: report.recovery_seconds,
+            degradations: report.degradations,
+            world_after: report.world_after,
         }
     }
 }
@@ -139,10 +213,22 @@ pub struct WorkflowReport {
     /// Consumer rank 0's measurements (includes the trained model; under
     /// DDP every rank's model is bit-identical to this one).
     pub consumer: ConsumerReport,
-    /// Per-rank consumer digests, in rank order (rank 0 included).
+    /// Per-rank consumer digests, in rank order — only ranks that
+    /// returned a report (a rank that died past its retry budget shows
+    /// up in [`WorkflowReport::failures`] instead).
     pub consumer_summaries: Vec<ConsumerSummary>,
     /// Wall seconds for the whole coupled run.
     pub wall_seconds: f64,
+    /// Ranks that terminated by panic instead of returning a report
+    /// (injected kills included), in discovery order.
+    pub failures: Vec<RankFailure>,
+    /// Learner-group shrink events (max over surviving ranks — every
+    /// survivor witnesses the same membership transitions).
+    pub degradations: u64,
+    /// Windows lost to faults across the learner group: rolled back
+    /// past a restart, skipped by schedule, or stranded unread behind a
+    /// dead rank's departed stream readers.
+    pub lost_windows: u64,
 }
 
 impl WorkflowReport {
@@ -269,9 +355,18 @@ fn aggregate_producer(reports: &[ProducerReport]) -> ProducerReport {
 /// is generic over [`Collective`].
 pub fn run_workflow(cfg: &WorkflowConfig) -> WorkflowReport {
     let algo = cfg.collective_algo;
+    // An active fault plan arms every world with tolerant endpoints and
+    // the plan's deterministic message chaos; an inert plan keeps the
+    // legacy zero-overhead transport.
+    let faults = if cfg.faults.active() {
+        Some(cfg.faults.comm_faults())
+    } else {
+        None
+    };
     match cfg.backend {
-        CommBackend::InProcess => run_workflow_on(cfg, move |n, _group| {
-            CommWorld::with_algo(n, algo).into_endpoints()
+        CommBackend::InProcess => run_workflow_on(cfg, move |n, _group| match faults.clone() {
+            Some(f) => CommWorld::with_faults(n, algo, f).into_endpoints(),
+            None => CommWorld::with_algo(n, algo).into_endpoints(),
         }),
         CommBackend::NetSim {
             machine,
@@ -301,18 +396,21 @@ pub fn run_workflow(cfg: &WorkflowConfig) -> WorkflowReport {
                         },
                     ),
                 };
-                SimNetComm::world_with_algo(
+                let model = NetModel::from_machine_placed(
+                    &machine,
                     n,
-                    NetModel::from_machine_placed(
-                        &machine,
-                        n,
-                        group_ranks_per_node,
-                        gpus,
-                        node_offset,
-                        time_scale,
+                    group_ranks_per_node,
+                    gpus,
+                    node_offset,
+                    time_scale,
+                );
+                match faults.clone() {
+                    Some(f) => SimNetComm::wrap_world(
+                        CommWorld::with_faults(n, algo, f).into_endpoints(),
+                        model,
                     ),
-                    algo,
-                )
+                    None => SimNetComm::world_with_algo(n, model, algo),
+                }
             })
         }
     }
@@ -328,14 +426,17 @@ where
     cfg.validate_topology();
     let m = cfg.producers;
     let k = cfg.consumers;
+    let ft_active = cfg.faults.active();
     let stream_cfg = StreamConfig {
         writers: m,
         readers: k,
         queue_limit: cfg.effective_queue_limit(),
         plane: cfg.plane,
     };
-    let (pw, mut pr) = open_stream(stream_cfg);
-    let (rw, mut rr) = open_stream(stream_cfg);
+    // Monitored streams: the monitors survive the run and report the
+    // windows a dead rank's departed readers left unconsumed.
+    let (pw, mut pr, p_monitor) = open_stream_monitored(stream_cfg);
+    let (rw, mut rr, _r_monitor) = open_stream_monitored(stream_cfg);
 
     let t0 = std::time::Instant::now();
 
@@ -364,11 +465,23 @@ where
     // Consumer side: rank 0 inline, ranks 1..K on threads. The overlap
     // mode gets a second, dedicated world for the gradient comm-worker
     // threads (one endpoint per rank, mirroring the main world).
-    let (rank0, mut peer_reports) = if k == 1 {
-        (run_consumer(cfg, pr.remove(0), rr.remove(0)), Vec::new())
+    let mut failures: Vec<RankFailure> = Vec::new();
+    let (rank0_result, peer_results) = if k == 1 {
+        let (pr0, rr0) = (pr.remove(0), rr.remove(0));
+        let r0 = catch_unwind(AssertUnwindSafe(|| {
+            if ft_active {
+                run_consumer_ft(cfg, pr0, rr0)
+            } else {
+                run_consumer(cfg, pr0, rr0)
+            }
+        }));
+        (r0, Vec::new())
     } else {
         let mut endpoints = make_world(k, RankGroup::Consumer);
-        let mut grad_endpoints: Vec<Option<C>> = if cfg.overlap_grad_sync {
+        // The FT path runs its gradient sync on the main world (no
+        // comm-worker), so the dedicated gradient world only exists on
+        // the legacy overlapped path.
+        let mut grad_endpoints: Vec<Option<C>> = if cfg.overlap_grad_sync && !ft_active {
             make_world(k, RankGroup::Consumer)
                 .into_iter()
                 .map(Some)
@@ -385,27 +498,73 @@ where
             .zip(pr.into_iter().zip(rr))
             .map(|((comm, grad), (pr_i, rr_i))| {
                 let consumer_cfg = cfg.clone();
-                std::thread::spawn(move || run_ddp_consumer(&consumer_cfg, comm, grad, pr_i, rr_i))
+                std::thread::spawn(move || {
+                    if consumer_cfg.faults.active() {
+                        run_ddp_consumer_ft(&consumer_cfg, comm, pr_i, rr_i)
+                    } else {
+                        run_ddp_consumer(&consumer_cfg, comm, grad, pr_i, rr_i)
+                    }
+                })
             })
             .collect();
-        let rank0 = run_ddp_consumer(cfg, comm0, grad0, pr0, rr0);
-        let peers: Vec<ConsumerReport> = peer_handles
-            .into_iter()
-            .map(|h| h.join().expect("consumer rank panicked"))
-            .collect();
+        let rank0 = catch_unwind(AssertUnwindSafe(|| {
+            if ft_active {
+                run_ddp_consumer_ft(cfg, comm0, pr0, rr0)
+            } else {
+                run_ddp_consumer(cfg, comm0, grad0, pr0, rr0)
+            }
+        }));
+        let peers: Vec<_> = peer_handles.into_iter().map(|h| h.join()).collect();
         (rank0, peers)
     };
 
-    let producers: Vec<ProducerReport> = producer_handles
-        .into_iter()
-        .map(|h| h.join().expect("producer rank panicked"))
-        .collect();
+    let mut peer_reports: Vec<ConsumerReport> = Vec::new();
+    for (i, res) in peer_results.into_iter().enumerate() {
+        match res {
+            Ok(r) => peer_reports.push(r),
+            Err(p) => failures.push(failure_of(RankGroup::Consumer, i + 1, p)),
+        }
+    }
+    let (rank0, rank0_alive) = match rank0_result {
+        Ok(r) => (r, true),
+        Err(p) => {
+            failures.push(failure_of(RankGroup::Consumer, 0, p));
+            (placeholder_consumer_report(cfg, k), false)
+        }
+    };
+
+    let mut producers: Vec<ProducerReport> = Vec::new();
+    for (i, h) in producer_handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(r) => producers.push(r),
+            Err(p) => failures.push(failure_of(RankGroup::Producer, i, p)),
+        }
+    }
+    if producers.is_empty() {
+        producers.push(ProducerReport::zero());
+    }
     let wall_seconds = t0.elapsed().as_secs_f64();
 
-    let mut consumer_summaries = vec![ConsumerSummary::of(&rank0)];
+    let mut consumer_summaries: Vec<ConsumerSummary> = Vec::new();
+    if rank0_alive {
+        consumer_summaries.push(ConsumerSummary::of(&rank0));
+    }
     consumer_summaries.extend(peer_reports.iter().map(ConsumerSummary::of));
     peer_reports.clear(); // peers' models are bit-identical to rank 0's
     consumer_summaries.sort_by_key(|s| s.rank);
+
+    let degradations = consumer_summaries
+        .iter()
+        .map(|s| s.degradations)
+        .max()
+        .unwrap_or(0);
+    // Lost windows: what survivors rolled back or skipped, plus what a
+    // dead rank's departed readers left unconsumed on its streams.
+    let lost_windows = consumer_summaries
+        .iter()
+        .map(|s| s.lost_windows)
+        .sum::<u64>()
+        + p_monitor.departed_lost();
 
     WorkflowReport {
         producer: aggregate_producer(&producers),
@@ -413,6 +572,39 @@ where
         consumer: rank0,
         consumer_summaries,
         wall_seconds,
+        failures,
+        degradations,
+        lost_windows,
+    }
+}
+
+/// Stand-in report for a consumer rank 0 that died and never returned:
+/// a fresh (untrained) model and all-zero counters, so the report shape
+/// survives while [`WorkflowReport::failures`] records the death.
+fn placeholder_consumer_report(cfg: &WorkflowConfig, world: usize) -> ConsumerReport {
+    ConsumerReport {
+        model: as_nn::model::ArtificialScientistModel::new(cfg.model.clone(), cfg.seed),
+        losses: Vec::new(),
+        windows: 0,
+        samples: 0,
+        train_seconds: 0.0,
+        particle_bytes: 0,
+        rank: 0,
+        world,
+        owned_windows: Vec::new(),
+        orphaned_windows: 0,
+        dropped_windows: 0,
+        published_windows: 0,
+        param_hash: 0,
+        param_hashes: Vec::new(),
+        comm_bytes: 0,
+        comm_model_seconds: 0.0,
+        comm_messages: 0,
+        lost_windows: 0,
+        restarts: 0,
+        recovery_seconds: 0.0,
+        degradations: 0,
+        world_after: 0,
     }
 }
 

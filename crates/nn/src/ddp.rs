@@ -118,6 +118,36 @@ pub fn sync_gradients_bucketed<C: Collective>(
     write_back_averaged(model, &reduced, comm.size());
 }
 
+/// Bucketed gradient averaging with a caller-supplied reducer — the
+/// fault-tolerant entry point. `reduce` receives each bucket (cut by the
+/// **same** deterministic schedule as [`sync_gradients_bucketed`]) and
+/// must return the number of contributions it summed (the divisor for
+/// that bucket's average) — a shrunk post-degradation world returns its
+/// surviving-rank count.
+///
+/// When `reduce` performs the same summation as the healthy all-reduce
+/// and returns the full world size, the averaged gradients are
+/// **bit-identical** to [`sync_gradients_bucketed`]: the per-bucket
+/// `× 1/n` here is the same single f32 multiply the legacy write-back
+/// applies (and the final write-back multiplies by `1/1 = 1.0`, which is
+/// exact for finite values).
+pub fn sync_gradients_with(
+    model: &mut ArtificialScientistModel,
+    bucket_elems: usize,
+    mut reduce: impl FnMut(&mut Vec<f32>) -> usize,
+) {
+    let mut reduced: Vec<f32> = Vec::new();
+    for_each_grad_bucket(model, bucket_elems, |mut bucket| {
+        let n = reduce(&mut bucket).max(1);
+        let inv = 1.0 / n as f32;
+        for v in &mut bucket {
+            *v *= inv;
+        }
+        reduced.extend_from_slice(&bucket);
+    });
+    write_back_averaged(model, &reduced, 1);
+}
+
 /// Walk the model's gradients in the fixed `visit_all` flatten order,
 /// handing `sink` one owned bucket of `bucket_elems` values at a time
 /// (the last bucket may be shorter). This is **the** bucket schedule:

@@ -47,7 +47,7 @@ pub mod vae;
 pub use inn::{CouplingBlock, Inn};
 pub use layers::{Activation, Linear, Mlp};
 pub use model::{ArtificialScientistModel, LossReport, ModelConfig};
-pub use optim::{Adam, AdamConfig, ParamVisitor};
+pub use optim::{Adam, AdamConfig, AdamState, ParamVisitor};
 pub use vae::{Decoder, Encoder, Vae};
 
 pub mod prelude {

@@ -68,6 +68,20 @@ impl AdamConfig {
     }
 }
 
+/// Snapshot of an [`Adam`] instance's mutable state — step count and
+/// per-parameter moment vectors in visitation order. The learner
+/// checkpoint (`as-core`) captures one per parameter group so a
+/// restarted rank resumes the optimiser trajectory bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamState {
+    /// Completed `step` calls (drives bias correction).
+    pub step: u64,
+    /// First-moment estimates, one vector per visited parameter.
+    pub m: Vec<Vec<f32>>,
+    /// Second-moment estimates, one vector per visited parameter.
+    pub v: Vec<Vec<f32>>,
+}
+
 /// Adam optimiser with decoupled weight decay (AdamW-style).
 ///
 /// State is kept per visited parameter in visitation order, so the same
@@ -105,6 +119,25 @@ impl Adam {
     /// Number of `step` calls so far.
     pub fn steps(&self) -> u64 {
         self.step
+    }
+
+    /// Snapshot the optimiser's mutable state (checkpoint capture).
+    pub fn state(&self) -> AdamState {
+        AdamState {
+            step: self.step,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Restore a snapshot taken with [`Adam::state`]. The next `step`
+    /// continues the bias-correction schedule and moment streams exactly
+    /// where the snapshot left them.
+    pub fn restore(&mut self, s: AdamState) {
+        self.step = s.step;
+        self.m = s.m;
+        self.v = s.v;
+        self.cursor = 0;
     }
 
     /// Apply one update. Call as

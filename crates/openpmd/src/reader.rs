@@ -119,15 +119,44 @@ impl IterationData {
         self.step.get_f64(&format!("meshes/{record}/{component}"))
     }
 
+    /// Fallible twin of [`Self::mesh`] for fault-tolerant consumers.
+    pub fn try_mesh(
+        &mut self,
+        record: &str,
+        component: &str,
+    ) -> Result<Vec<f64>, as_staging::error::StagingError> {
+        self.step
+            .try_get_f64(&format!("meshes/{record}/{component}"))
+    }
+
     /// Fetch a full particle record component.
     pub fn particles(&mut self, species: &str, record: &str, component: &str) -> Vec<f64> {
         self.step
             .get_f64(&format!("particles/{species}/{record}/{component}"))
     }
 
+    /// Fallible twin of [`Self::particles`] for fault-tolerant consumers.
+    pub fn try_particles(
+        &mut self,
+        species: &str,
+        record: &str,
+        component: &str,
+    ) -> Result<Vec<f64>, as_staging::error::StagingError> {
+        self.step
+            .try_get_f64(&format!("particles/{species}/{record}/{component}"))
+    }
+
     /// Fetch an auxiliary `f32` array (e.g. encoded radiation spectra).
     pub fn f32_array(&mut self, name: &str) -> Vec<f32> {
         self.step.get_f32(name)
+    }
+
+    /// Fallible twin of [`Self::f32_array`] for fault-tolerant consumers.
+    pub fn try_f32_array(
+        &mut self,
+        name: &str,
+    ) -> Result<Vec<f32>, as_staging::error::StagingError> {
+        self.step.try_get_f32(name)
     }
 
     /// Variable names available in this iteration.

@@ -129,6 +129,19 @@ impl OpenPmdWriter {
         self.sst.rank()
     }
 
+    /// Arm deterministic stream truncation at SST step `at_step`
+    /// (fault injection: the stream closes there and later iterations
+    /// become inert no-ops — see
+    /// [`as_staging::engine::SstWriter::arm_truncate`]).
+    pub fn arm_truncate(&mut self, at_step: u64) {
+        self.sst.arm_truncate(at_step);
+    }
+
+    /// True once an armed truncation has fired.
+    pub fn is_truncated(&self) -> bool {
+        self.sst.is_truncated()
+    }
+
     /// Total payload bytes this rank has published on the stream.
     pub fn bytes_published(&self) -> u64 {
         self.sst.stats.total_bytes()

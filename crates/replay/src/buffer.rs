@@ -35,6 +35,25 @@ impl BufferConfig {
     }
 }
 
+/// Snapshot of a [`TrainingBuffer`]'s full mutable state — contents of
+/// both buffers, the eviction/sampling RNG stream position, and the
+/// counters. Captured into the learner checkpoint so a restarted rank
+/// resumes with the identical buffer population *and* the identical
+/// future sampling sequence.
+#[derive(Debug, Clone)]
+pub struct BufferState<S> {
+    /// Now-buffer contents, most recent first.
+    pub now: Vec<S>,
+    /// EP-buffer contents, storage order.
+    pub ep: Vec<S>,
+    /// Raw xoshiro256++ state of the eviction/sampling RNG.
+    pub rng: [u64; 4],
+    /// Samples received so far.
+    pub received: u64,
+    /// EP evictions so far.
+    pub evicted: u64,
+}
+
 /// The training buffer over samples of type `S`.
 #[derive(Debug)]
 pub struct TrainingBuffer<S> {
@@ -130,6 +149,29 @@ impl<S: Clone> TrainingBuffer<S> {
             }
         }
         batch
+    }
+
+    /// Snapshot the buffer's full mutable state (checkpoint capture).
+    pub fn state(&self) -> BufferState<S> {
+        BufferState {
+            now: self.now.iter().cloned().collect(),
+            ep: self.ep.clone(),
+            rng: self.rng.state(),
+            received: self.received,
+            evicted: self.evicted,
+        }
+    }
+
+    /// Restore a snapshot taken with [`TrainingBuffer::state`]. The
+    /// configured capacities stay as constructed; contents, counters and
+    /// the RNG stream position come from the snapshot, so subsequent
+    /// pushes and batches replay exactly as they would have.
+    pub fn restore(&mut self, s: BufferState<S>) {
+        self.now = s.now.into_iter().collect();
+        self.ep = s.ep;
+        self.rng = StdRng::from_state(s.rng);
+        self.received = s.received;
+        self.evicted = s.evicted;
     }
 
     /// Immutable view of the now-buffer (most recent first).

@@ -76,6 +76,18 @@ impl ReplaySchedule {
         self.iterations_done
     }
 
+    /// `(steps_received, iterations_done)` — the schedule's mutable
+    /// state, for checkpoint capture.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.steps_received, self.iterations_done)
+    }
+
+    /// Restore counters captured with [`ReplaySchedule::counts`].
+    pub fn restore_counts(&mut self, steps: u64, iterations: u64) {
+        self.steps_received = steps;
+        self.iterations_done = iterations;
+    }
+
     /// Achieved iterations-per-step ratio.
     pub fn achieved_ratio(&self) -> f64 {
         if self.steps_received == 0 {

@@ -42,6 +42,16 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::recv_timeout`]: either the deadline
+    /// elapsed with the queue still empty, or the channel disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline elapsed before a message arrived.
+        Timeout,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
     /// Create an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = std::sync::mpsc::channel();
@@ -73,6 +83,21 @@ pub mod channel {
                 .try_recv()
                 .map_err(|_| RecvError)
         }
+
+        /// Blocking receive with a deadline — the primitive the
+        /// fault-tolerant communicator builds its per-op timeouts on.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .recv_timeout(timeout)
+                .map_err(|e| match e {
+                    std::sync::mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                    std::sync::mpsc::RecvTimeoutError::Disconnected => {
+                        RecvTimeoutError::Disconnected
+                    }
+                })
+        }
     }
 
     #[cfg(test)]
@@ -95,6 +120,17 @@ pub mod channel {
             let (tx, rx) = unbounded::<u8>();
             drop(tx);
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn recv_timeout_distinguishes_empty_from_dead() {
+            let (tx, rx) = unbounded::<u8>();
+            let t = std::time::Duration::from_millis(5);
+            assert_eq!(rx.recv_timeout(t), Err(RecvTimeoutError::Timeout));
+            tx.send(9).unwrap();
+            assert_eq!(rx.recv_timeout(t), Ok(9));
+            drop(tx);
+            assert_eq!(rx.recv_timeout(t), Err(RecvTimeoutError::Disconnected));
         }
     }
 }

@@ -27,6 +27,18 @@
 //!   published step without fetching its payload (`DropSteps`). Skipping
 //!   counts as closing, so a dropped step releases its queue slot — and
 //!   the writer's back-pressure — immediately.
+//!
+//! # Failure semantics
+//!
+//! A reader that is dropped (its rank died) *departs*: its close vote is
+//! implied for every current and future step, so surviving readers and
+//! writers never deadlock on a dead rank's unclosed steps. The
+//! [`StreamMonitor`] from [`open_stream_monitored`] reports how many
+//! published steps a departed reader never consumed. A writer can be
+//! armed to *truncate* ([`SstWriter::arm_truncate`]): from the trigger
+//! step on, its puts turn inert and the stream closes — modelling a
+//! producer crash mid-stream, readers drain what was published and see a
+//! clean EOF.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -35,6 +47,7 @@ use std::sync::Arc;
 use parking_lot::{Condvar, Mutex};
 
 use crate::dataplane::DataPlane;
+use crate::error::StagingError;
 use crate::stats::ThroughputRecorder;
 use crate::variable::{
     bytes_to_f32, bytes_to_f64, f32_to_bytes, f64_to_bytes, Block, Dtype, VariableMeta,
@@ -79,8 +92,12 @@ struct StreamState {
     end_arrivals: HashMap<u64, usize>,
     /// Published, not yet fully-closed steps (FIFO).
     queue: VecDeque<Arc<StepData>>,
-    /// Readers that closed a given step.
-    closed: HashMap<u64, usize>,
+    /// Per-step bitmask of reader ranks that closed it.
+    closed: HashMap<u64, u64>,
+    /// Bitmask of reader ranks that departed (endpoint dropped).
+    departed: u64,
+    /// Cursor each departed reader held at departure, keyed by rank.
+    departed_cursors: HashMap<usize, u64>,
     /// Total published steps.
     published: u64,
     /// Writers that closed the stream entirely.
@@ -94,17 +111,89 @@ struct StreamCore {
 }
 
 impl StreamCore {
-    /// Register one reader's close of `step` under the held lock; when the
-    /// last reader arrives the step is retired from the queue, releasing
-    /// its slot (and any writer blocked on the queue limit).
-    fn close_step_locked(&self, st: &mut StreamState, step: u64) {
-        let closed = st.closed.entry(step).or_insert(0);
-        *closed += 1;
-        if *closed == self.cfg.readers {
+    /// Bitmask covering every reader rank.
+    fn readers_mask(&self) -> u64 {
+        if self.cfg.readers >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.cfg.readers) - 1
+        }
+    }
+
+    /// Register reader `rank`'s close of `step` under the held lock; once
+    /// every reader rank has closed the step — or departed, which implies
+    /// its vote — the step is retired from the queue, releasing its slot
+    /// (and any writer blocked on the queue limit).
+    fn close_step_locked(&self, st: &mut StreamState, step: u64, rank: usize) {
+        let full = self.readers_mask();
+        let mask = st.closed.entry(step).or_insert(0);
+        *mask |= 1u64 << rank;
+        if (*mask | st.departed) & full == full {
             st.closed.remove(&step);
             st.queue.retain(|s| s.step != step);
             self.cond.notify_all();
         }
+    }
+
+    /// Retire every queued step whose close votes plus departed readers
+    /// cover the full reader set. Called when a reader departs (its
+    /// implied votes may complete older steps) and on publish while
+    /// readers are departed (a step may be born fully covered).
+    fn retire_covered_locked(&self, st: &mut StreamState) {
+        if st.departed == 0 {
+            return;
+        }
+        let full = self.readers_mask();
+        let covered: Vec<u64> = st
+            .queue
+            .iter()
+            .map(|s| s.step)
+            .filter(|step| (st.closed.get(step).copied().unwrap_or(0) | st.departed) & full == full)
+            .collect();
+        if covered.is_empty() {
+            return;
+        }
+        for step in &covered {
+            st.closed.remove(step);
+        }
+        st.queue.retain(|s| !covered.contains(&s.step));
+        self.cond.notify_all();
+    }
+}
+
+/// Out-of-band observer of a stream's health, returned by
+/// [`open_stream_monitored`]. Not a reader: it casts no close votes and
+/// holding it never blocks retirement.
+pub struct StreamMonitor {
+    core: Arc<StreamCore>,
+}
+
+impl StreamMonitor {
+    /// Total steps published so far.
+    pub fn published(&self) -> u64 {
+        self.core.state.lock().published
+    }
+
+    /// Number of reader ranks that departed (dropped their endpoint).
+    pub fn departed_readers(&self) -> u64 {
+        self.core.state.lock().departed.count_ones() as u64
+    }
+
+    /// Published steps departed readers never consumed, summed over all
+    /// departed readers against the *current* published count (grows if
+    /// writers keep publishing after a departure).
+    pub fn departed_lost(&self) -> u64 {
+        let st = self.core.state.lock();
+        st.departed_cursors
+            .values()
+            .map(|&c| st.published.saturating_sub(c))
+            .sum()
+    }
+
+    /// True once every writer closed the stream.
+    pub fn writers_done(&self) -> bool {
+        let st = self.core.state.lock();
+        st.writers_closed == self.core.cfg.writers
     }
 }
 
@@ -115,6 +204,8 @@ pub struct SstWriter {
     current_step: Option<u64>,
     next_step: u64,
     closed: bool,
+    truncate_at: Option<u64>,
+    truncated: bool,
     stall_seconds: f64,
     /// Throughput accounting of published payload.
     pub stats: ThroughputRecorder,
@@ -141,7 +232,18 @@ pub struct ReadStep {
 
 /// Open a stream, returning per-rank writer and reader endpoints.
 pub fn open_stream(cfg: StreamConfig) -> (Vec<SstWriter>, Vec<SstReader>) {
+    let (writers, readers, _monitor) = open_stream_monitored(cfg);
+    (writers, readers)
+}
+
+/// Open a stream and additionally return a [`StreamMonitor`] for
+/// out-of-band health observation (published/departed/lost counts).
+pub fn open_stream_monitored(cfg: StreamConfig) -> (Vec<SstWriter>, Vec<SstReader>, StreamMonitor) {
     assert!(cfg.writers >= 1 && cfg.readers >= 1 && cfg.queue_limit >= 1);
+    assert!(
+        cfg.readers <= 64,
+        "reader departure tracking caps at 64 ranks"
+    );
     let core = Arc::new(StreamCore {
         cfg,
         state: Mutex::new(StreamState::default()),
@@ -154,6 +256,8 @@ pub fn open_stream(cfg: StreamConfig) -> (Vec<SstWriter>, Vec<SstReader>) {
             current_step: None,
             next_step: 0,
             closed: false,
+            truncate_at: None,
+            truncated: false,
             stall_seconds: 0.0,
             stats: ThroughputRecorder::new(),
         })
@@ -166,7 +270,8 @@ pub fn open_stream(cfg: StreamConfig) -> (Vec<SstWriter>, Vec<SstReader>) {
             stats: ThroughputRecorder::new(),
         })
         .collect();
-    (writers, readers)
+    let monitor = StreamMonitor { core };
+    (writers, readers, monitor)
 }
 
 impl SstWriter {
@@ -180,6 +285,21 @@ impl SstWriter {
     /// Time spent blocked on a full queue (real consumer back-pressure,
     /// not the publish itself) accumulates into [`Self::stall_seconds`].
     pub fn begin_step(&mut self) -> u64 {
+        if let Some(at) = self.truncate_at {
+            if !self.truncated && self.next_step >= at {
+                // Trigger reached: the stream closes here and every
+                // further step on this writer is a silent no-op, like a
+                // producer whose transport died mid-run.
+                self.truncated = true;
+                self.close();
+            }
+        }
+        if self.truncated {
+            assert!(self.current_step.is_none(), "step already open");
+            let step = self.next_step;
+            self.current_step = Some(step);
+            return step;
+        }
         assert!(!self.closed, "begin_step on closed writer");
         assert!(self.current_step.is_none(), "step already open");
         let step = self.next_step;
@@ -239,6 +359,9 @@ impl SstWriter {
         data: bytes::Bytes,
     ) {
         let step = self.current_step.expect("put outside begin/end step");
+        if self.truncated {
+            return;
+        }
         self.stats.add_bytes(data.len() as u64);
         let mut st = self.core.state.lock();
         let vars = st.pending.get_mut(&step).expect("pending step exists");
@@ -270,6 +393,9 @@ impl SstWriter {
             .take()
             .expect("end_step without begin_step");
         self.next_step = step + 1;
+        if self.truncated {
+            return;
+        }
         let mut st = self.core.state.lock();
         let arrivals = st.end_arrivals.entry(step).or_insert(0);
         *arrivals += 1;
@@ -281,6 +407,9 @@ impl SstWriter {
             }
             st.queue.push_back(Arc::new(StepData { step, vars }));
             st.published += 1;
+            // With departed readers the fresh step may already be fully
+            // covered; retire it immediately instead of queueing forever.
+            self.core.retire_covered_locked(&mut st);
             self.core.cond.notify_all();
         } else {
             // Wait until the step is actually published (writer-side
@@ -300,6 +429,19 @@ impl SstWriter {
             st.writers_closed += 1;
             self.core.cond.notify_all();
         }
+    }
+
+    /// Arm deterministic stream truncation: once `next_step` reaches
+    /// `at_step` the stream closes (readers drain what was published, then
+    /// see EOF) and every later `begin_step`/`put_*`/`end_step` on this
+    /// writer becomes an inert no-op. Steps `0..at_step` publish normally.
+    pub fn arm_truncate(&mut self, at_step: u64) {
+        self.truncate_at = Some(at_step);
+    }
+
+    /// True once an armed truncation has fired.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
     }
 }
 
@@ -344,7 +486,7 @@ impl SstReader {
         let idx = step.data.step;
         drop(step);
         let mut st = self.core.state.lock();
-        self.core.close_step_locked(&mut st, idx);
+        self.core.close_step_locked(&mut st, idx, self.rank);
     }
 
     /// Total steps published on this stream so far (monotone; after the
@@ -392,7 +534,7 @@ impl SstReader {
                 };
                 let mut skipped = 0u64;
                 while self.cursor < target {
-                    self.core.close_step_locked(&mut st, self.cursor);
+                    self.core.close_step_locked(&mut st, self.cursor, self.rank);
                     self.cursor += 1;
                     skipped += 1;
                 }
@@ -438,7 +580,7 @@ impl SstReader {
             // (publish order is sequential, so step `cursor` is queued
             // iff `cursor < published`).
             while self.cursor < target && self.cursor < st.published {
-                self.core.close_step_locked(&mut st, self.cursor);
+                self.core.close_step_locked(&mut st, self.cursor, self.rank);
                 self.cursor += 1;
                 skipped += 1;
             }
@@ -465,6 +607,25 @@ impl SstReader {
     }
 }
 
+impl Drop for SstReader {
+    /// A dropped reader endpoint *departs*: its close vote is implied for
+    /// every current and future step, so a dead consumer rank can never
+    /// wedge the writers on the queue limit or starve surviving readers.
+    /// The cursor at departure is recorded for the [`StreamMonitor`]'s
+    /// lost-step accounting. A reader dropped after a clean EOF departs
+    /// with `cursor == published`, losing nothing.
+    fn drop(&mut self) {
+        let mut st = self.core.state.lock();
+        if st.departed & (1u64 << self.rank) != 0 {
+            return;
+        }
+        st.departed |= 1u64 << self.rank;
+        st.departed_cursors.insert(self.rank, self.cursor);
+        self.core.retire_covered_locked(&mut st);
+        self.core.cond.notify_all();
+    }
+}
+
 impl ReadStep {
     /// The step index.
     pub fn step(&self) -> u64 {
@@ -484,14 +645,30 @@ impl ReadStep {
     }
 
     /// Fetch the full global `f64` array, assembling all blocks (counts
-    /// simulated wire time on this reader).
+    /// simulated wire time on this reader). Panics on a missing variable
+    /// or dtype mismatch; fault-tolerant readers use
+    /// [`ReadStep::try_get_f64`].
     pub fn get_f64(&mut self, name: &str) -> Vec<f64> {
+        self.try_get_f64(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`ReadStep::get_f64`].
+    pub fn try_get_f64(&mut self, name: &str) -> Result<Vec<f64>, StagingError> {
         let var = self
             .data
             .vars
             .get(name)
-            .unwrap_or_else(|| panic!("no variable {name}"));
-        assert_eq!(var.dtype, Dtype::F64, "variable {name} is not f64");
+            .ok_or_else(|| StagingError::MissingVariable {
+                name: name.to_string(),
+                step: self.data.step,
+            })?;
+        if var.dtype != Dtype::F64 {
+            return Err(StagingError::DtypeMismatch {
+                name: name.to_string(),
+                expected: Dtype::F64,
+                found: var.dtype,
+            });
+        }
         let mut out = vec![0.0f64; var.global_count as usize];
         let mut bytes = 0u64;
         let ops = var.blocks.len();
@@ -502,17 +679,32 @@ impl ReadStep {
         }
         self.bytes_fetched += bytes;
         self.simulated_seconds += self.plane.read_time(bytes as f64, ops, 25.0e9);
-        out
+        Ok(out)
     }
 
-    /// Fetch the full global `f32` array.
+    /// Fetch the full global `f32` array. Panics on a missing variable or
+    /// dtype mismatch; fault-tolerant readers use [`ReadStep::try_get_f32`].
     pub fn get_f32(&mut self, name: &str) -> Vec<f32> {
+        self.try_get_f32(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`ReadStep::get_f32`].
+    pub fn try_get_f32(&mut self, name: &str) -> Result<Vec<f32>, StagingError> {
         let var = self
             .data
             .vars
             .get(name)
-            .unwrap_or_else(|| panic!("no variable {name}"));
-        assert_eq!(var.dtype, Dtype::F32, "variable {name} is not f32");
+            .ok_or_else(|| StagingError::MissingVariable {
+                name: name.to_string(),
+                step: self.data.step,
+            })?;
+        if var.dtype != Dtype::F32 {
+            return Err(StagingError::DtypeMismatch {
+                name: name.to_string(),
+                expected: Dtype::F32,
+                found: var.dtype,
+            });
+        }
         let mut out = vec![0.0f32; var.global_count as usize];
         let mut bytes = 0u64;
         let ops = var.blocks.len();
@@ -523,7 +715,7 @@ impl ReadStep {
         }
         self.bytes_fetched += bytes;
         self.simulated_seconds += self.plane.read_time(bytes as f64, ops, 25.0e9);
-        out
+        Ok(out)
     }
 
     /// Fetch only the blocks written by `writer_rank` (the intra-node
@@ -982,6 +1174,117 @@ mod tests {
         assert_eq!(block_thread.join().unwrap(), 4, "blocking reader sees all");
         assert_eq!(processed + dropped, 4, "dropping reader accounts for all");
         producer.join().unwrap();
+    }
+
+    #[test]
+    fn departed_reader_never_wedges_the_writer() {
+        // queue_limit 1 and two readers; one reader dies after the first
+        // step. Without departure tracking the writer would block forever
+        // waiting for the dead rank's close votes.
+        let cfg = StreamConfig {
+            readers: 2,
+            queue_limit: 1,
+            ..StreamConfig::default()
+        };
+        let (mut writers, mut readers, monitor) = open_stream_monitored(cfg);
+        let mut w = writers.remove(0);
+        let (mut alive, mut dying) = (readers.remove(0), readers.remove(0));
+        let producer = thread::spawn(move || {
+            for s in 0..5 {
+                w.begin_step();
+                w.put_f64("x", 1, 0, &[s as f64]);
+                w.end_step();
+            }
+            w.close();
+        });
+        // The dying reader consumes exactly one step, then departs.
+        let step = dying.begin_step().expect("step 0");
+        dying.end_step(step);
+        drop(dying);
+        let mut seen = 0;
+        while let Some(step) = alive.begin_step() {
+            alive.end_step(step);
+            seen += 1;
+        }
+        producer.join().unwrap();
+        assert_eq!(seen, 5, "surviving reader still sees every step");
+        assert_eq!(monitor.published(), 5);
+        assert_eq!(monitor.departed_readers(), 1);
+        assert_eq!(monitor.departed_lost(), 4, "dead rank missed steps 1..5");
+        assert!(monitor.writers_done());
+    }
+
+    #[test]
+    fn reader_dropped_at_clean_eof_loses_nothing() {
+        let (mut writers, mut readers, monitor) = open_stream_monitored(StreamConfig::default());
+        let mut w = writers.remove(0);
+        let mut r = readers.remove(0);
+        w.begin_step();
+        w.put_f64("x", 1, 0, &[1.0]);
+        w.end_step();
+        w.close();
+        while let Some(step) = r.begin_step() {
+            r.end_step(step);
+        }
+        drop(r);
+        assert_eq!(monitor.departed_readers(), 1);
+        assert_eq!(monitor.departed_lost(), 0);
+    }
+
+    #[test]
+    fn armed_truncation_closes_the_stream_at_the_trigger() {
+        let (mut writers, mut readers, monitor) = open_stream_monitored(StreamConfig {
+            queue_limit: 8,
+            ..StreamConfig::default()
+        });
+        let mut w = writers.remove(0);
+        w.arm_truncate(2);
+        // The producer loop is oblivious: it keeps writing five steps, but
+        // only steps 0 and 1 publish; from step 2 on the puts are inert.
+        for s in 0..5 {
+            w.begin_step();
+            w.put_f64("x", 1, 0, &[s as f64]);
+            w.end_step();
+        }
+        assert!(w.is_truncated());
+        let mut r = readers.remove(0);
+        let mut seen = Vec::new();
+        while let Some(mut step) = r.begin_step() {
+            seen.push(step.get_f64("x")[0]);
+            r.end_step(step);
+        }
+        assert_eq!(seen, vec![0.0, 1.0], "reader drains the published prefix");
+        assert_eq!(monitor.published(), 2);
+        assert!(monitor.writers_done(), "truncation closes the stream");
+    }
+
+    #[test]
+    fn try_get_reports_missing_and_mismatched_variables() {
+        let (mut writers, mut readers) = open_stream(StreamConfig::default());
+        let mut w = writers.remove(0);
+        let mut r = readers.remove(0);
+        w.begin_step();
+        w.put_f64("x", 1, 0, &[3.0]);
+        w.end_step();
+        w.close();
+        let mut step = r.begin_step().expect("step");
+        assert_eq!(step.try_get_f64("x"), Ok(vec![3.0]));
+        assert_eq!(
+            step.try_get_f64("y"),
+            Err(StagingError::MissingVariable {
+                name: "y".into(),
+                step: 0,
+            })
+        );
+        assert_eq!(
+            step.try_get_f32("x"),
+            Err(StagingError::DtypeMismatch {
+                name: "x".into(),
+                expected: Dtype::F32,
+                found: Dtype::F64,
+            })
+        );
+        r.end_step(step);
     }
 
     #[test]

@@ -34,12 +34,15 @@
 
 pub mod dataplane;
 pub mod engine;
+pub mod error;
 pub mod fanin;
 pub mod stats;
 pub mod variable;
 
 pub use dataplane::{DataPlane, ReadStrategy};
-pub use engine::{open_stream, SstReader, SstWriter, StreamConfig};
+pub use engine::StreamMonitor;
+pub use engine::{open_stream, open_stream_monitored, SstReader, SstWriter, StreamConfig};
+pub use error::StagingError;
 pub use fanin::{run_fanin_relay, FanInReport, Reduction};
 pub use stats::ThroughputRecorder;
 pub use variable::{Block, Dtype, VariableMeta};
@@ -47,7 +50,10 @@ pub use variable::{Block, Dtype, VariableMeta};
 pub mod prelude {
     //! Common imports for staging consumers.
     pub use crate::dataplane::{DataPlane, ReadStrategy};
-    pub use crate::engine::{open_stream, SstReader, SstWriter, StreamConfig};
+    pub use crate::engine::{
+        open_stream, open_stream_monitored, SstReader, SstWriter, StreamConfig, StreamMonitor,
+    };
+    pub use crate::error::StagingError;
     pub use crate::stats::ThroughputRecorder;
     pub use crate::variable::{Block, Dtype, VariableMeta};
 }

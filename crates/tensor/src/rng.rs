@@ -65,6 +65,19 @@ impl TensorRng {
     pub fn inner(&mut self) -> &mut StdRng {
         &mut self.rng
     }
+
+    /// The generator's raw state words (checkpoint capture).
+    pub fn state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rebuild a generator mid-stream from captured state words
+    /// (checkpoint restore) — resumes the exact noise sequence.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Self {
+            rng: StdRng::from_state(s),
+        }
+    }
 }
 
 #[cfg(test)]

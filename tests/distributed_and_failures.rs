@@ -292,3 +292,278 @@ fn socket_budget_gates_ddp_bringup() {
     // The error is actionable: it names the node count that failed.
     assert!(format!("{err}").contains("128"));
 }
+
+// ---------------------------------------------------------------------------
+// Chaos-hardened workflow: deterministic fault injection, checkpoint/restart
+// and graceful rank-failure degradation (the `WorkflowConfig::faults` plan).
+// ---------------------------------------------------------------------------
+
+use artificial_scientist::core::config::{CommBackend, ConsumerPolicy, WorkflowConfig};
+use artificial_scientist::core::faults::{FaultEvent, FaultPlan, KillMode};
+use artificial_scientist::core::workflow::{run_workflow, RankGroup, WorkflowReport};
+
+/// A small fault-armed topology: 1 producer, `consumers` learner ranks,
+/// 4 windows. The detection budget is generous because injected deaths
+/// self-mark on the shared world (detection is instant); the silence
+/// timeout is only a backstop and must never fire on a slow window.
+fn ft_cfg(consumers: usize, drop_policy: bool, netsim: bool) -> WorkflowConfig {
+    let mut cfg = WorkflowConfig::small();
+    cfg.total_steps = 16;
+    cfg.steps_per_sample = 4;
+    cfg.n_rep = 2;
+    cfg.consumers = consumers;
+    if drop_policy {
+        cfg.policy = ConsumerPolicy::DropSteps {
+            max_queue: 4,
+            min_queue: 0,
+        };
+    }
+    if netsim {
+        cfg.backend = CommBackend::netsim_frontier();
+    }
+    cfg.faults = FaultPlan {
+        op_timeout_ms: 1000,
+        tick_ms: 2,
+        retry_budget: 5,
+        ..FaultPlan::default()
+    };
+    cfg
+}
+
+/// The extended per-rank stream-accounting identity: every published
+/// window is consumed, dropped, orphaned, or lost — nothing vanishes.
+fn assert_accounting(report: &WorkflowReport) {
+    for s in &report.consumer_summaries {
+        assert_eq!(
+            s.windows + s.dropped_windows + s.orphaned_windows + s.lost_windows,
+            s.published_windows,
+            "rank {} window accounting must balance",
+            s.rank
+        );
+    }
+}
+
+/// Seeded fault matrix: crash site × consumer policy × comm backend.
+/// Every combination must terminate (no hang, no orchestrator panic)
+/// with balanced window accounting on every surviving rank.
+#[test]
+fn seeded_fault_matrix_keeps_window_accounting() {
+    for netsim in [false, true] {
+        for drop_policy in [false, true] {
+            for site in ["producer", "consumer_rank0", "consumer_rank1"] {
+                let mut cfg = ft_cfg(2, drop_policy, netsim);
+                let event = match site {
+                    "producer" => FaultEvent::ProducerCrash { at_window: 2 },
+                    "consumer_rank0" => FaultEvent::ConsumerKill {
+                        rank: 0,
+                        at_window: 2,
+                        mode: KillMode::Die,
+                    },
+                    _ => FaultEvent::ConsumerKill {
+                        rank: 1,
+                        at_window: 2,
+                        mode: KillMode::Die,
+                    },
+                };
+                cfg.faults.events.push(event);
+                let report = run_workflow(&cfg);
+                let ctx = format!("site={site} drop_policy={drop_policy} netsim={netsim}");
+                assert_accounting(&report);
+                if site == "producer" {
+                    // Stream truncation is a clean EOF, not a panic: both
+                    // ranks drain the two published windows and finish.
+                    assert!(report.failures.is_empty(), "{ctx}: truncation never panics");
+                    assert_eq!(report.producer.windows, 2, "{ctx}");
+                    assert_eq!(report.consumer_summaries.len(), 2, "{ctx}");
+                    for s in &report.consumer_summaries {
+                        assert_eq!(s.published_windows, 2, "{ctx}");
+                    }
+                } else {
+                    // The killed rank surfaces as a captured failure; the
+                    // survivor re-forms a 1-rank world and finishes.
+                    assert_eq!(report.failures.len(), 1, "{ctx}");
+                    assert!(report.failures[0].injected, "{ctx}");
+                    assert_eq!(report.failures[0].group, RankGroup::Consumer, "{ctx}");
+                    assert!(report.degradations >= 1, "{ctx}");
+                    assert_eq!(report.consumer_summaries.len(), 1, "{ctx}");
+                    assert_eq!(report.consumer_summaries[0].world_after, 1, "{ctx}");
+                    if !drop_policy {
+                        // Blocking order is deterministic: the dead rank
+                        // had consumed exactly 2 of 4 windows, so its
+                        // departed readers strand the other 2.
+                        assert_eq!(report.lost_windows, 2, "{ctx}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Kill-and-restart bit-identity (single-rank learner): a consumer
+/// killed at window 5 and restarted from the window-4 checkpoint must
+/// produce the same per-iteration `param_hash` sequence as an unfaulted
+/// reference that skips the same rolled-back window.
+#[test]
+fn kill_restart_matches_unfaulted_reference_bitwise() {
+    let mut base = WorkflowConfig::small();
+    base.total_steps = 24;
+    base.steps_per_sample = 4; // 6 windows
+    base.n_rep = 2;
+
+    let mut faulted = base.clone();
+    faulted.faults = FaultPlan {
+        checkpoint_every: 2,
+        events: vec![FaultEvent::ConsumerKill {
+            rank: 0,
+            at_window: 5,
+            mode: KillMode::Restart,
+        }],
+        ..FaultPlan::default()
+    };
+    let f = run_workflow(&faulted);
+
+    // Reference: no kill, but the window consumed between the last
+    // checkpoint (arrival 4) and the kill (arrival 5) is skipped — the
+    // stream-side effect a rollback cannot undo.
+    let mut reference = base.clone();
+    reference.faults = FaultPlan {
+        events: vec![FaultEvent::SkipWindows { from: 4, to: 4 }],
+        ..FaultPlan::default()
+    };
+    let r = run_workflow(&reference);
+
+    assert_eq!(f.consumer.restarts, 1);
+    assert_eq!(
+        f.consumer.lost_windows, 1,
+        "one window rolled back past the checkpoint"
+    );
+    assert_eq!(r.consumer.lost_windows, 1, "one window skipped by schedule");
+    assert_eq!(f.consumer.windows, 5);
+    assert_eq!(r.consumer.windows, 5);
+    assert!(f.consumer.recovery_seconds >= 0.0);
+    assert!(!f.consumer.param_hashes.is_empty());
+    assert_eq!(
+        f.consumer.param_hashes, r.consumer.param_hashes,
+        "post-restart training must be bit-identical to the reference"
+    );
+    assert_eq!(f.consumer.param_hash, r.consumer.param_hash);
+    assert_accounting(&f);
+    assert_accounting(&r);
+    assert_eq!(f.lost_windows, 1);
+}
+
+/// Multi-rank kill-restart on a checkpoint boundary is a state no-op:
+/// the restarted rank rejoins the collective schedule exactly where it
+/// left, so the whole group's hash trajectory matches both a kill-free
+/// fault-tolerant run and the legacy (inert-plan) DDP path, bit for bit
+/// — on both comm backends.
+#[test]
+fn multi_rank_boundary_restart_is_bitwise_no_op() {
+    for netsim in [false, true] {
+        let ctx = format!("netsim={netsim}");
+        let mut faulted = ft_cfg(2, false, netsim);
+        faulted.faults.checkpoint_every = 2;
+        faulted.faults.events.push(FaultEvent::ConsumerKill {
+            rank: 1,
+            at_window: 2,
+            mode: KillMode::Restart,
+        });
+        let f = run_workflow(&faulted);
+
+        let mut clean_ft = ft_cfg(2, false, netsim);
+        clean_ft.faults.checkpoint_every = 2; // plan active, no events
+        let c = run_workflow(&clean_ft);
+
+        let mut legacy = ft_cfg(2, false, netsim);
+        legacy.faults = FaultPlan::default(); // inert: legacy DDP path
+        let l = run_workflow(&legacy);
+
+        assert_eq!(f.consumer_summaries.len(), 2, "{ctx}");
+        assert!(f.failures.is_empty(), "{ctx}: a restart is not a failure");
+        let rank1 = &f.consumer_summaries[1];
+        assert_eq!(rank1.restarts, 1, "{ctx}");
+        assert_eq!(
+            rank1.lost_windows, 0,
+            "{ctx}: boundary restart loses nothing"
+        );
+        assert_eq!(
+            f.consumer.param_hashes, c.consumer.param_hashes,
+            "{ctx}: boundary restart must not perturb the trajectory"
+        );
+        assert_eq!(
+            f.consumer.param_hashes, l.consumer.param_hashes,
+            "{ctx}: fault-tolerant collectives must match legacy DDP bitwise"
+        );
+        let h0 = f.consumer_summaries[0].param_hash;
+        assert!(
+            f.consumer_summaries.iter().all(|s| s.param_hash == h0),
+            "{ctx}"
+        );
+        assert_accounting(&f);
+    }
+}
+
+/// Death of the `DropSteps` window-target root (rank 0) in a 3-rank
+/// group: the survivors re-elect rank 1 as root, re-form a 2-rank world
+/// and keep training to a consistent final state — on both backends.
+#[test]
+fn drop_steps_root_death_re_elects_and_degrades() {
+    for netsim in [false, true] {
+        let ctx = format!("netsim={netsim}");
+        let mut cfg = ft_cfg(3, true, netsim);
+        cfg.faults.events.push(FaultEvent::ConsumerKill {
+            rank: 0,
+            at_window: 1,
+            mode: KillMode::Die,
+        });
+        let report = run_workflow(&cfg);
+        assert_eq!(report.failures.len(), 1, "{ctx}");
+        assert!(report.failures[0].injected, "{ctx}");
+        assert_eq!(report.failures[0].rank, 0, "{ctx}");
+        assert!(report.degradations >= 1, "{ctx}");
+        assert_eq!(report.consumer_summaries.len(), 2, "{ctx}");
+        for s in &report.consumer_summaries {
+            assert_eq!(
+                s.world_after, 2,
+                "{ctx}: survivors agree on the shrunk world"
+            );
+        }
+        let h = report.consumer_summaries[0].param_hash;
+        assert!(
+            report.consumer_summaries.iter().all(|s| s.param_hash == h),
+            "{ctx}: surviving ranks stay bit-identical"
+        );
+        assert_accounting(&report);
+    }
+}
+
+/// Deterministic message chaos only *delays* traffic: a chaos-armed run
+/// completes with zero failures, repeats bit-identically under the same
+/// seed, and matches the chaos-free legacy run's parameter trajectory.
+#[test]
+fn message_chaos_is_deterministic_and_numerically_invisible() {
+    let chaos_run = || {
+        let mut cfg = ft_cfg(2, false, false);
+        cfg.faults.seed = 11;
+        cfg.faults.msg_drop_rate = 0.25;
+        cfg.faults.msg_delay_rate = 0.25;
+        cfg.faults.msg_dup_rate = 0.25;
+        cfg.faults.msg_delay_ms = 1;
+        run_workflow(&cfg)
+    };
+    let a = chaos_run();
+    let b = chaos_run();
+    assert!(a.failures.is_empty(), "chaos delays, it never kills");
+    assert_eq!(a.degradations, 0);
+    assert!(!a.consumer.param_hashes.is_empty());
+    assert_eq!(
+        a.consumer.param_hashes, b.consumer.param_hashes,
+        "same seed, same fault schedule, same trajectory"
+    );
+    let clean = run_workflow(&ft_cfg(2, false, false));
+    assert_eq!(
+        a.consumer.param_hashes, clean.consumer.param_hashes,
+        "chaos must not change numerics"
+    );
+    assert_accounting(&a);
+}
