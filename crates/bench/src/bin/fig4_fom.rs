@@ -36,7 +36,7 @@ fn measured_weak_scaling() {
         let handles: Vec<_> = endpoints
             .into_iter()
             .map(|comm| {
-                std::thread::spawn(move || {
+                crossbeam::thread::spawn(move || {
                     let sim0 = setup.build(g);
                     let particles = sim0.species;
                     let mut d = DistributedSim::new(comm, g, particles);

@@ -29,10 +29,10 @@ fn real_engine_run() {
     let (mut rw, mut rr) = open_stream(stream_cfg);
     let (pw, rw) = (pw.remove(0), rw.remove(0));
     let cfg2 = cfg.clone();
-    let producer = std::thread::spawn(move || run_producer(&cfg2, pw, rw));
+    let producer = crossbeam::thread::spawn(move || run_producer(&cfg2, pw, rw));
     let radiation_drain = {
         let rr = rr.remove(0);
-        std::thread::spawn(move || run_noop_consumer(rr))
+        crossbeam::thread::spawn(move || run_noop_consumer(rr))
     };
     let report = run_noop_consumer(pr.remove(0));
     let rad_report = radiation_drain.join().unwrap();

@@ -140,7 +140,7 @@ where
     let handles: Vec<_> = eps
         .into_iter()
         .map(|c| {
-            std::thread::spawn(move || {
+            crossbeam::thread::spawn(move || {
                 op(&c);
                 c
             })

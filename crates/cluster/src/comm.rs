@@ -19,17 +19,18 @@
 //! zero-intermediate-storage philosophy of the paper's in-transit design.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::algos::{
     allreduce_goes_log, binomial_plan, bruck_rounds, reduce_in_ring_order, CollectiveAlgo,
 };
+use crate::cells::{track_cell, Cell};
 use crate::error::CommError;
 
 /// Wildcard tag: matches any tag in [`Communicator::recv_any_tag`].
@@ -170,6 +171,48 @@ impl FaultInjector {
     }
 }
 
+/// Reusable rendezvous built on the workspace `parking_lot` shim rather
+/// than `std::sync::Barrier`, so the `detect` instrumentation observes
+/// its lock traffic like any other workspace synchronisation.
+struct Rendezvous {
+    state: Mutex<RendezvousState>,
+    cvar: Condvar,
+    size: usize,
+}
+
+struct RendezvousState {
+    arrived: usize,
+    generation: u64,
+}
+
+impl Rendezvous {
+    fn new(size: usize) -> Self {
+        Self {
+            state: Mutex::new(RendezvousState {
+                arrived: 0,
+                generation: 0,
+            }),
+            cvar: Condvar::new(),
+            size,
+        }
+    }
+
+    fn wait(&self) {
+        let mut st = self.state.lock();
+        let gen = st.generation;
+        st.arrived += 1;
+        if st.arrived == self.size {
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cvar.notify_all();
+        } else {
+            while st.generation == gen {
+                self.cvar.wait(&mut st);
+            }
+        }
+    }
+}
+
 /// Shared liveness state of a world: which ranks are marked dead, and
 /// whether the endpoints behave tolerantly (suppress sends to dead
 /// ranks, mark a peer dead instead of panicking on a torn-down channel).
@@ -178,6 +221,8 @@ struct WorldHealth {
     dead: AtomicU64,
     /// Fault-armed worlds degrade instead of panicking.
     armed: bool,
+    /// Detector registration for the shared liveness mask.
+    cell: Cell,
 }
 
 /// A fixed-size group of communicating ranks.
@@ -238,12 +283,13 @@ impl CommWorld {
             senders.push(tx);
             receivers.push(rx);
         }
-        let barrier = Arc::new(Barrier::new(size));
+        let barrier = Arc::new(Rendezvous::new(size));
         let bytes_sent = Arc::new(AtomicU64::new(0));
         let messages_sent = Arc::new(AtomicU64::new(0));
         let health = Arc::new(WorldHealth {
             dead: AtomicU64::new(0),
             armed,
+            cell: track_cell!("cluster::WorldHealth.dead"),
         });
         let endpoints = receivers
             .into_iter()
@@ -254,7 +300,8 @@ impl CommWorld {
                 algo,
                 peers: senders.clone(),
                 inbox: rx,
-                stash: Mutex::new(HashMap::new()),
+                stash: Mutex::new(BTreeMap::new()),
+                stash_cell: track_cell!("cluster::Communicator.stash"),
                 barrier: barrier.clone(),
                 bytes_sent: bytes_sent.clone(),
                 messages_sent: messages_sent.clone(),
@@ -280,8 +327,13 @@ pub struct Communicator {
     peers: Vec<Sender<Envelope>>,
     inbox: Receiver<Envelope>,
     /// Out-of-order messages parked until a matching `recv` arrives.
-    stash: Mutex<HashMap<(usize, u64), Vec<Envelope>>>,
-    barrier: Arc<Barrier>,
+    /// Ordered map: wildcard (`ANY_TAG`) matching walks it in key order,
+    /// so which stashed message wins is deterministic (a hash map here
+    /// made the match depend on hash-iteration order).
+    stash: Mutex<BTreeMap<(usize, u64), Vec<Envelope>>>,
+    /// Detector registration for the stash (mutated under its mutex).
+    stash_cell: Cell,
+    barrier: Arc<Rendezvous>,
     bytes_sent: Arc<AtomicU64>,
     messages_sent: Arc<AtomicU64>,
     health: Arc<WorldHealth>,
@@ -398,6 +450,7 @@ impl Communicator {
     /// immediately instead of waiting out their timeout.
     pub fn mark_dead(&self, rank: usize) {
         if rank < 64 {
+            self.health.cell.atomic();
             self.health.dead.fetch_or(1 << rank, Ordering::SeqCst);
         }
     }
@@ -409,11 +462,13 @@ impl Communicator {
         } else {
             (1u64 << self.size) - 1
         };
+        self.health.cell.atomic();
         full & !self.health.dead.load(Ordering::SeqCst)
     }
 
     /// True when `rank` has been marked dead.
     pub fn is_rank_dead(&self, rank: usize) -> bool {
+        self.health.cell.atomic();
         rank < 64 && self.health.dead.load(Ordering::SeqCst) & (1 << rank) != 0
     }
 
@@ -461,17 +516,19 @@ impl Communicator {
         // Fast path: check the stash for an already-delivered match.
         {
             let mut stash = self.stash.lock();
+            self.stash_cell.read();
             if tag == ANY_TAG {
-                let key = stash
-                    .iter()
-                    .find(|((s, _), v)| *s == source && !v.is_empty())
-                    .map(|(k, _)| *k);
-                if let Some(key) = key {
-                    let q = stash.get_mut(&key).expect("stash key vanished");
-                    return q.remove(0);
+                // Ordered wildcard match: the lowest stashed tag from
+                // `source` wins, on every run.
+                for ((s, _), q) in stash.iter_mut() {
+                    if *s == source && !q.is_empty() {
+                        self.stash_cell.write();
+                        return q.remove(0);
+                    }
                 }
             } else if let Some(q) = stash.get_mut(&(source, tag)) {
                 if !q.is_empty() {
+                    self.stash_cell.write();
                     return q.remove(0);
                 }
             }
@@ -481,7 +538,7 @@ impl Communicator {
             let env = self
                 .inbox
                 .recv()
-                .expect("communicator world torn down while receiving");
+                .unwrap_or_else(|_| panic!("communicator world torn down while receiving"));
             if env.dup {
                 // Injected duplicate delivery: dedup at intake.
                 continue;
@@ -490,11 +547,9 @@ impl Communicator {
             if matches {
                 return env;
             }
-            self.stash
-                .lock()
-                .entry((env.source, env.tag))
-                .or_default()
-                .push(env);
+            let mut stash = self.stash.lock();
+            self.stash_cell.write();
+            stash.entry((env.source, env.tag)).or_default().push(env);
         }
     }
 
@@ -524,8 +579,10 @@ impl Communicator {
         // Fast path: an already-delivered match in the stash.
         {
             let mut stash = self.stash.lock();
+            self.stash_cell.read();
             if let Some(q) = stash.get_mut(&(source, tag)) {
                 if !q.is_empty() {
+                    self.stash_cell.write();
                     return open(q.remove(0));
                 }
             }
@@ -546,11 +603,9 @@ impl Communicator {
                     if env.source == source && env.tag == tag {
                         return open(env);
                     }
-                    self.stash
-                        .lock()
-                        .entry((env.source, env.tag))
-                        .or_default()
-                        .push(env);
+                    let mut stash = self.stash.lock();
+                    self.stash_cell.write();
+                    stash.entry((env.source, env.tag)).or_default().push(env);
                 }
                 Err(RecvTimeoutError::Timeout) => return Ok(None),
                 Err(RecvTimeoutError::Disconnected) => {
@@ -574,7 +629,7 @@ impl Communicator {
         match self.algo {
             CollectiveAlgo::Linear => {
                 if self.rank == root {
-                    let v = value.expect("root must supply the broadcast value");
+                    let v = value.unwrap_or_else(|| panic!("root must supply the broadcast value"));
                     for dest in 0..self.size {
                         if dest != root {
                             self.send(dest, BCAST_TAG, v.clone());
@@ -588,7 +643,7 @@ impl Communicator {
             CollectiveAlgo::Log => {
                 let plan = binomial_plan(self.size, root, self.rank);
                 let v = match plan.parent {
-                    None => value.expect("root must supply the broadcast value"),
+                    None => value.unwrap_or_else(|| panic!("root must supply the broadcast value")),
                     Some(parent) => self.recv::<T>(parent, BCAST_TAG),
                 };
                 for &(child, _) in &plan.children {
@@ -616,7 +671,11 @@ impl Communicator {
                             *slot = Some(self.recv::<T>(src, GATHER_TAG));
                         }
                     }
-                    Some(out.into_iter().map(|v| v.expect("gather slot")).collect())
+                    Some(
+                        out.into_iter()
+                            .map(|v| v.unwrap_or_else(|| panic!("gather slot left unfilled")))
+                            .collect(),
+                    )
                 } else {
                     self.send(root, GATHER_TAG, value);
                     None
@@ -640,7 +699,11 @@ impl Communicator {
                             debug_assert!(out[r].is_none(), "duplicate gather contribution");
                             out[r] = Some(v);
                         }
-                        Some(out.into_iter().map(|v| v.expect("gather slot")).collect())
+                        Some(
+                            out.into_iter()
+                                .map(|v| v.unwrap_or_else(|| panic!("gather slot left unfilled")))
+                                .collect(),
+                        )
                     }
                 }
             }
@@ -661,7 +724,8 @@ impl Communicator {
             CollectiveAlgo::Linear => {
                 let gathered = self.gather(0, value);
                 if self.rank == 0 {
-                    let v = gathered.expect("root gather");
+                    let v =
+                        gathered.unwrap_or_else(|| panic!("gather must return a vector on root"));
                     self.broadcast(0, Some(v))
                 } else {
                     self.broadcast::<Vec<T>>(0, None)
@@ -698,7 +762,7 @@ impl Communicator {
             out[r] = Some(v);
         }
         out.into_iter()
-            .map(|v| v.expect("allgather block"))
+            .map(|v| v.unwrap_or_else(|| panic!("allgather block left unfilled")))
             .collect()
     }
 

@@ -25,6 +25,7 @@
 //! - [`fom`] — the weak-scaling Figure-of-Merit model behind Fig. 4.
 
 pub mod algos;
+pub(crate) mod cells;
 pub mod collective;
 pub mod collectives;
 pub mod comm;

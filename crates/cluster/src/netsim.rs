@@ -13,7 +13,7 @@
 //! one ingress link per consumer node, plus one global "bisection" link that
 //! all inter-node flows traverse.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier of a link in the simulated topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -121,25 +121,26 @@ impl NetSim {
     /// Progressive filling: repeatedly find the most contended link
     /// (smallest remaining-capacity / unfrozen-flow-count), freeze its flows
     /// at that fair share, remove the consumed capacity, repeat.
-    fn fair_rates(&self, active: &[usize]) -> HashMap<usize, f64> {
-        let mut rates: HashMap<usize, f64> = HashMap::new();
+    fn fair_rates(&self, active: &[usize]) -> BTreeMap<usize, f64> {
+        let mut rates: BTreeMap<usize, f64> = BTreeMap::new();
         let mut remaining_cap: Vec<f64> = self.spec.capacities.clone();
         let mut unfrozen: Vec<usize> = active.to_vec();
 
         while !unfrozen.is_empty() {
             // Count unfrozen flows per link.
-            let mut link_flows: HashMap<usize, usize> = HashMap::new();
+            let mut link_flows: BTreeMap<usize, usize> = BTreeMap::new();
             for &fi in &unfrozen {
                 for l in &self.flows[fi].path {
                     *link_flows.entry(l.0).or_insert(0) += 1;
                 }
             }
-            // Find the bottleneck link.
+            // Find the bottleneck link. `link_flows` iterates in link-id
+            // order, so capacity ties resolve deterministically.
             let (bottleneck, share) = link_flows
                 .iter()
                 .map(|(&l, &n)| (l, remaining_cap[l] / n as f64))
                 .min_by(|a, b| a.1.total_cmp(&b.1))
-                .expect("unfrozen flows must load at least one link");
+                .unwrap_or_else(|| panic!("unfrozen flows must load at least one link"));
             // Freeze all unfrozen flows through the bottleneck.
             let (through, rest): (Vec<usize>, Vec<usize>) = unfrozen
                 .into_iter()
@@ -212,7 +213,8 @@ impl NetSim {
 
         (0..n)
             .map(|i| {
-                let completion = done[i].expect("flow completed") + self.flows[i].latency;
+                let completion =
+                    done[i].unwrap_or_else(|| panic!("flow {i} completed")) + self.flows[i].latency;
                 let lifetime = completion - self.flows[i].start;
                 FlowOutcome {
                     completion,

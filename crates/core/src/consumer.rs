@@ -283,7 +283,8 @@ pub fn run_ddp_consumer<C: Collective>(
     let rank = comm.rank();
     let world = comm.size();
     let mut overlap = if cfg.overlap_grad_sync {
-        let g = grad_comm.expect("overlap_grad_sync needs a dedicated gradient world");
+        let g = grad_comm
+            .unwrap_or_else(|| panic!("overlap_grad_sync needs a dedicated gradient world"));
         assert_eq!(g.rank(), rank, "gradient world must mirror the main world");
         assert_eq!(g.size(), world, "gradient world must mirror the main world");
         Some(OverlappedGradSync::new(std::sync::Arc::new(g)))
@@ -570,9 +571,9 @@ pub fn run_consumer_ft(
                     }),
                     KillMode::Restart => {
                         let t0 = std::time::Instant::now();
-                        let c = ckpt
-                            .as_ref()
-                            .expect("ConsumerKill{Restart} needs checkpoint_every > 0");
+                        let c = ckpt.as_ref().unwrap_or_else(|| {
+                            panic!("ConsumerKill restart needs checkpoint_every > 0")
+                        });
                         let live = windows;
                         let progress = c.restore(
                             &mut model,
@@ -792,9 +793,9 @@ pub fn run_ddp_consumer_ft<C: Collective>(
                     }
                     KillMode::Restart => {
                         let t0 = std::time::Instant::now();
-                        let c = ckpt
-                            .as_ref()
-                            .expect("ConsumerKill{Restart} needs checkpoint_every > 0");
+                        let c = ckpt.as_ref().unwrap_or_else(|| {
+                            panic!("ConsumerKill restart needs checkpoint_every > 0")
+                        });
                         let live = windows;
                         let progress = c.restore(
                             &mut model,
@@ -863,7 +864,9 @@ pub fn run_ddp_consumer_ft<C: Collective>(
                     t
                 });
                 let (p_skip, p_opt) = if rank == root {
-                    stash.take().expect("root stashed its read")
+                    stash
+                        .take()
+                        .unwrap_or_else(|| panic!("root must have stashed its read above"))
                 } else {
                     match target {
                         Some(t) => p_reader.next_iteration_at_least(t),

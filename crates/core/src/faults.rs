@@ -284,7 +284,7 @@ fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
 fn parse_event(rest: &str) -> Result<FaultEvent, String> {
     let mut parts = rest.split_whitespace();
     let kind = parts.next().ok_or("empty event")?;
-    let mut kv = std::collections::HashMap::new();
+    let mut kv = std::collections::BTreeMap::new();
     for p in parts {
         let (k, v) = p.split_once('=').ok_or_else(|| format!("bad field: {p}"))?;
         kv.insert(k, v);

@@ -181,7 +181,7 @@ impl<'a, C: Collective> FtComm<'a, C> {
             let root = *self
                 .alive_ranks()
                 .first()
-                .expect("at least this rank is alive");
+                .unwrap_or_else(|| panic!("at least this rank must be alive"));
             if root == me {
                 let v = make();
                 for peer in 0..self.comm.size() {
@@ -210,7 +210,7 @@ impl<'a, C: Collective> FtComm<'a, C> {
         let tag = self.next_tag();
         let me = self.comm.rank();
         if me == owner {
-            let v = value.expect("owner must provide the broadcast value");
+            let v = value.unwrap_or_else(|| panic!("owner must provide the broadcast value"));
             for peer in 0..self.comm.size() {
                 if peer != me && !self.comm.is_rank_dead(peer) {
                     self.comm.send(peer, tag, v.clone());

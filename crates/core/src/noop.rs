@@ -56,7 +56,10 @@ pub fn run_noop_consumer(mut reader: SstReader) -> NoopReport {
             if name == "__attributes__" {
                 continue;
             }
-            let var = step.variable(&name).expect("listed variable").clone();
+            let var = step
+                .variable(&name)
+                .unwrap_or_else(|| panic!("variable_names listed {name}"))
+                .clone();
             match var.dtype {
                 as_staging::variable::Dtype::F64 => {
                     let v = step.get_f64(&name);

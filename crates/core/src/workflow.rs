@@ -443,8 +443,12 @@ where
     // Producer side: M slab ranks (or the legacy single-domain path).
     let producer_handles: Vec<std::thread::JoinHandle<ProducerReport>> = if m == 1 {
         let (pw0, rw0) = (
-            pw.into_iter().next().unwrap(),
-            rw.into_iter().next().unwrap(),
+            pw.into_iter()
+                .next()
+                .unwrap_or_else(|| panic!("stream opened with one writer")),
+            rw.into_iter()
+                .next()
+                .unwrap_or_else(|| panic!("stream opened with one writer")),
         );
         let producer_cfg = cfg.clone();
         vec![std::thread::spawn(move || {

@@ -33,11 +33,13 @@
 //! The backend and overlap knobs are threaded through the streaming
 //! workflow by `as_core::config` (`CommBackend`, `overlap_grad_sync`).
 
+use crate::cells::{track_cell, Cell};
 use crate::model::{ArtificialScientistModel, LossReport, ModelConfig, ModelOptimizer};
 use crate::optim::AdamConfig;
 use as_cluster::collective::Collective;
 use as_tensor::{Tensor, TensorRng};
-use std::sync::mpsc;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::thread as cb_thread;
 use std::sync::Arc;
 
 /// Configuration of a data-parallel training run.
@@ -217,11 +219,14 @@ pub struct OverlappedGradSync<C: Collective> {
     /// kept here so the bucket traffic still shows up in per-run comm
     /// accounting after the worker takes its clone.
     grad_comm: Arc<C>,
-    to_worker: Option<mpsc::Sender<Vec<f32>>>,
-    from_worker: mpsc::Receiver<Vec<f32>>,
-    worker: Option<std::thread::JoinHandle<()>>,
+    to_worker: Option<Sender<Vec<f32>>>,
+    from_worker: Receiver<Vec<f32>>,
+    worker: Option<cb_thread::JoinHandle<()>>,
     world: usize,
     inflight: usize,
+    /// Detector registration for the bucket bookkeeping that the channel
+    /// edges between caller and comm worker synchronise.
+    bucket_cell: Cell,
 }
 
 impl<C: Collective> OverlappedGradSync<C> {
@@ -231,14 +236,14 @@ impl<C: Collective> OverlappedGradSync<C> {
     /// endpoint; every rank of the group must construct its
     /// `OverlappedGradSync` from its endpoint of that dedicated world.
     pub fn new(grad_comm: Arc<C>) -> Self {
-        let (to_worker, bucket_rx) = mpsc::channel::<Vec<f32>>();
-        let (reduced_tx, from_worker) = mpsc::channel::<Vec<f32>>();
+        let (to_worker, bucket_rx) = unbounded::<Vec<f32>>();
+        let (reduced_tx, from_worker) = unbounded::<Vec<f32>>();
         let world = grad_comm.size();
         let comm = grad_comm.clone();
-        let worker = std::thread::spawn(move || {
+        let worker = cb_thread::spawn(move || {
             // Buckets arrive and are reduced strictly in schedule order;
             // ranks pipeline through the ring without barriers.
-            for mut bucket in bucket_rx {
+            while let Ok(mut bucket) = bucket_rx.recv() {
                 comm.allreduce_sum_f32(&mut bucket);
                 if reduced_tx.send(bucket).is_err() {
                     break; // caller dropped mid-sync (teardown)
@@ -252,6 +257,7 @@ impl<C: Collective> OverlappedGradSync<C> {
             worker: Some(worker),
             world,
             inflight: 0,
+            bucket_cell: track_cell!("nn::OverlappedGradSync.buckets"),
         }
     }
 
@@ -280,6 +286,7 @@ impl<C: Collective> OverlappedGradSync<C> {
     /// gradients.
     pub fn begin(&mut self, model: &mut ArtificialScientistModel, bucket_elems: usize) {
         assert_eq!(self.inflight, 0, "previous overlapped sync not awaited");
+        self.bucket_cell.write();
         let tx = self.to_worker.as_ref().expect("comm worker alive");
         let mut sent = 0usize;
         for_each_grad_bucket(model, bucket_elems, |bucket| {
@@ -293,6 +300,7 @@ impl<C: Collective> OverlappedGradSync<C> {
     /// order) and write the averaged gradients back into `model`. Call
     /// right before the optimizer step.
     pub fn wait_all(&mut self, model: &mut ArtificialScientistModel) {
+        self.bucket_cell.write();
         let mut reduced: Vec<f32> = Vec::new();
         for _ in 0..self.inflight {
             let bucket = self
@@ -375,7 +383,7 @@ pub fn train_ddp<C: Collective>(
         let cfg = model_cfg.clone();
         let ddp = ddp.clone();
         let batches = batches.to_vec();
-        handles.push(std::thread::spawn(move || {
+        handles.push(cb_thread::spawn(move || {
             run_replica(cfg, ddp, comm, &batches)
         }));
     }

@@ -34,6 +34,7 @@
 //! bit-identical for the whole run — [`ddp::param_hash`] is the cheap
 //! witness the consumers assert each iteration.
 
+pub(crate) mod cells;
 pub mod contrastive;
 pub mod ddp;
 pub mod init;

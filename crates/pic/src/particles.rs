@@ -116,16 +116,24 @@ impl ParticleBuffer {
 
     /// Total kinetic energy `Σ w·m·(γ−1)` (units of mₑc²·n₀·V).
     ///
-    /// Rayon map-reduce above `PAR_MIN` particles; partial sums combine
-    /// in chunk order, so the result is deterministic for a fixed worker
-    /// count.
+    /// Summed over fixed-size index chunks whose partials combine in
+    /// chunk order — the serial and parallel paths associate identically,
+    /// so the result is bit-reproducible for *any* worker count.
     pub fn kinetic_energy(&self) -> f64 {
+        const CHUNK: usize = 4096;
+        let n = self.len();
         let term = |i: usize| self.w[i] * self.mass * (self.gamma(i) - 1.0);
-        if self.len() < PAR_MIN {
-            (0..self.len()).map(term).sum()
+        let chunk_sum = |c: usize| {
+            let lo = c * CHUNK;
+            (lo..(lo + CHUNK).min(n)).map(term).sum::<f64>()
+        };
+        let n_chunks = n.div_ceil(CHUNK);
+        let partials: Vec<f64> = if n < PAR_MIN {
+            (0..n_chunks).map(chunk_sum).collect()
         } else {
-            (0..self.len()).into_par_iter().map(term).sum()
-        }
+            (0..n_chunks).into_par_iter().map(chunk_sum).collect()
+        };
+        partials.iter().sum()
     }
 
     /// Take (remove and return) every particle whose x lies outside

@@ -39,8 +39,8 @@ use crate::field::VecField3;
 use crate::grid::GridSpec;
 use crate::particles::ParticleBuffer;
 use crate::pusher::boris;
+use parking_lot::Mutex;
 use rayon::prelude::*;
-use std::sync::Mutex;
 
 /// Halo width (cells) of a tile-local accumulator on every side: the
 /// Esirkepov CIC support of a particle starting in the tile reaches at
@@ -419,7 +419,6 @@ impl TilePool {
         let patches: usize = self
             .patches
             .lock()
-            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .map(|p| p.comp.iter().map(|c| c.capacity() * 8).sum::<usize>())
             .sum();
@@ -437,21 +436,14 @@ struct PatchLease<'a> {
 
 impl<'a> PatchLease<'a> {
     fn take(pool: &'a Mutex<Vec<FieldPatch>>) -> Self {
-        let patch = pool
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .pop()
-            .unwrap_or_default();
+        let patch = pool.lock().pop().unwrap_or_default();
         Self { pool, patch }
     }
 }
 
 impl Drop for PatchLease<'_> {
     fn drop(&mut self) {
-        self.pool
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(std::mem::take(&mut self.patch));
+        self.pool.lock().push(std::mem::take(&mut self.patch));
     }
 }
 

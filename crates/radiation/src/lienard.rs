@@ -77,31 +77,29 @@ impl RadiationAccumulator {
     /// Accumulate one step's contributions from `particles` at simulation
     /// time `t`, integrating with weight `dt`.
     ///
-    /// Parallelises over particles with per-thread partial amplitudes.
+    /// Parallelises over fixed-size particle chunks with per-chunk partial
+    /// amplitudes merged in chunk order, so the amplitude sums are
+    /// bit-reproducible for *any* worker count.
     pub fn accumulate(&mut self, det: &Detector, particles: &[ParticleState], t: f64, dt: f64) {
+        const CHUNK: usize = 256;
         let n_dirs = self.n_dirs;
         let n_freqs = self.n_freqs;
         let stride = n_freqs * 6;
-        let partial = particles
-            .par_iter()
-            .fold(
-                || vec![0.0f64; n_dirs * stride],
-                |mut acc, p| {
+        let n = particles.len();
+        let partials: Vec<Vec<f64>> = (0..n.div_ceil(CHUNK))
+            .into_par_iter()
+            .map(|c| {
+                let mut acc = vec![0.0f64; n_dirs * stride];
+                for p in &particles[c * CHUNK..(c * CHUNK + CHUNK).min(n)] {
                     add_particle(&mut acc, det, p, t, dt);
-                    acc
-                },
-            )
-            .reduce(
-                || vec![0.0f64; n_dirs * stride],
-                |mut a, b| {
-                    for (x, y) in a.iter_mut().zip(b) {
-                        *x += y;
-                    }
-                    a
-                },
-            );
-        for (a, b) in self.amp.iter_mut().zip(partial) {
-            *a += b;
+                }
+                acc
+            })
+            .collect();
+        for part in partials {
+            for (a, b) in self.amp.iter_mut().zip(part) {
+                *a += b;
+            }
         }
     }
 

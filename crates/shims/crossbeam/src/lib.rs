@@ -3,12 +3,47 @@
 //! Only the `channel` module's unbounded MPSC surface is needed here
 //! (the communicator gives every rank its own receiving endpoint, so
 //! crossbeam's MPMC generality is unused). Backed by [`std::sync::mpsc`].
+//!
+//! The [`thread`] module deviates from upstream (which only offers
+//! scoped threads): it provides the plain `spawn`/`JoinHandle` pair the
+//! workspace needs, so that *all* thread creation outside `core::workflow`
+//! goes through a shim (the `raw-sync` lint enforces this).
+//!
+//! With the `detect` cargo feature, channel sends piggyback a vector-clock
+//! snapshot that the receiver joins, and `thread::spawn`/`join` draw
+//! fork/join edges — together these are the happens-before source for the
+//! `as-detect` race checker. With the feature off, both modules compile
+//! to the exact uninstrumented wrappers.
 
 pub mod channel {
     //! Unbounded channels with crossbeam's names.
 
+    /// On-the-wire envelope: payload plus (under `detect`) the sender's
+    /// clock snapshot.
+    struct Msg<T> {
+        payload: T,
+        #[cfg(feature = "detect")]
+        clock: as_detect::Clock,
+    }
+
+    impl<T> Msg<T> {
+        fn pack(payload: T) -> Self {
+            Msg {
+                payload,
+                #[cfg(feature = "detect")]
+                clock: as_detect::send_event(),
+            }
+        }
+
+        fn unpack(self) -> T {
+            #[cfg(feature = "detect")]
+            as_detect::recv_event(&self.clock);
+            self.payload
+        }
+    }
+
     /// Sending half (cloneable).
-    pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+    pub struct Sender<T>(std::sync::mpsc::Sender<Msg<T>>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
@@ -24,7 +59,7 @@ pub mod channel {
     /// which matches crossbeam's any-thread-may-receive contract (the
     /// communicator additionally guarantees one receiving thread per
     /// endpoint at a time, so the lock is uncontended in practice).
-    pub struct Receiver<T>(std::sync::Mutex<std::sync::mpsc::Receiver<T>>);
+    pub struct Receiver<T>(std::sync::Mutex<std::sync::mpsc::Receiver<Msg<T>>>);
 
     /// Error returned when the receiving end is gone.
     #[derive(PartialEq, Eq)]
@@ -61,7 +96,9 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Enqueue a message (never blocks).
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value).map_err(|e| SendError(e.0))
+            self.0
+                .send(Msg::pack(value))
+                .map_err(|e| SendError(e.0.payload))
         }
     }
 
@@ -72,6 +109,7 @@ pub mod channel {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .recv()
+                .map(Msg::unpack)
                 .map_err(|_| RecvError)
         }
 
@@ -81,6 +119,7 @@ pub mod channel {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .try_recv()
+                .map(Msg::unpack)
                 .map_err(|_| RecvError)
         }
 
@@ -91,6 +130,7 @@ pub mod channel {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .recv_timeout(timeout)
+                .map(Msg::unpack)
                 .map_err(|e| match e {
                     std::sync::mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
                     std::sync::mpsc::RecvTimeoutError::Disconnected => {
@@ -131,6 +171,80 @@ pub mod channel {
             assert_eq!(rx.recv_timeout(t), Ok(9));
             drop(tx);
             assert_eq!(rx.recv_timeout(t), Err(RecvTimeoutError::Disconnected));
+        }
+    }
+}
+
+pub mod thread {
+    //! Plain thread spawn/join, instrumented with fork/join
+    //! happens-before edges under `detect`.
+
+    #[cfg(feature = "detect")]
+    type Payload<T> = (T, as_detect::Clock);
+    #[cfg(not(feature = "detect"))]
+    type Payload<T> = T;
+
+    /// Handle to a spawned thread (mirrors [`std::thread::JoinHandle`]).
+    pub struct JoinHandle<T>(std::thread::JoinHandle<Payload<T>>);
+
+    /// Spawn a thread. Under `detect`, the child inherits the parent's
+    /// clock (fork edge) and hands its final clock back through
+    /// [`JoinHandle::join`] (join edge).
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        #[cfg(feature = "detect")]
+        {
+            let fork = as_detect::fork_event();
+            JoinHandle(std::thread::spawn(move || {
+                as_detect::child_start(&fork);
+                let out = f();
+                (out, as_detect::exit_event())
+            }))
+        }
+        #[cfg(not(feature = "detect"))]
+        {
+            JoinHandle(std::thread::spawn(f))
+        }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread to finish, propagating its panic payload
+        /// exactly like [`std::thread::JoinHandle::join`].
+        pub fn join(self) -> std::thread::Result<T> {
+            #[cfg(feature = "detect")]
+            {
+                self.0.join().map(|(out, clock)| {
+                    as_detect::join_event(&clock);
+                    out
+                })
+            }
+            #[cfg(not(feature = "detect"))]
+            {
+                self.0.join()
+            }
+        }
+
+        /// Whether the thread has exited.
+        pub fn is_finished(&self) -> bool {
+            self.0.is_finished()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn spawn_join_round_trip() {
+            let h = super::spawn(|| 41 + 1);
+            assert_eq!(h.join().unwrap(), 42);
+        }
+
+        #[test]
+        fn join_propagates_panic() {
+            let h = super::spawn(|| panic!("boom"));
+            assert!(h.join().is_err());
         }
     }
 }

@@ -1,0 +1,62 @@
+//! Seeded two-thread data-race fixture.
+//!
+//! Two sibling threads write the same tracked cell with no ordering
+//! between them: the vector-clock checker must report the pair with
+//! both access locations. A third scenario orders the writes through a
+//! channel edge and must stay silent. With `detect` off this file
+//! compiles to nothing.
+
+#![cfg(feature = "detect")]
+
+use as_detect::track_cell;
+use crossbeam::channel::unbounded;
+use crossbeam::thread;
+use std::sync::Arc;
+
+#[test]
+fn unsynchronized_sibling_writes_are_reported() {
+    let cell = Arc::new(track_cell!("fixture.racy-writes"));
+    let (c1, c2) = (cell.clone(), cell.clone());
+    let t1 = thread::spawn(move || c1.write());
+    let t2 = thread::spawn(move || c2.write());
+    t1.join().unwrap_or_else(|_| panic!("t1 panicked"));
+    t2.join().unwrap_or_else(|_| panic!("t2 panicked"));
+    let reports = as_detect::race_reports();
+    assert!(
+        reports.iter().any(|r| r.contains("fixture.racy-writes")),
+        "the seeded race must be reported; got: {reports:?}"
+    );
+    let report = reports
+        .iter()
+        .find(|r| r.contains("fixture.racy-writes"))
+        .unwrap_or_else(|| panic!("report present"));
+    assert!(
+        report.contains("race_fixture.rs"),
+        "the report must cite both access locations: {report}"
+    );
+}
+
+#[test]
+fn channel_edge_orders_the_same_pattern() {
+    let cell = Arc::new(track_cell!("fixture.channel-ordered"));
+    let (tx, rx) = unbounded::<()>();
+    let c1 = cell.clone();
+    let t1 = thread::spawn(move || {
+        c1.write();
+        tx.send(()).unwrap_or_else(|_| panic!("receiver alive"));
+    });
+    let c2 = cell.clone();
+    let t2 = thread::spawn(move || {
+        rx.recv().unwrap_or_else(|_| panic!("sender alive"));
+        c2.write(); // happens-after t1's write via the channel edge
+    });
+    t1.join().unwrap_or_else(|_| panic!("t1 panicked"));
+    t2.join().unwrap_or_else(|_| panic!("t2 panicked"));
+    let reports = as_detect::race_reports();
+    assert!(
+        !reports
+            .iter()
+            .any(|r| r.contains("fixture.channel-ordered")),
+        "send/recv must order the writes; got: {reports:?}"
+    );
+}

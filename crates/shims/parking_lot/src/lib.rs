@@ -4,34 +4,55 @@
 //! panic-free API: `lock()` returns the guard directly (poisoning is
 //! swallowed — a poisoned lock here means a test already failed elsewhere)
 //! and `Condvar::wait` takes `&mut MutexGuard`.
+//!
+//! With the `detect` cargo feature, every acquire/release is reported to
+//! `as-detect`: lock-order cycles panic with both acquisition stacks
+//! *before* the thread would block, and the held-lock set feeds the
+//! tracked-cell race checker. With the feature off, the shim compiles to
+//! the exact uninstrumented wrapper (the `as-detect` dependency itself
+//! is not built).
 
 use std::ops::{Deref, DerefMut};
 
 /// Mutual exclusion with parking_lot's non-poisoning API.
 #[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "detect")]
+    meta: as_detect::LockMeta,
+    inner: std::sync::Mutex<T>,
+}
 
 impl<T> Mutex<T> {
     /// Wrap a value.
     pub const fn new(value: T) -> Self {
-        Self(std::sync::Mutex::new(value))
+        Self {
+            #[cfg(feature = "detect")]
+            meta: as_detect::LockMeta::new(),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock (never panics on poisoning).
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
+        #[cfg(feature = "detect")]
+        as_detect::lock_acquire(&self.meta);
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+            #[cfg(feature = "detect")]
+            meta: &self.meta,
+        }
     }
 
     /// Mutable access without locking.
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -40,18 +61,31 @@ impl<T: ?Sized> Mutex<T> {
 /// The inner `Option` is only ever `None` transiently inside
 /// [`Condvar::wait`], where the std guard must be moved out and back.
 #[derive(Debug)]
-pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    #[cfg(feature = "detect")]
+    meta: &'a as_detect::LockMeta,
+}
+
+#[cfg(feature = "detect")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        as_detect::lock_release(self.meta);
+    }
+}
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.0.as_deref().expect("guard present outside wait")
+        self.inner.as_deref().expect("guard present outside wait")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.0.as_deref_mut().expect("guard present outside wait")
+        self.inner
+            .as_deref_mut()
+            .expect("guard present outside wait")
     }
 }
 
@@ -66,9 +100,19 @@ impl Condvar {
     }
 
     /// Atomically release the lock and sleep until notified.
+    ///
+    /// Under `detect` the lock leaves (and re-enters) the thread's
+    /// held-lock set around the sleep. No happens-before edge is drawn
+    /// for the notify itself — condvar-guarded state is covered by the
+    /// lockset check on its protecting mutex.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
-        let inner = guard.0.take().expect("guard present before wait");
-        guard.0 = Some(self.0.wait(inner).unwrap_or_else(|e| e.into_inner()));
+        let inner = guard.inner.take().expect("guard present before wait");
+        #[cfg(feature = "detect")]
+        as_detect::lock_release(guard.meta);
+        let reacquired = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "detect")]
+        as_detect::lock_acquire(guard.meta);
+        guard.inner = Some(reacquired);
     }
 
     /// Wake one waiter.

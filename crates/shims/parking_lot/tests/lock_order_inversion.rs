@@ -1,0 +1,37 @@
+//! Seeded lock-order-inversion fixture.
+//!
+//! Two mutexes acquired as A→B on one code path and B→A on another form
+//! a potential-deadlock cycle. The shim's `detect` instrumentation must
+//! abort the second acquisition with both acquisition stacks — *before*
+//! blocking, so the fixture never actually deadlocks. With `detect` off
+//! this file compiles to nothing.
+
+#![cfg(feature = "detect")]
+
+use parking_lot::Mutex;
+
+#[test]
+#[should_panic(expected = "lock-order cycle")]
+fn seeded_inversion_panics_at_second_acquisition() {
+    let a = Mutex::new(0u32);
+    let b = Mutex::new(0u32);
+    {
+        // Establish the A→B edge.
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    // The reverse order closes the cycle: this must panic while
+    // acquiring `a` with `b` held, not deadlock.
+    let _gb = b.lock();
+    let _ga = a.lock();
+}
+
+#[test]
+fn consistent_global_order_stays_silent() {
+    let a = Mutex::new(0u32);
+    let b = Mutex::new(0u32);
+    for _ in 0..3 {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+}

@@ -40,12 +40,13 @@
 //! producer crash mid-stream, readers drain what was published and see a
 //! clean EOF.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::cells::{track_cell, Cell};
 use crate::dataplane::DataPlane;
 use crate::error::StagingError;
 use crate::stats::ThroughputRecorder;
@@ -81,23 +82,25 @@ impl Default for StreamConfig {
 #[derive(Debug)]
 struct StepData {
     step: u64,
-    vars: HashMap<String, VariableMeta>,
+    /// Ordered by name, so iteration (and [`ReadStep::variable_names`])
+    /// is deterministic without a sort.
+    vars: BTreeMap<String, VariableMeta>,
 }
 
 #[derive(Default)]
 struct StreamState {
     /// Step being assembled (writers contribute blocks).
-    pending: HashMap<u64, HashMap<String, VariableMeta>>,
+    pending: BTreeMap<u64, BTreeMap<String, VariableMeta>>,
     /// Writers that called `end_step` for a given step.
-    end_arrivals: HashMap<u64, usize>,
+    end_arrivals: BTreeMap<u64, usize>,
     /// Published, not yet fully-closed steps (FIFO).
     queue: VecDeque<Arc<StepData>>,
     /// Per-step bitmask of reader ranks that closed it.
-    closed: HashMap<u64, u64>,
+    closed: BTreeMap<u64, u64>,
     /// Bitmask of reader ranks that departed (endpoint dropped).
     departed: u64,
     /// Cursor each departed reader held at departure, keyed by rank.
-    departed_cursors: HashMap<usize, u64>,
+    departed_cursors: BTreeMap<usize, u64>,
     /// Total published steps.
     published: u64,
     /// Writers that closed the stream entirely.
@@ -108,6 +111,9 @@ struct StreamCore {
     cfg: StreamConfig,
     state: Mutex<StreamState>,
     cond: Condvar,
+    /// Detector registration for the SST step table (everything inside
+    /// `state`, mutated only under its mutex).
+    cell: Cell,
 }
 
 impl StreamCore {
@@ -125,6 +131,7 @@ impl StreamCore {
     /// its vote — the step is retired from the queue, releasing its slot
     /// (and any writer blocked on the queue limit).
     fn close_step_locked(&self, st: &mut StreamState, step: u64, rank: usize) {
+        self.cell.write();
         let full = self.readers_mask();
         let mask = st.closed.entry(step).or_insert(0);
         *mask |= 1u64 << rank;
@@ -140,6 +147,7 @@ impl StreamCore {
     /// implied votes may complete older steps) and on publish while
     /// readers are departed (a step may be born fully covered).
     fn retire_covered_locked(&self, st: &mut StreamState) {
+        self.cell.write();
         if st.departed == 0 {
             return;
         }
@@ -248,6 +256,7 @@ pub fn open_stream_monitored(cfg: StreamConfig) -> (Vec<SstWriter>, Vec<SstReade
         cfg,
         state: Mutex::new(StreamState::default()),
         cond: Condvar::new(),
+        cell: track_cell!("staging::StreamCore.state"),
     });
     let writers = (0..cfg.writers)
         .map(|rank| SstWriter {
@@ -304,6 +313,7 @@ impl SstWriter {
         assert!(self.current_step.is_none(), "step already open");
         let step = self.next_step;
         let mut st = self.core.state.lock();
+        self.core.cell.write();
         if st.queue.len() >= self.core.cfg.queue_limit {
             let blocked = std::time::Instant::now();
             while st.queue.len() >= self.core.cfg.queue_limit {
@@ -349,6 +359,10 @@ impl SstWriter {
     }
 
     /// Publish a raw block.
+    ///
+    /// # Panics
+    /// Panics on a step-protocol violation; [`Self::try_put_bytes`] is
+    /// the fallible twin.
     pub fn put_bytes(
         &mut self,
         name: &str,
@@ -358,13 +372,34 @@ impl SstWriter {
         count: u64,
         data: bytes::Bytes,
     ) {
-        let step = self.current_step.expect("put outside begin/end step");
+        self.try_put_bytes(name, dtype, global_count, offset, count, data)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Publish a raw block, reporting step-protocol misuse as a typed
+    /// [`StagingError`] instead of panicking.
+    pub fn try_put_bytes(
+        &mut self,
+        name: &str,
+        dtype: Dtype,
+        global_count: u64,
+        offset: u64,
+        count: u64,
+        data: bytes::Bytes,
+    ) -> Result<(), StagingError> {
+        let step = self.current_step.ok_or(StagingError::Protocol {
+            what: "put outside begin/end step",
+        })?;
         if self.truncated {
-            return;
+            return Ok(());
         }
         self.stats.add_bytes(data.len() as u64);
         let mut st = self.core.state.lock();
-        let vars = st.pending.get_mut(&step).expect("pending step exists");
+        self.core.cell.write();
+        let vars = st
+            .pending
+            .get_mut(&step)
+            .unwrap_or_else(|| panic!("begin_step must have registered pending step {step}"));
         let var = vars
             .entry(name.to_string())
             .or_insert_with(|| VariableMeta {
@@ -384,24 +419,38 @@ impl SstWriter {
             count,
             data,
         });
+        Ok(())
     }
 
     /// Close the step; the last writer to arrive validates and publishes.
+    ///
+    /// # Panics
+    /// Panics on a step-protocol violation; [`Self::try_end_step`] is
+    /// the fallible twin.
     pub fn end_step(&mut self) {
-        let step = self
-            .current_step
-            .take()
-            .expect("end_step without begin_step");
+        self.try_end_step().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Close the step, reporting a missing `begin_step` as a typed
+    /// [`StagingError`] instead of panicking.
+    pub fn try_end_step(&mut self) -> Result<(), StagingError> {
+        let step = self.current_step.take().ok_or(StagingError::Protocol {
+            what: "end_step without begin_step",
+        })?;
         self.next_step = step + 1;
         if self.truncated {
-            return;
+            return Ok(());
         }
         let mut st = self.core.state.lock();
+        self.core.cell.write();
         let arrivals = st.end_arrivals.entry(step).or_insert(0);
         *arrivals += 1;
         if *arrivals == self.core.cfg.writers {
             st.end_arrivals.remove(&step);
-            let vars = st.pending.remove(&step).expect("pending step exists");
+            let vars = st
+                .pending
+                .remove(&step)
+                .unwrap_or_else(|| panic!("begin_step must have registered pending step {step}"));
             for v in vars.values() {
                 v.validate();
             }
@@ -419,6 +468,7 @@ impl SstWriter {
                 self.core.cond.wait(&mut st);
             }
         }
+        Ok(())
     }
 
     /// Close the stream; when every writer closed, readers see EOF.
@@ -426,6 +476,7 @@ impl SstWriter {
         if !self.closed {
             self.closed = true;
             let mut st = self.core.state.lock();
+            self.core.cell.write();
             st.writers_closed += 1;
             self.core.cond.notify_all();
         }
@@ -461,6 +512,7 @@ impl SstReader {
     /// published steps were consumed.
     pub fn begin_step(&mut self) -> Option<ReadStep> {
         let mut st = self.core.state.lock();
+        self.core.cell.read();
         loop {
             if let Some(sd) = st.queue.iter().find(|s| s.step == self.cursor) {
                 let data = sd.clone();
@@ -542,7 +594,7 @@ impl SstReader {
                     .queue
                     .iter()
                     .find(|s| s.step == target)
-                    .expect("target step queued")
+                    .unwrap_or_else(|| panic!("step {target} must still be queued"))
                     .clone();
                 self.cursor = target + 1;
                 return (
@@ -616,6 +668,7 @@ impl Drop for SstReader {
     /// with `cursor == published`, losing nothing.
     fn drop(&mut self) {
         let mut st = self.core.state.lock();
+        self.core.cell.write();
         if st.departed & (1u64 << self.rank) != 0 {
             return;
         }
@@ -632,11 +685,10 @@ impl ReadStep {
         self.data.step
     }
 
-    /// Names of the variables in this step.
+    /// Names of the variables in this step, in lexicographic order (the
+    /// step table is an ordered map, so no sort is needed).
     pub fn variable_names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.data.vars.keys().cloned().collect();
-        v.sort();
-        v
+        self.data.vars.keys().cloned().collect()
     }
 
     /// Metadata of one variable.

@@ -27,6 +27,12 @@ pub enum StagingError {
         /// Dtype actually published.
         found: Dtype,
     },
+    /// A writer-side call arrived outside the step protocol (e.g. a
+    /// `put` with no open step, or `end_step` without `begin_step`).
+    Protocol {
+        /// Which protocol rule was violated.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for StagingError {
@@ -41,6 +47,9 @@ impl fmt::Display for StagingError {
                 found,
             } => {
                 write!(f, "variable {name} is not {expected:?} (found {found:?})")
+            }
+            StagingError::Protocol { what } => {
+                write!(f, "step protocol violation: {what}")
             }
         }
     }

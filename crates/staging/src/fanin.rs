@@ -92,7 +92,10 @@ pub fn run_fanin_relay(
     while let Some(mut step) = upstream.begin_step() {
         downstream.begin_step();
         for name in step.variable_names() {
-            let var = step.variable(&name).expect("listed").clone();
+            let var = step
+                .variable(&name)
+                .unwrap_or_else(|| panic!("variable_names listed {name}"))
+                .clone();
             match var.dtype {
                 Dtype::F64 => {
                     let data = step.get_f64(&name);

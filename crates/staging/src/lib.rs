@@ -32,6 +32,7 @@
 //! the `DropSteps` consumer policy in `as-core`
 //! (`ConsumerPolicy::DropSteps`).
 
+pub(crate) mod cells;
 pub mod dataplane;
 pub mod engine;
 pub mod error;

@@ -52,7 +52,10 @@ impl ThroughputRecorder {
     /// Close the window; records a bytes/second sample from the bytes
     /// accounted since `window_begin`.
     pub fn window_end(&mut self) {
-        let start = self.window_start.take().expect("window_end without begin");
+        let start = self
+            .window_start
+            .take()
+            .unwrap_or_else(|| panic!("window_end without begin"));
         let dt = start.elapsed().as_secs_f64();
         self.wall_seconds += dt;
         if dt > 0.0 && self.window_bytes > 0 {

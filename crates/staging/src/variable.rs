@@ -105,7 +105,12 @@ pub fn f64_to_bytes(v: &[f64]) -> Bytes {
 pub fn bytes_to_f64(b: &Bytes) -> Vec<f64> {
     assert_eq!(b.len() % 8, 0, "payload not f64-aligned");
     b.chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .map(|c| {
+            let arr: [u8; 8] = c
+                .try_into()
+                .unwrap_or_else(|_| unreachable!("chunks_exact(8)"));
+            f64::from_le_bytes(arr)
+        })
         .collect()
 }
 
@@ -122,7 +127,12 @@ pub fn f32_to_bytes(v: &[f32]) -> Bytes {
 pub fn bytes_to_f32(b: &Bytes) -> Vec<f32> {
     assert_eq!(b.len() % 4, 0, "payload not f32-aligned");
     b.chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .map(|c| {
+            let arr: [u8; 4] = c
+                .try_into()
+                .unwrap_or_else(|_| unreachable!("chunks_exact(4)"));
+            f32::from_le_bytes(arr)
+        })
         .collect()
 }
 

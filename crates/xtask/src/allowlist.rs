@@ -1,0 +1,144 @@
+//! Committed lint suppressions.
+//!
+//! `lint-allowlist.txt` at the repo root holds one entry per line:
+//!
+//! ```text
+//! rule | path-suffix | needle | justification
+//! ```
+//!
+//! An entry suppresses a violation when the rule matches exactly, the
+//! violation's repo-relative path ends with `path-suffix`, and `needle`
+//! is a substring of the offending source line. Policy (enforced here):
+//! every entry must carry a non-empty justification, and every entry
+//! must suppress at least one current violation — stale suppressions
+//! are errors, so the file can only shrink as code is fixed. CI adds a
+//! line-count guard on top (see `.github/workflows/ci.yml`).
+
+use crate::rules::Violation;
+
+#[derive(Debug)]
+pub struct Entry {
+    pub rule: String,
+    pub path: String,
+    pub needle: String,
+    pub line: usize,
+}
+
+/// Parse the allowlist text. Returns entries and per-line format errors.
+pub fn parse(text: &str) -> (Vec<Entry>, Vec<String>) {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split('|').map(str::trim).collect();
+        if fields.len() != 4 {
+            errors.push(format!(
+                "allowlist:{line}: expected `rule | path | needle | justification`, got {} field(s)",
+                fields.len()
+            ));
+            continue;
+        }
+        if fields[3].is_empty() {
+            errors.push(format!("allowlist:{line}: entry has no justification"));
+            continue;
+        }
+        entries.push(Entry {
+            rule: fields[0].to_string(),
+            path: fields[1].to_string(),
+            needle: fields[2].to_string(),
+            line,
+        });
+    }
+    (entries, errors)
+}
+
+impl Entry {
+    fn matches(&self, v: &Violation) -> bool {
+        v.rule == self.rule && v.path.ends_with(&self.path) && v.text.contains(&self.needle)
+    }
+}
+
+/// Split violations into (remaining, suppressed-count) and report any
+/// entry that suppressed nothing as an error.
+pub fn apply(
+    entries: &[Entry],
+    violations: Vec<Violation>,
+) -> (Vec<Violation>, usize, Vec<String>) {
+    let mut used = vec![false; entries.len()];
+    let mut remaining = Vec::new();
+    let mut suppressed = 0usize;
+    for v in violations {
+        match entries.iter().position(|e| e.matches(&v)) {
+            Some(i) => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            None => remaining.push(v),
+        }
+    }
+    let errors = entries
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(e, _)| {
+            format!(
+                "allowlist:{}: unused entry `{} | {} | {}` — remove it (suppressions may only shrink)",
+                e.line, e.rule, e.path, e.needle
+            )
+        })
+        .collect();
+    (remaining, suppressed, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Violation;
+
+    fn v(rule: &'static str, path: &str, text: &str) -> Violation {
+        Violation {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            text: text.to_string(),
+        }
+    }
+
+    #[test]
+    fn parses_and_rejects_bad_lines() {
+        let (entries, errors) = parse(
+            "# comment\n\n\
+             hot-path-unwrap | cluster/src/comm.rs | broadcast value | root contract\n\
+             hash-collections | core/src/x.rs | HashMap\n\
+             raw-sync | a.rs | x | \n",
+        );
+        assert_eq!(entries.len(), 1);
+        assert_eq!(errors.len(), 2, "{errors:?}");
+    }
+
+    #[test]
+    fn suppresses_matching_and_flags_unused() {
+        let (entries, _) = parse(
+            "hot-path-unwrap | cluster/src/comm.rs | broadcast | root must supply\n\
+             raw-sync | pic/src/tile.rs | Mutex | stale\n",
+        );
+        let vs = vec![
+            v(
+                "hot-path-unwrap",
+                "crates/cluster/src/comm.rs",
+                "value.expect(\"broadcast\")",
+            ),
+            v("hash-collections", "crates/core/src/faults.rs", "HashMap"),
+        ];
+        let (remaining, suppressed, errors) = apply(&entries, vs);
+        assert_eq!(suppressed, 1);
+        assert_eq!(remaining.len(), 1);
+        assert_eq!(remaining[0].rule, "hash-collections");
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].contains("unused"));
+    }
+}

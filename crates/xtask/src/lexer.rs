@@ -1,0 +1,249 @@
+//! Lexical pre-processing for the lint pass.
+//!
+//! [`strip`] replaces comments, string literals, and char literals with
+//! spaces so needle matching cannot fire inside them; newlines are kept
+//! so reported line numbers match the original file. [`blank_test_items`]
+//! additionally blanks `#[cfg(test)]` items, because every lint rule
+//! governs non-test code only.
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Push `n` bytes of blanks for `src[i..i+n]`, preserving newlines.
+fn push_blank(out: &mut Vec<u8>, src: &[u8], i: usize, n: usize) {
+    for &b in &src[i..(i + n).min(src.len())] {
+        out.push(if b == b'\n' { b'\n' } else { b' ' });
+    }
+}
+
+/// Replace comments, string/char literals with spaces, preserving line
+/// structure. Raw strings (`r"…"`, `r#"…"#`) and nested block comments
+/// are handled; lifetimes (`'a`) are left intact.
+pub fn strip(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1usize;
+                push_blank(&mut out, b, i, 2);
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        push_blank(&mut out, b, i, 2);
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        push_blank(&mut out, b, i, 2);
+                        i += 2;
+                    } else {
+                        push_blank(&mut out, b, i, 1);
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if (i == 0 || !is_ident(b[i - 1])) && raw_string_hashes(b, i).is_some() => {
+                let hashes = raw_string_hashes(b, i).unwrap_or(0);
+                // r + hashes + opening quote
+                let start = i;
+                i += 1 + hashes + 1;
+                // Scan for closing quote followed by `hashes` '#'s.
+                while i < b.len() {
+                    if b[i] == b'"'
+                        && b[i + 1..]
+                            .iter()
+                            .take(hashes)
+                            .filter(|&&c| c == b'#')
+                            .count()
+                            == hashes
+                    {
+                        i += 1 + hashes;
+                        break;
+                    }
+                    i += 1;
+                }
+                push_blank(&mut out, b, start, i - start);
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' {
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+                push_blank(&mut out, b, start, i - start);
+            }
+            b'\'' => {
+                // Char literal vs lifetime.
+                if b.get(i + 1) == Some(&b'\\') {
+                    // Escaped char literal: '\n', '\'', '\u{1F600}'.
+                    let start = i;
+                    let mut j = i + 2;
+                    if b.get(j) == Some(&b'u') {
+                        while j < b.len() && b[j] != b'}' {
+                            j += 1;
+                        }
+                    }
+                    j += 1; // past escape payload
+                    if b.get(j) == Some(&b'\'') {
+                        j += 1;
+                    }
+                    push_blank(&mut out, b, start, j - start);
+                    i = j;
+                } else if b.get(i + 2) == Some(&b'\'') {
+                    // Plain char literal: 'a'.
+                    push_blank(&mut out, b, i, 3);
+                    i += 3;
+                } else {
+                    // Lifetime: leave as-is.
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// If `b[i..]` begins a raw string literal (`r"`, `r#"`, `r##"`, …),
+/// return the number of '#'s; `None` otherwise (covers raw identifiers
+/// like `r#type`).
+fn raw_string_hashes(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) == Some(&b'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Blank every `#[cfg(test)]` item (module, fn, impl, use, …) in
+/// already-stripped source. Items ending in `;` before any `{` are
+/// blanked through the `;`; otherwise through the matching close brace
+/// of the first `{`.
+pub fn blank_test_items(stripped: &str) -> String {
+    const ATTR: &str = "#[cfg(test)]";
+    let mut b = stripped.as_bytes().to_vec();
+    let mut from = 0usize;
+    while let Some(rel) = find_from(&b, ATTR.as_bytes(), from) {
+        let start = rel;
+        let mut i = start + ATTR.len();
+        // Scan forward to the item terminator.
+        let mut end = b.len();
+        while i < b.len() {
+            match b[i] {
+                b';' => {
+                    end = i + 1;
+                    break;
+                }
+                b'{' => {
+                    let mut depth = 1usize;
+                    i += 1;
+                    while i < b.len() && depth > 0 {
+                        match b[i] {
+                            b'{' => depth += 1,
+                            b'}' => depth -= 1,
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                    end = i;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        for c in &mut b[start..end] {
+            if *c != b'\n' {
+                *c = b' ';
+            }
+        }
+        from = end.max(start + 1);
+    }
+    String::from_utf8(b).unwrap_or_default()
+}
+
+fn find_from(hay: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if from >= hay.len() || needle.is_empty() {
+        return None;
+    }
+    hay[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let s = strip("let a = 1; // HashMap\n/* HashSet */ let b = 2;\n");
+        assert!(!s.contains("HashMap"));
+        assert!(!s.contains("HashSet"));
+        assert!(s.contains("let a = 1;"));
+        assert!(s.contains("let b = 2;"));
+        assert_eq!(s.matches('\n').count(), 2);
+    }
+
+    #[test]
+    fn strips_nested_block_comments() {
+        let s = strip("/* outer /* HashMap */ still */ let x = 3;");
+        assert!(!s.contains("HashMap"));
+        assert!(s.contains("let x = 3;"));
+    }
+
+    #[test]
+    fn strips_strings_and_chars_keeps_lifetimes() {
+        let s = strip("let s = \"HashMap\"; let c = '\\n'; fn f<'a>(x: &'a str) {}");
+        assert!(!s.contains("HashMap"));
+        assert!(s.contains("<'a>"));
+        assert!(s.contains("&'a str"));
+    }
+
+    #[test]
+    fn strips_raw_strings() {
+        let s = strip("let s = r#\"HashMap \" inner\"#; let t = 1;");
+        assert!(!s.contains("HashMap"));
+        assert!(s.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn blanks_cfg_test_modules_and_items() {
+        let src = "fn live() { a.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\n\
+                   #[cfg(test)]\nuse std::thread;\n\
+                   fn live2() {}\n";
+        let out = blank_test_items(&strip(src));
+        assert!(out.contains("a.unwrap()"));
+        assert!(!out.contains("b.unwrap()"));
+        assert!(!out.contains("std::thread"));
+        assert!(out.contains("fn live2"));
+        assert_eq!(out.matches('\n').count(), src.matches('\n').count());
+    }
+}
