@@ -1,0 +1,247 @@
+//! Serving-tier benchmark: closed-loop inversion traffic against the
+//! live learner, per comm backend.
+//!
+//! The serving tier's claims are operational, so this harness prices
+//! them end-to-end: the full coupled workflow runs on a background
+//! thread with `WorkflowConfig::serving` armed (the learner publishes a
+//! snapshot every `publish_every` training iterations, priced through
+//! the modelled network), while thousands of synthetic closed-loop
+//! clients hammer the [`as_serve::InferenceEngine`] — every response
+//! verified bitwise against a single-version reference forward, every
+//! client checking version monotonicity, every mid-traffic hot-swap
+//! exercised for torn weights. Per backend the harness records:
+//!
+//! - **latency** — p50/p95/p99 per-query milliseconds under batching,
+//! - **throughput** — answered queries per wall-clock second,
+//! - **cache** — LRU hit rate and the micro-batch size histogram,
+//! - **hot-swaps** — total installs and how many landed mid-traffic
+//!   (≥ 2 required: the consistency claim is vacuous without swaps
+//!   under load),
+//! - **staleness** — seconds since the last snapshot when the learner
+//!   stopped publishing.
+//!
+//! Writes `BENCH_serve.json`. Pass `--smoke` for the CI-sized run;
+//! `--backends in_process,netsim_frontier`, `--steps`, `--threads`,
+//! `--clients-per-thread`, `--min-queries`, `--out` to override.
+
+use as_core::config::{CommBackend, ServingConfig, WorkflowConfig};
+use as_serve::engine::InferenceEngine;
+use as_serve::loadgen::{run_loadgen, LoadGenConfig, LoadReport};
+use as_serve::run_workflow_serving;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    backends: Vec<String>,
+    steps: usize,
+    threads: usize,
+    clients_per_thread: usize,
+    min_queries: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        backends: vec!["in_process".into(), "netsim_frontier".into()],
+        steps: 32,
+        threads: 6,
+        clients_per_thread: 512,
+        min_queries: 2000,
+        out: "BENCH_serve.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--backends" => a.backends = val().split(',').map(str::to_string).collect(),
+            "--steps" => a.steps = val().parse().expect("--steps"),
+            "--threads" => a.threads = val().parse().expect("--threads"),
+            "--clients-per-thread" => {
+                a.clients_per_thread = val().parse().expect("--clients-per-thread")
+            }
+            "--min-queries" => a.min_queries = val().parse().expect("--min-queries"),
+            "--out" => a.out = val(),
+            "--smoke" => {
+                a.steps = 16;
+                a.threads = 2;
+                a.clients_per_thread = 64;
+                a.min_queries = 100;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    a
+}
+
+fn backend_of(name: &str) -> CommBackend {
+    match name {
+        "in_process" => CommBackend::InProcess,
+        "netsim_frontier" => CommBackend::netsim_frontier(),
+        "netsim_summit" => CommBackend::netsim_summit(),
+        other => panic!("unknown backend {other}"),
+    }
+}
+
+struct Row {
+    backend: String,
+    queries: u64,
+    qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    cache_hit_rate: f64,
+    mean_batch: f64,
+    batch_hist: Vec<u64>,
+    swaps: u64,
+    mid_traffic_swaps: u64,
+    versions_seen: Vec<u64>,
+    verified: u64,
+    queue_full_waits: u64,
+    stale_snapshot_seconds: f64,
+    workflow_iterations: usize,
+    tail_loss: f64,
+}
+
+fn run_one(name: &str, args: &Args) -> Row {
+    let serving = ServingConfig {
+        publish_every: 2,
+        max_batch: 8,
+        max_wait_us: 200,
+        queue_bound: 256,
+        cache_capacity: 64,
+        posterior_samples: 2,
+    };
+    let mut cfg = WorkflowConfig::small();
+    cfg.total_steps = args.steps;
+    cfg.steps_per_sample = 4;
+    cfg.n_rep = 3;
+    cfg.consumers = 2;
+    cfg.backend = backend_of(name);
+    cfg.serving = Some(serving.clone());
+
+    let engine = InferenceEngine::start(serving);
+    let stop = Arc::new(AtomicBool::new(false));
+    let wf_engine = Arc::clone(&engine);
+    let wf_stop = Arc::clone(&stop);
+    let wf_cfg = cfg.clone();
+    let workflow = crossbeam::thread::spawn(move || {
+        let report = run_workflow_serving(&wf_cfg, &wf_engine);
+        wf_stop.store(true, Ordering::SeqCst);
+        report
+    });
+
+    // Open the floodgates only once the first snapshot is live, so the
+    // latency sample measures serving, not learner warm-up.
+    assert!(
+        engine.wait_for_version(1, Duration::from_secs(300)),
+        "{name}: learner never published a first snapshot"
+    );
+    let swaps_before_load = engine.report().swaps;
+    let load_cfg = LoadGenConfig {
+        threads: args.threads,
+        clients_per_thread: args.clients_per_thread,
+        spectrum_pool: 48,
+        spectrum_dim: cfg.model.spectrum_dim,
+        min_queries_per_thread: args.min_queries / args.threads.max(1) as u64,
+        verify: true,
+        seed: 0x10AD_6E4E,
+    };
+    let load: LoadReport = run_loadgen(&engine, &load_cfg, &stop);
+    let report = workflow
+        .join()
+        .unwrap_or_else(|_| panic!("{name}: workflow thread panicked"));
+    let serve = engine.report();
+    engine.shutdown();
+
+    // The consistency contract, asserted on the real run: no torn
+    // weights, no version regressions, everything verified, and the
+    // traffic straddled hot-swaps.
+    assert_eq!(load.mismatched_responses, 0, "{name}: torn weights");
+    assert_eq!(load.monotonicity_violations, 0, "{name}");
+    assert_eq!(load.verified_responses, load.queries, "{name}");
+    let mid_traffic_swaps = serve.swaps - swaps_before_load;
+    assert!(
+        mid_traffic_swaps >= 2,
+        "{name}: need >= 2 hot-swaps under load, got {mid_traffic_swaps}"
+    );
+    assert!(
+        load.versions_seen.len() >= 2,
+        "{name}: traffic must observe multiple versions, saw {:?}",
+        load.versions_seen
+    );
+
+    Row {
+        backend: name.to_string(),
+        queries: load.queries,
+        qps: load.throughput(),
+        p50_ms: load.latency_percentile(50.0) * 1e3,
+        p95_ms: load.latency_percentile(95.0) * 1e3,
+        p99_ms: load.latency_percentile(99.0) * 1e3,
+        cache_hit_rate: serve.cache_hit_rate(),
+        mean_batch: serve.mean_batch(),
+        batch_hist: serve.batch_hist.clone(),
+        swaps: serve.swaps,
+        mid_traffic_swaps,
+        versions_seen: load.versions_seen.clone(),
+        verified: load.verified_responses,
+        queue_full_waits: serve.queue_full_waits,
+        stale_snapshot_seconds: serve.stale_snapshot_seconds,
+        workflow_iterations: report.consumer.losses.len(),
+        tail_loss: report.tail_loss(4),
+    }
+}
+
+fn json_u64s(v: &[u64]) -> String {
+    let items: Vec<String> = v.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn main() {
+    let args = parse_args();
+    let mut rows = Vec::new();
+    for name in &args.backends {
+        eprintln!("serving bench: backend {name}");
+        let row = run_one(name, &args);
+        eprintln!(
+            "  {:>7.0} q/s  p50 {:.3} ms  p99 {:.3} ms  hit {:.2}  swaps {} ({} mid-traffic)",
+            row.qps, row.p50_ms, row.p99_ms, row.cache_hit_rate, row.swaps, row.mid_traffic_swaps
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"serve\",\n");
+    json.push_str(&format!(
+        "  \"total_steps\": {},\n  \"loadgen_threads\": {},\n  \"clients_per_thread\": {},\n  \"torn_weights_verified\": true,\n  \"rows\": [\n",
+        args.steps, args.threads, args.clients_per_thread
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"queries\": {}, \"qps\": {:.1}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"cache_hit_rate\": {:.4}, \"mean_batch\": {:.3}, \"batch_hist\": {}, \"swaps\": {}, \"mid_traffic_swaps\": {}, \"versions_seen\": {}, \"verified_responses\": {}, \"queue_full_waits\": {}, \"stale_snapshot_seconds\": {:.4}, \"workflow_iterations\": {}, \"tail_loss\": {:.6}}}{}\n",
+            r.backend,
+            r.queries,
+            r.qps,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+            r.cache_hit_rate,
+            r.mean_batch,
+            json_u64s(&r.batch_hist),
+            r.swaps,
+            r.mid_traffic_swaps,
+            json_u64s(&r.versions_seen),
+            r.verified,
+            r.queue_full_waits,
+            r.stale_snapshot_seconds,
+            r.workflow_iterations,
+            r.tail_loss,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&args.out, &json).expect("write BENCH_serve.json");
+    println!("{json}");
+}

@@ -177,6 +177,51 @@ impl CommBackend {
     }
 }
 
+/// Knobs of the surrogate serving tier ([`WorkflowConfig::serving`]):
+/// how often the learner publishes [`crate::snapshot::ModelSnapshot`]s
+/// and how the inference engine (`as-serve`) batches and caches queries.
+///
+/// Publication is keyed on the **training-iteration counter**, which is
+/// identical on every DDP rank — so all ranks agree on when a snapshot
+/// is due and the collective schedule never diverges. Only the learner
+/// root captures and publishes; under the netsim backend the snapshot
+/// payload is priced along the broadcast schedule like all other
+/// traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingConfig {
+    /// Publish a snapshot every this many training iterations.
+    pub publish_every: u64,
+    /// Micro-batching: serve at most this many queries per forward pass.
+    pub max_batch: usize,
+    /// Micro-batching: after the first query of a batch arrives, wait at
+    /// most this long (microseconds) for more before running the pass.
+    pub max_wait_us: u64,
+    /// Bounded request queue: submitters wait while this many queries
+    /// are already in flight (closed-loop back-pressure, like the SST
+    /// queue on the training side).
+    pub queue_bound: usize,
+    /// LRU posterior-cache capacity (entries); `0` disables caching.
+    pub cache_capacity: usize,
+    /// Normal residual draws per query — the posterior sample count of
+    /// each inversion ([`as_nn::model::ArtificialScientistModel`]'s
+    /// `invert_radiation` semantics, seeded per `(spectrum, version)` so
+    /// responses are a pure function of the snapshot version).
+    pub posterior_samples: usize,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        Self {
+            publish_every: 8,
+            max_batch: 8,
+            max_wait_us: 200,
+            queue_bound: 256,
+            cache_capacity: 64,
+            posterior_samples: 4,
+        }
+    }
+}
+
 /// Everything needed to run the end-to-end workflow.
 #[derive(Debug, Clone)]
 pub struct WorkflowConfig {
@@ -260,6 +305,13 @@ pub struct WorkflowConfig {
     /// collectives, graceful rank-death degradation) and executes the
     /// plan's seeded event schedule.
     pub faults: FaultPlan,
+    /// Surrogate serving tier: with `Some`, the learner publishes
+    /// immutable versioned snapshots every
+    /// [`ServingConfig::publish_every`] training iterations to the
+    /// [`crate::snapshot::SnapshotSink`] passed to
+    /// [`crate::workflow::run_workflow_with_sink`]. `None` (the default)
+    /// keeps the legacy training-only workflow bit-for-bit.
+    pub serving: Option<ServingConfig>,
 }
 
 impl WorkflowConfig {
@@ -303,6 +355,7 @@ impl WorkflowConfig {
             grad_bucket: 8192,
             seed: 1,
             faults: FaultPlan::default(),
+            serving: None,
             model,
         }
     }
@@ -373,6 +426,16 @@ mod tests {
             "log-depth collectives are the default"
         );
         assert!(!c.overlap_grad_sync, "legacy in-line gradient sync");
+        assert!(c.serving.is_none(), "legacy training-only workflow");
+    }
+
+    #[test]
+    fn serving_defaults_are_sane() {
+        let s = ServingConfig::default();
+        assert!(s.publish_every >= 1);
+        assert!(s.max_batch >= 1);
+        assert!(s.queue_bound >= s.max_batch, "queue must hold a batch");
+        assert!(s.posterior_samples >= 1);
     }
 
     #[test]

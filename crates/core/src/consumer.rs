@@ -48,6 +48,7 @@ use crate::config::{ConsumerPolicy, WorkflowConfig};
 use crate::encode::{batch_to_tensors, Sample};
 use crate::faults::{InjectedFault, KillMode};
 use crate::ft::FtComm;
+use crate::snapshot::{SnapshotPublisher, SnapshotSink};
 use as_cluster::collective::Collective;
 use as_nn::ddp::{param_hash, sync_gradients_bucketed, sync_gradients_with, OverlappedGradSync};
 use as_nn::model::{ArtificialScientistModel, LossReport, ModelOptimizer};
@@ -135,12 +136,39 @@ pub struct ConsumerReport {
     pub world_after: usize,
 }
 
+/// Build the snapshot publisher when both the config knob and a sink
+/// are present; otherwise the drivers run the legacy training-only
+/// loops bit-for-bit.
+fn make_publisher(
+    cfg: &WorkflowConfig,
+    sink: Option<std::sync::Arc<dyn SnapshotSink>>,
+) -> Option<SnapshotPublisher> {
+    match (&cfg.serving, sink) {
+        (Some(serving), Some(sink)) => Some(SnapshotPublisher::new(sink, serving, cfg.encode)),
+        _ => None,
+    }
+}
+
 /// Run the single-rank consumer until the streams end (legacy 1×1 path).
 pub fn run_consumer(
     cfg: &WorkflowConfig,
     particle_stream: SstReader,
     radiation_stream: SstReader,
 ) -> ConsumerReport {
+    run_consumer_serving(cfg, particle_stream, radiation_stream, None)
+}
+
+/// [`run_consumer`] with an optional snapshot sink: when
+/// [`WorkflowConfig::serving`] is set, a [`crate::snapshot::ModelSnapshot`]
+/// is published every `publish_every` training iterations. With `None`
+/// (or `serving: None`) the loop is the legacy path bit-for-bit.
+pub fn run_consumer_serving(
+    cfg: &WorkflowConfig,
+    particle_stream: SstReader,
+    radiation_stream: SstReader,
+    sink: Option<std::sync::Arc<dyn SnapshotSink>>,
+) -> ConsumerReport {
+    let mut publisher = make_publisher(cfg, sink);
     let mut p_reader = OpenPmdReader::new(particle_stream);
     let mut r_reader = OpenPmdReader::new(radiation_stream);
     let mut model = ArtificialScientistModel::new(cfg.model.clone(), cfg.seed);
@@ -215,6 +243,14 @@ pub fn run_consumer(
             train_seconds += t0.elapsed().as_secs_f64();
             report_losses.push(report);
             schedule.on_iteration();
+            // Snapshot publication: single rank, no collective to price.
+            if let Some(pb) = publisher.as_mut() {
+                let iters = report_losses.len() as u64;
+                if pb.due(iters) {
+                    let snap = pb.capture(&mut model, iters);
+                    pb.send(snap);
+                }
+            }
         }
     }
 
@@ -280,6 +316,35 @@ pub fn run_ddp_consumer<C: Collective>(
     particle_stream: SstReader,
     radiation_stream: SstReader,
 ) -> ConsumerReport {
+    run_ddp_consumer_serving(
+        cfg,
+        comm,
+        grad_comm,
+        particle_stream,
+        radiation_stream,
+        None,
+    )
+}
+
+/// [`run_ddp_consumer`] with an optional snapshot sink. When
+/// [`WorkflowConfig::serving`] is set, rank 0 captures a
+/// [`crate::snapshot::ModelSnapshot`] every `publish_every` training
+/// iterations (the counter is bit-identical across ranks, so every rank
+/// agrees on the schedule), prices the payload along the group's
+/// broadcast schedule (`account_broadcast_payload` — the netsim backend
+/// charges it like any other traffic) and broadcasts the
+/// `(version, param_hash)` metadata; peers assert the hash against their
+/// own bit-identical parameters — a cross-rank torn-weights check — and
+/// advance their version counters in lockstep.
+pub fn run_ddp_consumer_serving<C: Collective>(
+    cfg: &WorkflowConfig,
+    comm: C,
+    grad_comm: Option<C>,
+    particle_stream: SstReader,
+    radiation_stream: SstReader,
+    sink: Option<std::sync::Arc<dyn SnapshotSink>>,
+) -> ConsumerReport {
+    let mut publisher = make_publisher(cfg, sink);
     let rank = comm.rank();
     let world = comm.size();
     let mut overlap = if cfg.overlap_grad_sync {
@@ -456,6 +521,28 @@ pub fn run_ddp_consumer<C: Collective>(
                 report_losses.len()
             );
             param_hashes.push(h);
+            if let Some(pb) = publisher.as_mut() {
+                let iters = report_losses.len() as u64;
+                if pb.due(iters) {
+                    if rank == 0 {
+                        let snap = pb.capture(&mut model, iters);
+                        // Price the opaque snapshot payload along the
+                        // broadcast schedule (the sample_broadcast
+                        // idiom), then broadcast the metadata so the
+                        // collective schedule includes the publish.
+                        comm.account_broadcast_payload(0, snap.payload_bytes());
+                        comm.broadcast(0, Some((snap.version, snap.param_hash)));
+                        pb.send(snap);
+                    } else {
+                        let (_v, root_hash) = comm.broadcast::<(u64, u64)>(0, None);
+                        assert_eq!(
+                            root_hash, h,
+                            "published snapshot hash diverged from rank {rank}'s parameters"
+                        );
+                        pb.skip();
+                    }
+                }
+            }
         }
     }
 
@@ -515,6 +602,20 @@ pub fn run_consumer_ft(
     particle_stream: SstReader,
     radiation_stream: SstReader,
 ) -> ConsumerReport {
+    run_consumer_ft_serving(cfg, particle_stream, radiation_stream, None)
+}
+
+/// [`run_consumer_ft`] with an optional snapshot sink (see
+/// [`run_consumer_serving`]). The publisher's version counter is *not*
+/// checkpointed: a rollback may republish the same iteration range, but
+/// versions stay strictly monotone — the engine's hot-swap invariant.
+pub fn run_consumer_ft_serving(
+    cfg: &WorkflowConfig,
+    particle_stream: SstReader,
+    radiation_stream: SstReader,
+    sink: Option<std::sync::Arc<dyn SnapshotSink>>,
+) -> ConsumerReport {
+    let mut publisher = make_publisher(cfg, sink);
     let plan = &cfg.faults;
     let mut p_reader = OpenPmdReader::new(particle_stream);
     let mut r_reader = OpenPmdReader::new(radiation_stream);
@@ -661,6 +762,13 @@ pub fn run_consumer_ft(
             // The per-iteration hash history doubles as the rollback
             // bit-identity witness (restored and re-grown on restart).
             param_hashes.push(param_hash(&mut model));
+            if let Some(pb) = publisher.as_mut() {
+                let iters = report_losses.len() as u64;
+                if pb.due(iters) {
+                    let snap = pb.capture(&mut model, iters);
+                    pb.send(snap);
+                }
+            }
         }
     }
 
@@ -720,6 +828,25 @@ pub fn run_ddp_consumer_ft<C: Collective>(
     particle_stream: SstReader,
     radiation_stream: SstReader,
 ) -> ConsumerReport {
+    run_ddp_consumer_ft_serving(cfg, comm, particle_stream, radiation_stream, None)
+}
+
+/// [`run_ddp_consumer_ft`] with an optional snapshot sink. The
+/// learner-root role follows the membership view: the **lowest live
+/// rank** captures, prices and publishes — so when the root dies
+/// ([`KillMode::Die`]), publication fails over to the next survivor and
+/// the serving tier keeps receiving (monotone) snapshots from the
+/// shrunk group. No metadata broadcast is added here: the membership
+/// round already aligns the group each window, and every alive rank
+/// derives the same due/root decision locally.
+pub fn run_ddp_consumer_ft_serving<C: Collective>(
+    cfg: &WorkflowConfig,
+    comm: C,
+    particle_stream: SstReader,
+    radiation_stream: SstReader,
+    sink: Option<std::sync::Arc<dyn SnapshotSink>>,
+) -> ConsumerReport {
+    let mut publisher = make_publisher(cfg, sink);
     let plan = &cfg.faults;
     assert!(
         !cfg.overlap_grad_sync,
@@ -962,6 +1089,19 @@ pub fn run_ddp_consumer_ft<C: Collective>(
                 report_losses.len()
             );
             param_hashes.push(h);
+            if let Some(pb) = publisher.as_mut() {
+                let iters = report_losses.len() as u64;
+                if pb.due(iters) {
+                    let root = members[0];
+                    if rank == root {
+                        let snap = pb.capture(&mut model, iters);
+                        comm.account_broadcast_payload(root, snap.payload_bytes());
+                        pb.send(snap);
+                    } else {
+                        pb.skip();
+                    }
+                }
+            }
         }
     }
 

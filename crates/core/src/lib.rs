@@ -74,24 +74,32 @@ pub mod faults;
 pub mod ft;
 pub mod noop;
 pub mod producer;
+pub mod snapshot;
 pub mod workflow;
 
 pub use checkpoint::{LearnerCheckpoint, LearnerProgress};
-pub use config::{CommBackend, ConsumerPolicy, Placement, WorkflowConfig};
+pub use config::{CommBackend, ConsumerPolicy, Placement, ServingConfig, WorkflowConfig};
 pub use encode::{EncodeConfig, Sample};
 pub use eval::InversionEval;
 pub use faults::{FaultEvent, FaultPlan, InjectedFault, KillMode, StreamId};
 pub use ft::FtComm;
-pub use workflow::{run_workflow, ConsumerSummary, RankFailure, RankGroup, WorkflowReport};
+pub use snapshot::{ModelSnapshot, SnapshotPublisher, SnapshotSink};
+pub use workflow::{
+    run_workflow, run_workflow_with_sink, ConsumerSummary, RankFailure, RankGroup, WorkflowReport,
+};
 
 pub mod prelude {
     //! Common imports for workflow consumers.
     pub use crate::checkpoint::{LearnerCheckpoint, LearnerProgress};
-    pub use crate::config::{CommBackend, ConsumerPolicy, Placement, WorkflowConfig};
+    pub use crate::config::{
+        CommBackend, ConsumerPolicy, Placement, ServingConfig, WorkflowConfig,
+    };
     pub use crate::encode::{EncodeConfig, Sample};
     pub use crate::eval::InversionEval;
     pub use crate::faults::{FaultEvent, FaultPlan, InjectedFault, KillMode, StreamId};
+    pub use crate::snapshot::{ModelSnapshot, SnapshotPublisher, SnapshotSink};
     pub use crate::workflow::{
-        run_workflow, ConsumerSummary, RankFailure, RankGroup, WorkflowReport,
+        run_workflow, run_workflow_with_sink, ConsumerSummary, RankFailure, RankGroup,
+        WorkflowReport,
     };
 }

@@ -57,14 +57,17 @@
 
 use crate::config::{CommBackend, Placement, WorkflowConfig};
 use crate::consumer::{
-    run_consumer, run_consumer_ft, run_ddp_consumer, run_ddp_consumer_ft, ConsumerReport,
+    run_consumer_ft_serving, run_consumer_serving, run_ddp_consumer_ft_serving,
+    run_ddp_consumer_serving, ConsumerReport,
 };
 use crate::faults::InjectedFault;
 use crate::producer::{run_producer, run_sharded_producer, ProducerReport};
+use crate::snapshot::SnapshotSink;
 use as_cluster::collective::{Collective, NetModel, SimNetComm};
 use as_cluster::comm::CommWorld;
 use as_staging::engine::{open_stream_monitored, StreamConfig};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Which side of the coupled workflow a collective world serves — the
 /// netsim backend places the two groups on modelled nodes according to
@@ -354,6 +357,20 @@ fn aggregate_producer(reports: &[ProducerReport]) -> ProducerReport {
 /// [`WorkflowConfig::overlap_grad_sync`] is on). Everything downstream
 /// is generic over [`Collective`].
 pub fn run_workflow(cfg: &WorkflowConfig) -> WorkflowReport {
+    run_workflow_with_sink(cfg, None)
+}
+
+/// [`run_workflow`] with an optional [`SnapshotSink`] — the serving-tier
+/// entry point. With [`WorkflowConfig::serving`] set and a sink given,
+/// the learner publishes immutable versioned
+/// [`crate::snapshot::ModelSnapshot`]s to it every `publish_every`
+/// training iterations (the `as-serve` inference engine hot-swaps them
+/// in mid-traffic). With `None` the run is the legacy workflow
+/// bit-for-bit.
+pub fn run_workflow_with_sink(
+    cfg: &WorkflowConfig,
+    sink: Option<Arc<dyn SnapshotSink>>,
+) -> WorkflowReport {
     let algo = cfg.collective_algo;
     // An active fault plan arms every world with tolerant endpoints and
     // the plan's deterministic message chaos; an inert plan keeps the
@@ -364,17 +381,19 @@ pub fn run_workflow(cfg: &WorkflowConfig) -> WorkflowReport {
         None
     };
     match cfg.backend {
-        CommBackend::InProcess => run_workflow_on(cfg, move |n, _group| match faults.clone() {
-            Some(f) => CommWorld::with_faults(n, algo, f).into_endpoints(),
-            None => CommWorld::with_algo(n, algo).into_endpoints(),
-        }),
+        CommBackend::InProcess => {
+            run_workflow_on(cfg, sink, move |n, _group| match faults.clone() {
+                Some(f) => CommWorld::with_faults(n, algo, f).into_endpoints(),
+                None => CommWorld::with_algo(n, algo).into_endpoints(),
+            })
+        }
         CommBackend::NetSim {
             machine,
             time_scale,
         } => {
             let placement = cfg.placement;
             let producers = cfg.producers;
-            run_workflow_on(cfg, move |n, group| {
+            run_workflow_on(cfg, sink, move |n, group| {
                 let gpus = machine.gpus_per_node.max(1);
                 // Placement decides how this group's ranks map onto
                 // modelled nodes. Intra-node splits each node between the
@@ -418,7 +437,11 @@ pub fn run_workflow(cfg: &WorkflowConfig) -> WorkflowReport {
 
 /// The generic workflow driver: `make_world(n, group)` supplies a fresh
 /// `n`-rank collective world of the chosen backend for each rank group.
-fn run_workflow_on<C, F>(cfg: &WorkflowConfig, make_world: F) -> WorkflowReport
+fn run_workflow_on<C, F>(
+    cfg: &WorkflowConfig,
+    sink: Option<Arc<dyn SnapshotSink>>,
+    make_world: F,
+) -> WorkflowReport
 where
     C: Collective,
     F: Fn(usize, RankGroup) -> Vec<C>,
@@ -472,11 +495,12 @@ where
     let mut failures: Vec<RankFailure> = Vec::new();
     let (rank0_result, peer_results) = if k == 1 {
         let (pr0, rr0) = (pr.remove(0), rr.remove(0));
+        let sink0 = sink.clone();
         let r0 = catch_unwind(AssertUnwindSafe(|| {
             if ft_active {
-                run_consumer_ft(cfg, pr0, rr0)
+                run_consumer_ft_serving(cfg, pr0, rr0, sink0)
             } else {
-                run_consumer(cfg, pr0, rr0)
+                run_consumer_serving(cfg, pr0, rr0, sink0)
             }
         }));
         (r0, Vec::new())
@@ -502,20 +526,22 @@ where
             .zip(pr.into_iter().zip(rr))
             .map(|((comm, grad), (pr_i, rr_i))| {
                 let consumer_cfg = cfg.clone();
+                let sink_i = sink.clone();
                 std::thread::spawn(move || {
                     if consumer_cfg.faults.active() {
-                        run_ddp_consumer_ft(&consumer_cfg, comm, pr_i, rr_i)
+                        run_ddp_consumer_ft_serving(&consumer_cfg, comm, pr_i, rr_i, sink_i)
                     } else {
-                        run_ddp_consumer(&consumer_cfg, comm, grad, pr_i, rr_i)
+                        run_ddp_consumer_serving(&consumer_cfg, comm, grad, pr_i, rr_i, sink_i)
                     }
                 })
             })
             .collect();
+        let sink0 = sink.clone();
         let rank0 = catch_unwind(AssertUnwindSafe(|| {
             if ft_active {
-                run_ddp_consumer_ft(cfg, comm0, pr0, rr0)
+                run_ddp_consumer_ft_serving(cfg, comm0, pr0, rr0, sink0)
             } else {
-                run_ddp_consumer(cfg, comm0, grad0, pr0, rr0)
+                run_ddp_consumer_serving(cfg, comm0, grad0, pr0, rr0, sink0)
             }
         }));
         let peers: Vec<_> = peer_handles.into_iter().map(|h| h.join()).collect();

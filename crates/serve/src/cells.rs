@@ -1,0 +1,42 @@
+//! Race-detector cell annotations (see `crates/detect`).
+//!
+//! With the workspace `detect` feature on, [`Cell`] is the real
+//! `as_detect::Cell`: every annotated access feeds the vector-clock
+//! happens-before + lockset race checker — here it covers the serving
+//! tier's two shared hot spots, the snapshot slot (hot-swap vs batch
+//! pinning) and the request queue depth. With the feature off the type
+//! is a zero-sized stand-in whose methods have empty inline bodies.
+
+#[cfg(feature = "detect")]
+pub(crate) use as_detect::Cell;
+
+/// No-op stand-in for `as_detect::Cell` when `detect` is off.
+#[cfg(not(feature = "detect"))]
+#[derive(Debug)]
+pub(crate) struct Cell;
+
+#[cfg(not(feature = "detect"))]
+#[allow(dead_code)] // mirrors the full as-detect API; not every crate uses every method
+impl Cell {
+    #[inline(always)]
+    pub(crate) fn new(_name: &str) -> Self {
+        Cell
+    }
+
+    #[inline(always)]
+    pub(crate) fn read(&self) {}
+
+    #[inline(always)]
+    pub(crate) fn write(&self) {}
+
+    #[inline(always)]
+    pub(crate) fn atomic(&self) {}
+}
+
+/// Annotate a shared-state cell: `track_cell!("serve::Engine.slot")`.
+macro_rules! track_cell {
+    ($name:expr) => {
+        $crate::cells::Cell::new($name)
+    };
+}
+pub(crate) use track_cell;

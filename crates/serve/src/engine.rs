@@ -1,0 +1,648 @@
+//! The inference engine: batched, hot-swappable serving over learner
+//! snapshots.
+//!
+//! # Hot-swap protocol (torn-weights freedom)
+//!
+//! The engine holds the live model in a *snapshot slot* — a mutex-guarded
+//! `Arc<ServedModel>`. [`InferenceEngine::install`] rebuilds a model from
+//! a published [`ModelSnapshot`] (re-verifying its parameter hash — a
+//! torn or corrupted snapshot panics instead of serving), then swaps the
+//! `Arc` while holding the slot lock. The batch worker **pins** one
+//! `Arc` clone per micro-batch before touching any request, and every
+//! response of that batch is computed — and labelled — against exactly
+//! that pinned version. Because `ServedModel` is immutable after
+//! construction and versions only move forward, a request can never
+//! observe a mix of two snapshots, and version ids are monotone for any
+//! client issuing sequential queries.
+//!
+//! # Batching and caching
+//!
+//! Requests enter a bounded queue ([`as_core::config::ServingConfig`]'s
+//! `queue_bound`; submitters spin-wait for space — closed-loop
+//! back-pressure, the serving twin of the SST queue). The worker
+//! coalesces up to `max_batch` requests, waiting at most `max_wait_us`
+//! after the first arrival, then answers cache hits from the LRU
+//! ([`crate::cache::PosteriorCache`], keyed by
+//! `(spectrum hash, version)`) and runs **one** batched forward for the
+//! distinct misses. Responses are a pure function of
+//! `(spectrum, version)`: the per-query normal residual draws are seeded
+//! from the spectrum bits and the snapshot version, so batched,
+//! per-item, and cached answers are all bitwise identical —
+//! `tests/serving.rs` and the proptest suite hold the engine to that.
+
+use crate::cache::PosteriorCache;
+use crate::cells::{track_cell, Cell};
+use as_core::config::ServingConfig;
+use as_core::snapshot::{ModelSnapshot, SnapshotSink};
+use as_nn::model::ArtificialScientistModel;
+use as_tensor::{Tensor, TensorRng};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One snapshot instantiated for serving; immutable after construction.
+pub struct ServedModel {
+    /// The rebuilt model (hash-verified against the snapshot).
+    pub model: ArtificialScientistModel,
+    /// Snapshot version id.
+    pub version: u64,
+    /// FNV-1a parameter hash (the snapshot's, re-verified on install).
+    pub param_hash: u64,
+    /// Training iteration the snapshot was captured at.
+    pub iteration: u64,
+    installed: Instant,
+}
+
+/// One answered query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Posterior summary: per phase-space channel the mean then the
+    /// standard deviation over all sampled decoded points
+    /// (`2 × 6` values), in encoded units.
+    pub outputs: Vec<f32>,
+    /// The snapshot version that produced (all of) the outputs.
+    pub version: u64,
+    /// True when the answer came from the LRU cache.
+    pub cached: bool,
+}
+
+struct Request {
+    spectrum: Vec<f32>,
+    reply: Sender<Response>,
+}
+
+#[derive(Debug, Clone)]
+struct EngineStats {
+    queries: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    batches: u64,
+    /// `batch_hist[s]` = micro-batches that coalesced exactly `s`
+    /// requests (index 0 unused).
+    batch_hist: Vec<u64>,
+    swaps: u64,
+    queue_full_waits: u64,
+}
+
+/// Aggregate serving telemetry ([`InferenceEngine::report`]).
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Queries answered.
+    pub queries: u64,
+    /// Answers served from the LRU cache.
+    pub cache_hits: u64,
+    /// Answers that required a forward pass.
+    pub cache_misses: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// `batch_hist[s]` = micro-batches of size `s` (index 0 unused).
+    pub batch_hist: Vec<u64>,
+    /// Snapshot hot-swaps performed.
+    pub swaps: u64,
+    /// Times a submitter found the bounded queue full and had to wait.
+    pub queue_full_waits: u64,
+    /// Version of the currently served snapshot (0 before the first
+    /// install).
+    pub current_version: u64,
+    /// Seconds since the current snapshot was installed — how stale the
+    /// surrogate is when the learner stops publishing (e.g. after a
+    /// `ConsumerKill`); `0.0` before the first install.
+    pub stale_snapshot_seconds: f64,
+}
+
+impl ServeReport {
+    /// Cache hits over answered queries (0 when idle).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean micro-batch size (0 when idle).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.queries as f64 / self.batches as f64
+        }
+    }
+}
+
+/// The serving engine. Create with [`InferenceEngine::start`]; feed it
+/// snapshots through [`EngineSink`] (or [`InferenceEngine::install`]
+/// directly); query from any number of threads with
+/// [`InferenceEngine::query`]; stop with [`InferenceEngine::shutdown`].
+pub struct InferenceEngine {
+    cfg: ServingConfig,
+    slot: parking_lot::Mutex<Option<Arc<ServedModel>>>,
+    slot_cell: Cell,
+    queue_tx: Sender<Request>,
+    queue_depth: AtomicUsize,
+    queue_cell: Cell,
+    cache: parking_lot::Mutex<PosteriorCache>,
+    stats: parking_lot::Mutex<EngineStats>,
+    /// Every installed snapshot, in version order — the single-version
+    /// reference oracle for the torn-weights test harness.
+    archive: parking_lot::Mutex<Vec<Arc<ServedModel>>>,
+    installs: AtomicU64,
+    shutdown: AtomicBool,
+    worker: parking_lot::Mutex<Option<crossbeam::thread::JoinHandle<()>>>,
+}
+
+impl InferenceEngine {
+    /// Start the engine: spawns the batch-worker thread and returns the
+    /// shared handle.
+    pub fn start(cfg: ServingConfig) -> Arc<Self> {
+        assert!(cfg.max_batch >= 1, "max_batch must be >= 1");
+        assert!(
+            cfg.queue_bound >= cfg.max_batch,
+            "queue_bound must hold at least one full batch"
+        );
+        let (queue_tx, queue_rx) = channel::unbounded();
+        let engine = Arc::new(Self {
+            stats: parking_lot::Mutex::new(EngineStats {
+                queries: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                batches: 0,
+                batch_hist: vec![0; cfg.max_batch + 1],
+                swaps: 0,
+                queue_full_waits: 0,
+            }),
+            cache: parking_lot::Mutex::new(PosteriorCache::new(cfg.cache_capacity)),
+            cfg,
+            slot: parking_lot::Mutex::new(None),
+            slot_cell: track_cell!("serve::Engine.slot"),
+            queue_tx,
+            queue_depth: AtomicUsize::new(0),
+            queue_cell: track_cell!("serve::Engine.queue_depth"),
+            archive: parking_lot::Mutex::new(Vec::new()),
+            installs: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            worker: parking_lot::Mutex::new(None),
+        });
+        let worker_engine = Arc::clone(&engine);
+        let handle = crossbeam::thread::spawn(move || worker_engine.worker_loop(queue_rx));
+        *engine.worker.lock() = Some(handle);
+        engine
+    }
+
+    /// Hot-swap a published snapshot in. Rebuilds and hash-verifies the
+    /// model (torn weights panic here, never serve), asserts version
+    /// monotonicity, swaps the slot `Arc`, and flushes the cache.
+    pub fn install(&self, snapshot: &ModelSnapshot) {
+        let model = snapshot.instantiate(); // panics on hash mismatch
+        let served = Arc::new(ServedModel {
+            model,
+            version: snapshot.version,
+            param_hash: snapshot.param_hash,
+            iteration: snapshot.iteration,
+            installed: Instant::now(),
+        });
+        {
+            let mut slot = self.slot.lock();
+            self.slot_cell.write();
+            if let Some(old) = slot.as_ref() {
+                assert!(
+                    snapshot.version > old.version,
+                    "snapshot versions must be monotone: {} -> {}",
+                    old.version,
+                    snapshot.version
+                );
+            }
+            // Archive BEFORE publishing the slot (both under the slot
+            // lock): any version a response can report must already be
+            // resolvable through `archived` for reference verification.
+            self.archive.lock().push(Arc::clone(&served));
+            *slot = Some(served);
+        }
+        // Old-version cache entries are unreachable by key (the version
+        // is mixed into the cache key); flushing just frees capacity.
+        self.cache.lock().flush();
+        self.stats.lock().swaps += 1;
+        self.installs.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The serving configuration the engine was started with.
+    pub fn config(&self) -> &ServingConfig {
+        &self.cfg
+    }
+
+    /// The currently served snapshot, if any.
+    pub fn current(&self) -> Option<Arc<ServedModel>> {
+        let slot = self.slot.lock();
+        self.slot_cell.read();
+        slot.clone()
+    }
+
+    /// The archived snapshot with exactly `version` — the reference
+    /// oracle for response verification.
+    pub fn archived(&self, version: u64) -> Option<Arc<ServedModel>> {
+        self.archive
+            .lock()
+            .iter()
+            .find(|s| s.version == version)
+            .cloned()
+    }
+
+    /// Block until a snapshot with `version >= min_version` is serving
+    /// (true) or `timeout` elapses (false).
+    pub fn wait_for_version(&self, min_version: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(s) = self.current() {
+                if s.version >= min_version {
+                    return true;
+                }
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Answer one inversion query (blocking). The spectrum must be
+    /// encoded with the published snapshot's normalization and have the
+    /// model's `spectrum_dim` length. Must not be called after
+    /// [`InferenceEngine::shutdown`], nor before any snapshot is
+    /// installed if the engine is shutting down.
+    pub fn query(&self, spectrum: Vec<f32>) -> Response {
+        let (reply_tx, reply_rx) = channel::unbounded();
+        // Bounded queue: closed-loop submitters wait for space instead
+        // of growing the queue without bound.
+        let mut waited = false;
+        while self.queue_depth.load(Ordering::SeqCst) >= self.cfg.queue_bound {
+            waited = true;
+            std::thread::yield_now();
+        }
+        if waited {
+            self.stats.lock().queue_full_waits += 1;
+        }
+        self.queue_cell.atomic();
+        self.queue_depth.fetch_add(1, Ordering::SeqCst);
+        self.queue_tx
+            .send(Request {
+                spectrum,
+                reply: reply_tx,
+            })
+            .unwrap_or_else(|_| panic!("inference engine worker is gone"));
+        reply_rx
+            .recv()
+            .unwrap_or_else(|_| panic!("inference engine dropped an in-flight query"))
+    }
+
+    /// Serving telemetry snapshot.
+    pub fn report(&self) -> ServeReport {
+        let stats = self.stats.lock().clone();
+        let (current_version, stale) = match self.current() {
+            Some(s) => (s.version, s.installed.elapsed().as_secs_f64()),
+            None => (0, 0.0),
+        };
+        ServeReport {
+            queries: stats.queries,
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            batches: stats.batches,
+            batch_hist: stats.batch_hist,
+            swaps: stats.swaps,
+            queue_full_waits: stats.queue_full_waits,
+            current_version,
+            stale_snapshot_seconds: stale,
+        }
+    }
+
+    /// Drain outstanding queries and stop the batch worker (idempotent).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let handle = self.worker.lock().take();
+        if let Some(h) = handle {
+            if h.join().is_err() {
+                panic!("serving batch worker panicked");
+            }
+        }
+    }
+
+    /// Worker: micro-batch requests (max_batch / max_wait_us) and serve
+    /// each batch against one pinned snapshot.
+    fn worker_loop(&self, queue_rx: Receiver<Request>) {
+        loop {
+            let first = match queue_rx.recv_timeout(Duration::from_millis(2)) {
+                Ok(r) => r,
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.shutdown.load(Ordering::SeqCst)
+                        && self.queue_depth.load(Ordering::SeqCst) == 0
+                    {
+                        return;
+                    }
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            };
+            self.queue_cell.atomic();
+            self.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            let mut batch = vec![first];
+            let deadline = Instant::now() + Duration::from_micros(self.cfg.max_wait_us);
+            while batch.len() < self.cfg.max_batch {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match queue_rx.recv_timeout(deadline - now) {
+                    Ok(r) => {
+                        self.queue_cell.atomic();
+                        self.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                        batch.push(r);
+                    }
+                    Err(_) => break,
+                }
+            }
+            self.serve_batch(&batch);
+        }
+    }
+
+    fn serve_batch(&self, batch: &[Request]) {
+        // Pin exactly one snapshot for the whole batch — the hot-swap
+        // consistency point. Spin briefly if no snapshot has landed yet.
+        let served = loop {
+            if let Some(s) = self.current() {
+                break s;
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                // Shutdown before any snapshot: answer with the empty
+                // version-0 response rather than wedging the clients.
+                for req in batch {
+                    let _ = req.reply.send(Response {
+                        outputs: Vec::new(),
+                        version: 0,
+                        cached: false,
+                    });
+                }
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        };
+        let version = served.version;
+
+        // Cache lookup, grouping duplicate spectra within the batch so
+        // each distinct miss is computed once.
+        let mut hits: Vec<(usize, Vec<f32>)> = Vec::new();
+        let mut misses: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        {
+            let mut cache = self.cache.lock();
+            for (i, req) in batch.iter().enumerate() {
+                let key = cache_key(&req.spectrum, version);
+                match cache.get(key) {
+                    Some(out) => hits.push((i, out)),
+                    None => misses.entry(key).or_default().push(i),
+                }
+            }
+        }
+        let miss_groups: Vec<(u64, Vec<usize>)> = misses.into_iter().collect();
+        let spectra: Vec<&[f32]> = miss_groups
+            .iter()
+            .map(|(_, idxs)| batch[idxs[0]].spectrum.as_slice())
+            .collect();
+        let computed = if spectra.is_empty() {
+            Vec::new()
+        } else {
+            posterior_batch(&served.model, &spectra, version, self.cfg.posterior_samples)
+        };
+
+        // Commit the stats before releasing any reply: a client that has
+        // its answer must already see its query in the report.
+        let n_hits = hits.len() as u64;
+        {
+            let mut stats = self.stats.lock();
+            stats.queries += batch.len() as u64;
+            stats.cache_hits += n_hits;
+            stats.cache_misses += batch.len() as u64 - n_hits;
+            stats.batches += 1;
+            stats.batch_hist[batch.len()] += 1;
+        }
+
+        for (i, out) in hits {
+            let _ = batch[i].reply.send(Response {
+                outputs: out,
+                version,
+                cached: true,
+            });
+        }
+        {
+            let mut cache = self.cache.lock();
+            for ((key, idxs), out) in miss_groups.iter().zip(computed) {
+                cache.insert(*key, out.clone());
+                for &i in idxs {
+                    let _ = batch[i].reply.send(Response {
+                        outputs: out.clone(),
+                        version,
+                        cached: false,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// [`SnapshotSink`] adapter: the learner publishes straight into the
+/// engine's hot-swap slot.
+pub struct EngineSink(pub Arc<InferenceEngine>);
+
+impl SnapshotSink for EngineSink {
+    fn publish(&self, snapshot: ModelSnapshot) {
+        self.0.install(&snapshot);
+    }
+}
+
+/// FNV-1a over the spectrum bits — the version-independent half of the
+/// cache key and the per-query noise seed.
+pub fn spectrum_key(spectrum: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in spectrum {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Cache key / noise seed for a `(spectrum, version)` pair. Mixing the
+/// version in makes stale cache entries unreachable after a hot-swap
+/// and pins the noise stream to the snapshot version, so responses are
+/// a pure function of the pair.
+pub fn cache_key(spectrum: &[f32], version: u64) -> u64 {
+    splitmix64(spectrum_key(spectrum) ^ version.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Reference single-query forward: the posterior summary for `spectrum`
+/// at snapshot `version` — exactly what the engine must return,
+/// computed outside its batching/caching machinery. The torn-weights
+/// harness compares every served response against this.
+pub fn posterior_reference(
+    model: &ArtificialScientistModel,
+    spectrum: &[f32],
+    version: u64,
+    samples: usize,
+) -> Vec<f32> {
+    let out = posterior_batch(model, &[spectrum], version, samples);
+    out.into_iter()
+        .next()
+        .unwrap_or_else(|| panic!("posterior_batch returned no rows"))
+}
+
+/// Batched inversion: for each spectrum, draw `samples` normal
+/// residuals from the `(spectrum, version)`-seeded stream, run **one**
+/// INN inverse + VAE decode over all rows, and reduce each query's
+/// decoded clouds to a per-channel mean/std summary.
+///
+/// Every operator on this path computes each output row purely from its
+/// own input row, so the result is bitwise identical to running each
+/// query alone — the batching invariant the proptest suite pins down.
+pub fn posterior_batch(
+    model: &ArtificialScientistModel,
+    spectra: &[&[f32]],
+    version: u64,
+    samples: usize,
+) -> Vec<Vec<f32>> {
+    assert!(samples >= 1, "need at least one posterior sample");
+    let dim = model.cfg.spectrum_dim;
+    let d_n = model.cfg.residual_dim();
+    let latent = dim + d_n;
+    let mut rows = Vec::with_capacity(spectra.len() * samples * latent);
+    for spectrum in spectra {
+        assert_eq!(spectrum.len(), dim, "spectrum length != model spectrum_dim");
+        let mut rng = TensorRng::seeded(cache_key(spectrum, version));
+        let noise = rng.standard_normal([samples, d_n]);
+        let noise_data = noise.data();
+        for s in 0..samples {
+            rows.extend_from_slice(spectrum);
+            rows.extend_from_slice(&noise_data[s * d_n..(s + 1) * d_n]);
+        }
+    }
+    let y = Tensor::from_vec([spectra.len() * samples, latent], rows);
+    let (z, _) = model.inn.inverse(&y);
+    let clouds = model.vae.decode(&z);
+    let dims = clouds.dims();
+    let (points, channels) = (dims[1], dims[2]);
+    let data = clouds.data();
+    let per_query = samples * points * channels;
+    (0..spectra.len())
+        .map(|q| summarize(&data[q * per_query..(q + 1) * per_query], channels))
+        .collect()
+}
+
+/// Per-channel mean then std over all rows of one query's decoded
+/// clouds, accumulated in f64 in row order (deterministic regardless of
+/// batch composition).
+fn summarize(chunk: &[f32], channels: usize) -> Vec<f32> {
+    let n = (chunk.len() / channels) as f64;
+    let mut sum = vec![0f64; channels];
+    let mut sumsq = vec![0f64; channels];
+    for row in chunk.chunks_exact(channels) {
+        for (d, &v) in row.iter().enumerate() {
+            let v = v as f64;
+            sum[d] += v;
+            sumsq[d] += v * v;
+        }
+    }
+    let mut out = Vec::with_capacity(2 * channels);
+    out.extend(sum.iter().map(|&s| (s / n) as f32));
+    out.extend(sum.iter().zip(&sumsq).map(|(&s, &sq)| {
+        let mean = s / n;
+        (sq / n - mean * mean).max(0.0).sqrt() as f32
+    }));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use as_core::encode::EncodeConfig;
+    use as_nn::model::ModelConfig;
+
+    fn snap(seed: u64, version: u64) -> ModelSnapshot {
+        let mut m = ArtificialScientistModel::new(ModelConfig::small(), seed);
+        ModelSnapshot::capture(&mut m, EncodeConfig::default(), version, version * 4)
+    }
+
+    fn spectrum(tag: u64, dim: usize) -> Vec<f32> {
+        let mut rng = TensorRng::seeded(0xC0FFEE ^ tag);
+        rng.standard_normal([1, dim]).data().to_vec()
+    }
+
+    #[test]
+    fn engine_serves_and_caches() {
+        let cfg = ServingConfig {
+            max_batch: 4,
+            max_wait_us: 50,
+            cache_capacity: 8,
+            posterior_samples: 2,
+            ..ServingConfig::default()
+        };
+        let engine = InferenceEngine::start(cfg);
+        engine.install(&snap(3, 1));
+        let s = spectrum(1, ModelConfig::small().spectrum_dim);
+        let first = engine.query(s.clone());
+        assert_eq!(first.version, 1);
+        assert!(!first.cached, "cold query computes");
+        assert_eq!(first.outputs.len(), 12, "6 means + 6 stds");
+        let second = engine.query(s.clone());
+        assert!(second.cached, "repeat query hits the cache");
+        assert_eq!(second.outputs, first.outputs, "hit is bitwise equal");
+        // Reference oracle agrees with the served bits.
+        let served = engine
+            .archived(1)
+            .unwrap_or_else(|| panic!("v1 must be archived"));
+        assert_eq!(posterior_reference(&served.model, &s, 1, 2), first.outputs);
+        let report = engine.report();
+        assert_eq!(report.queries, 2);
+        assert_eq!(report.cache_hits, 1);
+        assert_eq!(report.current_version, 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn hot_swap_bumps_version_and_invalidates_cache() {
+        let cfg = ServingConfig {
+            posterior_samples: 2,
+            ..ServingConfig::default()
+        };
+        let engine = InferenceEngine::start(cfg);
+        engine.install(&snap(3, 1));
+        let s = spectrum(2, ModelConfig::small().spectrum_dim);
+        let before = engine.query(s.clone());
+        engine.install(&snap(4, 2));
+        let after = engine.query(s.clone());
+        assert_eq!((before.version, after.version), (1, 2));
+        assert!(!after.cached, "swap invalidates the old version's entry");
+        assert_ne!(before.outputs, after.outputs, "different weights");
+        assert_eq!(engine.report().swaps, 2);
+        engine.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn version_regression_is_rejected() {
+        let engine = InferenceEngine::start(ServingConfig::default());
+        engine.install(&snap(3, 2));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.install(&snap(4, 1));
+        }));
+        engine.shutdown();
+        if let Err(p) = result {
+            std::panic::resume_unwind(p);
+        }
+    }
+}

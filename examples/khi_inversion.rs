@@ -1,28 +1,42 @@
 //! The Fig. 9 workflow as a runnable example: train the Artificial
-//! Scientist on a live KHI simulation, then reconstruct local particle
-//! dynamics from observed radiation spectra — and render the vortex
-//! structure the network must learn to recognise (Fig. 1 style).
+//! Scientist on a live KHI simulation with the **serving tier** armed —
+//! the learner publishes versioned snapshots into an
+//! [`artificial_scientist::serve::InferenceEngine`] while it trains —
+//! then reconstruct local particle dynamics from observed radiation
+//! spectra by *querying the engine* (batched, cached, hot-swapped
+//! inference) instead of touching the model directly. Also renders the
+//! vortex structure the network must learn to recognise (Fig. 1 style).
 //!
 //! Run with: `cargo run --release --example khi_inversion`
 
-use artificial_scientist::core::config::WorkflowConfig;
+use artificial_scientist::core::config::{ServingConfig, WorkflowConfig};
 use artificial_scientist::core::eval::InversionEval;
-use artificial_scientist::core::workflow::run_workflow;
 use artificial_scientist::pic::diag::density_map_xy;
 use artificial_scientist::pic::plugin::Plugin;
 use artificial_scientist::radiation::analytic::approach_recede_ratio;
 use artificial_scientist::radiation::plugin::{RadiationPlugin, RegionMode};
+use artificial_scientist::radiation::spectrum::Spectrum;
+use artificial_scientist::serve::{run_workflow_serving, InferenceEngine};
 
 fn main() {
     let mut cfg = WorkflowConfig::small();
     cfg.total_steps = 80;
     cfg.steps_per_sample = 4;
     cfg.n_rep = 10;
+    // Publish a snapshot into the serving tier every 16 training
+    // iterations; queries draw 8 posterior samples per spectrum.
+    cfg.serving = Some(ServingConfig {
+        publish_every: 16,
+        posterior_samples: 8,
+        ..ServingConfig::default()
+    });
 
-    println!("=== training in-transit on the live KHI ===");
-    let report = run_workflow(&cfg);
+    println!("=== training in-transit on the live KHI (serving tier armed) ===");
+    let engine = InferenceEngine::start(cfg.serving.clone().unwrap());
+    let report = run_workflow_serving(&cfg, &engine);
+    let serve = engine.report();
     println!(
-        "streamed {} samples; loss {:.3} → {:.3}",
+        "streamed {} samples; loss {:.3} → {:.3}; published {} snapshots (serving v{})",
         report.consumer.samples,
         report
             .consumer
@@ -30,7 +44,9 @@ fn main() {
             .first()
             .map(|l| l.total)
             .unwrap_or(f64::NAN),
-        report.tail_loss(6)
+        report.tail_loss(6),
+        serve.swaps,
+        serve.current_version,
     );
 
     // Ground-truth snapshot with fresh radiation for evaluation.
@@ -55,16 +71,40 @@ fn main() {
     render_map(&map);
 
     println!();
-    println!("=== inversion: radiation → momentum distribution ===");
-    let eval = InversionEval::run(
-        &cfg,
-        &report.consumer.model,
-        &sim,
-        &rad,
-        48,
-        (-1.0, 1.0),
-        21,
-    );
+    println!("=== inversion via the serving tier: spectrum → engine.query ===");
+    // Encode each flow region's observed spectrum exactly as the
+    // learner would, and ask the engine for the posterior summary. The
+    // response carries the snapshot version that answered — the whole
+    // answer comes from that one version, never torn weights.
+    let labels = ["approaching bulk", "shear/vortex band", "receding bulk"];
+    let spectra = rad.spectra();
+    for (r, label) in labels.iter().enumerate() {
+        let spec = Spectrum::new(
+            cfg.detector.frequencies.clone(),
+            spectra[r][0].intensity.clone(),
+        );
+        let encoded = cfg.encode.encode_spectrum(&spec, cfg.model.spectrum_dim);
+        let resp = engine.query(encoded);
+        // outputs = 6 per-channel means then 6 stds over the decoded
+        // posterior cloud, channel order (x, y, z, p_x, p_y, p_z).
+        println!(
+            "{:<26} served v{} ({}) → posterior p_x {:+.3} ± {:.3}",
+            label,
+            resp.version,
+            if resp.cached { "cached" } else { "computed" },
+            resp.outputs[3],
+            resp.outputs[9],
+        );
+    }
+
+    println!();
+    println!("=== inversion detail on the served snapshot ===");
+    // The served model is the engine's current snapshot — the same
+    // weights the queries above ran on, not the trainer's live copy.
+    let served = engine
+        .current()
+        .expect("the learner published at least one snapshot");
+    let eval = InversionEval::run(&cfg, &served.model, &sim, &rad, 48, (-1.0, 1.0), 21);
     for r in &eval.regions {
         println!(
             "{:<26} GT mean p_x {:+.3} ({} mode(s)) → ML mean {:+.3} ({} mode(s))",
@@ -80,6 +120,7 @@ fn main() {
         approach_recede_ratio(cfg.khi.beta)
     );
     println!("spectrum MSE (encoded): {:.4}", eval.spectrum_mse());
+    engine.shutdown();
 }
 
 fn render_map(map: &[Vec<f64>]) {

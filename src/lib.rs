@@ -15,6 +15,7 @@
 //! - [`replay`] — experience-replay training buffer for continual learning
 //! - [`cluster`] — simulated HPC machine (communicator, network, collectives)
 //! - [`core`] — the orchestration tying producer and consumer together
+//! - [`serve`] — batched, hot-swappable inference over learner snapshots
 //!
 //! See `examples/quickstart.rs` for the fastest end-to-end tour.
 
@@ -25,6 +26,7 @@ pub use as_openpmd as openpmd;
 pub use as_pic as pic;
 pub use as_radiation as radiation;
 pub use as_replay as replay;
+pub use as_serve as serve;
 pub use as_staging as staging;
 pub use as_tensor as tensor;
 
@@ -36,4 +38,7 @@ pub mod prelude {
     pub use as_pic::prelude::*;
     pub use as_radiation::prelude::*;
     pub use as_replay::prelude::*;
+    pub use as_serve::{
+        run_loadgen, run_workflow_serving, EngineSink, InferenceEngine, LoadGenConfig, ServeReport,
+    };
 }

@@ -567,3 +567,71 @@ fn message_chaos_is_deterministic_and_numerically_invisible() {
     );
     assert_accounting(&a);
 }
+
+// ---------------------------------------------------------------------------
+// Fault matrix × serving tier: learner death must degrade the surrogate
+// gracefully, never tear it.
+// ---------------------------------------------------------------------------
+
+use artificial_scientist::core::config::ServingConfig;
+use artificial_scientist::serve::{run_workflow_serving, InferenceEngine};
+
+/// `ConsumerKill` while the learner is publishing snapshots: the
+/// lowest-rank survivor takes over publishing (the FT root is
+/// `members[0]`), the engine keeps serving the last published snapshot,
+/// and `ServeReport::stale_snapshot_seconds` records how old it is. The
+/// injected kill shows up in the failure ledger; window accounting
+/// stays balanced; no torn or regressed version is ever served.
+#[test]
+fn consumer_kill_during_serving_degrades_gracefully() {
+    let mut cfg = ft_cfg(2, true, false);
+    cfg.serving = Some(ServingConfig {
+        publish_every: 2,
+        posterior_samples: 2,
+        ..ServingConfig::default()
+    });
+    cfg.faults.events.push(FaultEvent::ConsumerKill {
+        rank: 0,
+        at_window: 1,
+        mode: KillMode::Die,
+    });
+    let engine = InferenceEngine::start(cfg.serving.clone().unwrap());
+    let report = run_workflow_serving(&cfg, &engine);
+
+    // The kill is recorded and the group degraded, as in the non-serving
+    // matrix.
+    assert_eq!(report.failures.len(), 1);
+    assert!(report.failures[0].injected);
+    assert_eq!(report.failures[0].rank, 0);
+    assert!(report.degradations >= 1);
+    assert_accounting(&report);
+
+    // The publisher failed over: snapshots kept landing (root death
+    // included), versions dense and monotone in the archive.
+    let serve = engine.report();
+    assert!(
+        serve.swaps >= 1,
+        "the surviving learner must keep publishing"
+    );
+    assert_eq!(serve.current_version, serve.swaps);
+    for v in 1..=serve.current_version {
+        assert!(engine.archived(v).is_some(), "version {v} missing");
+    }
+
+    // The engine still answers — serving the last published snapshot —
+    // and reports how stale it has become since the learner stopped.
+    let dim = artificial_scientist::nn::model::ModelConfig::small().spectrum_dim;
+    let spectrum: Vec<f32> = artificial_scientist::tensor::TensorRng::seeded(0xFA11)
+        .standard_normal([1, dim])
+        .data()
+        .to_vec();
+    let resp = engine.query(spectrum);
+    assert_eq!(resp.version, serve.current_version);
+    assert!(resp.outputs.iter().all(|v| v.is_finite()));
+    let after = engine.report();
+    assert!(
+        after.stale_snapshot_seconds > 0.0,
+        "staleness of the last snapshot must be recorded"
+    );
+    engine.shutdown();
+}

@@ -1,0 +1,255 @@
+//! Serving-tier integration: hot-swap bit-consistency under fire,
+//! batching/caching equivalence properties, and the learner→engine
+//! snapshot pipeline through the full workflow.
+
+use artificial_scientist::core::config::{CommBackend, ServingConfig, WorkflowConfig};
+use artificial_scientist::core::encode::EncodeConfig;
+use artificial_scientist::core::snapshot::ModelSnapshot;
+use artificial_scientist::core::workflow::run_workflow;
+use artificial_scientist::nn::model::{ArtificialScientistModel, ModelConfig};
+use artificial_scientist::serve::cache::PosteriorCache;
+use artificial_scientist::serve::engine::{
+    cache_key, posterior_batch, posterior_reference, InferenceEngine,
+};
+use artificial_scientist::serve::loadgen::{run_loadgen, LoadGenConfig};
+use artificial_scientist::serve::run_workflow_serving;
+use artificial_scientist::tensor::TensorRng;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn snap(seed: u64, version: u64) -> ModelSnapshot {
+    let mut m = ArtificialScientistModel::new(ModelConfig::small(), seed);
+    ModelSnapshot::capture(&mut m, EncodeConfig::default(), version, version * 8)
+}
+
+fn spectrum(tag: u64) -> Vec<f32> {
+    let dim = ModelConfig::small().spectrum_dim;
+    TensorRng::seeded(0x5EED ^ tag)
+        .standard_normal([1, dim])
+        .data()
+        .to_vec()
+}
+
+/// The tentpole consistency test: hammer the engine from many client
+/// threads while snapshots land mid-traffic. Every response must be
+/// bitwise-equal to a single-version reference forward for the version
+/// it reports (no torn weights), and version ids must be monotone
+/// non-decreasing per client. `run_loadgen` panics on any violation;
+/// the report re-asserts the counters.
+#[test]
+fn hot_swap_under_load_is_never_torn() {
+    let engine = InferenceEngine::start(ServingConfig {
+        max_batch: 8,
+        max_wait_us: 100,
+        cache_capacity: 32,
+        posterior_samples: 2,
+        ..ServingConfig::default()
+    });
+    engine.install(&snap(1, 1));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let gen_engine = Arc::clone(&engine);
+    let gen_stop = Arc::clone(&stop);
+    let generator = std::thread::spawn(move || {
+        let cfg = LoadGenConfig {
+            threads: 4,
+            clients_per_thread: 64,
+            spectrum_pool: 24,
+            spectrum_dim: ModelConfig::small().spectrum_dim,
+            min_queries_per_thread: 150,
+            verify: true,
+            ..LoadGenConfig::default()
+        };
+        run_loadgen(&gen_engine, &cfg, &gen_stop)
+    });
+
+    // Land four hot-swaps mid-traffic.
+    for v in 2..=5 {
+        std::thread::sleep(Duration::from_millis(15));
+        engine.install(&snap(v, v));
+    }
+    std::thread::sleep(Duration::from_millis(15));
+    stop.store(true, Ordering::SeqCst);
+    let load = generator.join().expect("load generator panicked");
+    engine.shutdown();
+
+    assert_eq!(load.mismatched_responses, 0, "torn weights observed");
+    assert_eq!(load.monotonicity_violations, 0);
+    assert_eq!(
+        load.verified_responses, load.queries,
+        "every response checked"
+    );
+    assert!(
+        load.versions_seen.len() >= 2,
+        "load must straddle at least one hot-swap, saw {:?}",
+        load.versions_seen
+    );
+    let report = engine.report();
+    assert_eq!(report.swaps, 5);
+    assert_eq!(report.current_version, 5);
+    assert_eq!(report.queries, load.queries);
+    assert!(report.batches > 0 && report.batch_hist.iter().sum::<u64>() == report.batches);
+}
+
+/// The learner publishes through the workflow into the engine: versions
+/// are dense 1..=N at the configured cadence, and the served model
+/// answers queries.
+#[test]
+fn workflow_publishes_snapshots_into_engine() {
+    let mut cfg = WorkflowConfig::small();
+    cfg.total_steps = 16;
+    cfg.steps_per_sample = 4;
+    cfg.n_rep = 3;
+    cfg.serving = Some(ServingConfig {
+        publish_every: 4,
+        posterior_samples: 2,
+        ..ServingConfig::default()
+    });
+    let engine = InferenceEngine::start(cfg.serving.clone().unwrap());
+    let report = run_workflow_serving(&cfg, &engine);
+
+    let iterations = report.consumer.losses.len() as u64;
+    let expected_versions = iterations / 4;
+    assert!(expected_versions >= 2, "run long enough to publish twice");
+    let serve = engine.report();
+    assert_eq!(
+        serve.swaps, expected_versions,
+        "one install per cadence hit"
+    );
+    assert_eq!(serve.current_version, expected_versions);
+    // Dense version history in the archive.
+    for v in 1..=expected_versions {
+        let s = engine.archived(v).expect("archived version");
+        assert_eq!(s.version, v);
+        assert_eq!(s.iteration, v * 4);
+    }
+    // The served surrogate answers a query at the latest version.
+    let resp = engine.query(spectrum(7));
+    assert_eq!(resp.version, expected_versions);
+    assert_eq!(resp.outputs.len(), 12);
+    assert!(resp.outputs.iter().all(|v| v.is_finite()));
+    engine.shutdown();
+}
+
+/// DDP publish path: snapshot distribution is priced through the
+/// modelled network (rank 0 accounts the full parameter payload), and
+/// the peers' published-hash assertion holds — so the priced run must
+/// move strictly more consumer bytes than the same run without serving.
+#[test]
+fn ddp_snapshot_broadcast_is_priced_and_hash_checked() {
+    let mut base = WorkflowConfig::small();
+    base.total_steps = 16;
+    base.steps_per_sample = 4;
+    base.n_rep = 3;
+    base.consumers = 2;
+    base.backend = CommBackend::NetSim {
+        machine: artificial_scientist::cluster::machine::FRONTIER,
+        time_scale: 0.0,
+    };
+    let without = run_workflow(&base);
+
+    let mut with = base.clone();
+    with.serving = Some(ServingConfig {
+        publish_every: 2,
+        posterior_samples: 2,
+        ..ServingConfig::default()
+    });
+    let engine = InferenceEngine::start(with.serving.clone().unwrap());
+    let report = run_workflow_serving(&with, &engine);
+    engine.shutdown();
+
+    assert!(
+        engine.report().swaps >= 2,
+        "DDP learner published snapshots"
+    );
+    // Learner ranks still bit-identical (the publish hook must not
+    // perturb training).
+    let h0 = report.consumer_summaries[0].param_hash;
+    for s in &report.consumer_summaries {
+        assert_eq!(s.param_hash, h0);
+    }
+    assert!(
+        report.consumer_comm_bytes() > without.consumer_comm_bytes(),
+        "snapshot broadcast must be charged to the modelled fabric: {} vs {}",
+        report.consumer_comm_bytes(),
+        without.consumer_comm_bytes()
+    );
+    // Training itself is bit-for-bit unchanged by publishing.
+    assert_eq!(
+        report.consumer.losses.last().map(|l| l.total.to_bits()),
+        without.consumer.losses.last().map(|l| l.total.to_bits()),
+        "publishing snapshots must not perturb the training trajectory"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batched forward ≡ per-item forward, bitwise, for arbitrary batch
+    /// compositions (sizes, duplicates, sample counts).
+    #[test]
+    fn batched_forward_matches_per_item_bitwise(
+        tags in prop::collection::vec(0u64..6, 1..7),
+        samples in 1usize..4,
+        version in 1u64..5,
+    ) {
+        let model = ArtificialScientistModel::new(ModelConfig::small(), 42);
+        let spectra: Vec<Vec<f32>> = tags.iter().map(|&t| spectrum(t)).collect();
+        let refs: Vec<&[f32]> = spectra.iter().map(|s| s.as_slice()).collect();
+        let batched = posterior_batch(&model, &refs, version, samples);
+        for (s, got) in spectra.iter().zip(&batched) {
+            let alone = posterior_reference(&model, s, version, samples);
+            prop_assert_eq!(got, &alone, "batch composition changed the bits");
+        }
+    }
+
+    /// A cache hit is bitwise-equal to a fresh forward at the same
+    /// version.
+    #[test]
+    fn cache_hit_equals_fresh_forward(tag in 0u64..50, samples in 1usize..4) {
+        let engine = InferenceEngine::start(ServingConfig {
+            posterior_samples: samples,
+            ..ServingConfig::default()
+        });
+        engine.install(&snap(9, 1));
+        let s = spectrum(tag);
+        let cold = engine.query(s.clone());
+        let hit = engine.query(s.clone());
+        let served = engine.archived(1).expect("v1 archived");
+        let fresh = posterior_reference(&served.model, &s, 1, samples);
+        engine.shutdown();
+        prop_assert!(hit.cached, "second identical query must hit");
+        prop_assert_eq!(&cold.outputs, &fresh);
+        prop_assert_eq!(&hit.outputs, &fresh, "cached bits drifted");
+    }
+
+    /// The LRU never exceeds its capacity, for any operation sequence,
+    /// and version-mixed keys never collide back to a stale entry.
+    #[test]
+    fn lru_never_exceeds_capacity(
+        capacity in 1usize..9,
+        ops in prop::collection::vec(any::<u64>(), 1..120),
+    ) {
+        let mut cache = PosteriorCache::new(capacity);
+        for (i, &op) in ops.iter().enumerate() {
+            let key = op % 24;
+            if (op >> 8) & 1 == 0 {
+                cache.insert(key, vec![i as f32]);
+            } else {
+                cache.get(key);
+            }
+            prop_assert!(cache.len() <= capacity, "capacity exceeded");
+        }
+    }
+
+    /// The version is mixed into the cache key: the same spectrum under
+    /// different versions must produce distinct keys (stale entries are
+    /// unreachable after a hot-swap).
+    #[test]
+    fn cache_keys_are_version_disjoint(tag in any::<u64>(), v in 1u64..1000) {
+        let s = spectrum(tag % 97);
+        prop_assert!(cache_key(&s, v) != cache_key(&s, v + 1));
+    }
+}
