@@ -37,13 +37,24 @@
 //! instead of O(K), which the `*_comm_messages` and
 //! `comm_model_seconds` columns record.
 //!
+//! Each row also records the staging data plane: the wire codec
+//! (`--codecs none,f16`, default both), the post-codec
+//! `staging_wire_bytes` the stream put on the wire, and the
+//! `staging_model_seconds` the configured `DataPlane` timing model
+//! charged the window transport. `none` rows price the uncompressed
+//! stream (`staging_wire_bytes == bytes`); `f16` rows show the ≥1.9×
+//! wire reduction at unchanged logical payload — the accuracy contract
+//! (tail loss within 15% of lossless) is asserted in
+//! `tests/comm_backends.rs`.
+//!
 //! Pass `--smoke` for the CI-sized run, `--backends in_process` (or
 //! `netsim_frontier`) to restrict the sweep,
-//! `--steps/--steps-per-sample/--n-rep/--out` to override.
+//! `--steps/--steps-per-sample/--n-rep/--codecs/--out` to override.
 
 use as_cluster::algos::CollectiveAlgo;
 use as_core::config::{CommBackend, ConsumerPolicy, WorkflowConfig};
 use as_core::workflow::run_workflow;
+use as_staging::codec::WireCodec;
 
 struct Args {
     steps: usize,
@@ -51,6 +62,7 @@ struct Args {
     n_rep: u32,
     backends: Vec<CommBackend>,
     algos: Vec<CollectiveAlgo>,
+    codecs: Vec<WireCodec>,
     out: String,
 }
 
@@ -71,6 +83,11 @@ fn parse_algo(label: &str) -> CollectiveAlgo {
     }
 }
 
+fn parse_codec(label: &str) -> WireCodec {
+    WireCodec::parse(label)
+        .unwrap_or_else(|| panic!("unknown codec {label} (none|f16|quant<bits>)"))
+}
+
 fn parse_args() -> Args {
     let mut a = Args {
         steps: 48,
@@ -78,6 +95,7 @@ fn parse_args() -> Args {
         n_rep: 6,
         backends: vec![CommBackend::InProcess, CommBackend::netsim_frontier()],
         algos: vec![CollectiveAlgo::Linear, CollectiveAlgo::Log],
+        codecs: vec![WireCodec::None, WireCodec::F16],
         out: "BENCH_workflow.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -92,6 +110,7 @@ fn parse_args() -> Args {
             "--n-rep" => a.n_rep = val().parse().expect("--n-rep"),
             "--backends" => a.backends = val().split(',').map(parse_backend).collect(),
             "--algos" => a.algos = val().split(',').map(parse_algo).collect(),
+            "--codecs" => a.codecs = val().split(',').map(parse_codec).collect(),
             "--out" => a.out = val(),
             "--smoke" => {
                 // CI-sized but still consumer-bound: windows come every 2
@@ -111,6 +130,7 @@ fn parse_args() -> Args {
 struct TopoRow {
     backend: String,
     algo: &'static str,
+    codec: String,
     producers: usize,
     consumers: usize,
     policy: &'static str,
@@ -122,6 +142,8 @@ struct TopoRow {
     stall_seconds: f64,
     stall_fraction: f64,
     bytes: u64,
+    staging_wire_bytes: u64,
+    staging_model_seconds: f64,
     producer_comm_bytes: u64,
     consumer_comm_bytes: u64,
     producer_comm_messages: u64,
@@ -139,98 +161,127 @@ fn main() {
 
     for &backend in &a.backends {
         for &algo in &a.algos {
-            for (m, k) in topologies {
-                for drop in [false, true] {
-                    let mut cfg = WorkflowConfig::small();
-                    cfg.total_steps = a.steps;
-                    cfg.steps_per_sample = a.steps_per_sample;
-                    cfg.n_rep = a.n_rep;
-                    cfg.producers = m;
-                    cfg.consumers = k;
-                    cfg.backend = backend;
-                    cfg.collective_algo = algo;
-                    if drop {
-                        // Same queue depth as blocking: the row differences are
-                        // the policy, not the buffer budget.
-                        cfg.policy = ConsumerPolicy::drop_steps(cfg.queue_limit);
-                        cfg.sample_broadcast = k > 1;
-                        cfg.overlap_grad_sync = k > 1;
-                    }
-                    eprintln!(
-                    "fig_workflow_scaling: {m}×{k} {} on {}/{} ({} steps, window every {}, n_rep {})",
+            for &codec in &a.codecs {
+                // The wire codec is orthogonal to the collective
+                // algorithm family: compressed rows run under the first
+                // requested algo only, keeping the sweep linear in the
+                // codec count.
+                if codec != WireCodec::None && algo != a.algos[0] {
+                    continue;
+                }
+                for (m, k) in topologies {
+                    for drop in [false, true] {
+                        let mut cfg = WorkflowConfig::small();
+                        cfg.total_steps = a.steps;
+                        cfg.steps_per_sample = a.steps_per_sample;
+                        cfg.n_rep = a.n_rep;
+                        cfg.producers = m;
+                        cfg.consumers = k;
+                        cfg.backend = backend;
+                        cfg.collective_algo = algo;
+                        cfg.wire_codec = codec;
+                        if drop {
+                            // Same queue depth as blocking: the row differences are
+                            // the policy, not the buffer budget.
+                            cfg.policy = ConsumerPolicy::drop_steps(cfg.queue_limit);
+                            cfg.sample_broadcast = k > 1;
+                            cfg.overlap_grad_sync = k > 1;
+                        }
+                        eprintln!(
+                    "fig_workflow_scaling: {m}×{k} {} on {}/{}/{} ({} steps, window every {}, n_rep {})",
                     cfg.policy.label(),
                     cfg.backend.label(),
                     algo.label(),
+                    codec.label(),
                     a.steps,
                     a.steps_per_sample,
                     a.n_rep
                 );
-                    let report = run_workflow(&cfg);
-                    // Unique encodes: with sample_broadcast every rank's buffer
-                    // receives every encoded sample, so any single rank's count
-                    // is the total — summing across ranks would double-count.
-                    let samples: u64 = if cfg.sample_broadcast {
-                        report.consumer.samples
-                    } else {
-                        report.consumer_summaries.iter().map(|s| s.samples).sum()
-                    };
-                    let consumed = report.consumed_windows();
-                    for s in &report.consumer_summaries {
-                        assert_eq!(
-                            s.windows + s.dropped_windows + s.orphaned_windows,
-                            s.published_windows,
-                            "{m}×{k} {}: rank {} must account for every published window",
-                            cfg.policy.label(),
-                            s.rank
+                        let report = run_workflow(&cfg);
+                        // Unique encodes: with sample_broadcast every rank's buffer
+                        // receives every encoded sample, so any single rank's count
+                        // is the total — summing across ranks would double-count.
+                        let samples: u64 = if cfg.sample_broadcast {
+                            report.consumer.samples
+                        } else {
+                            report.consumer_summaries.iter().map(|s| s.samples).sum()
+                        };
+                        let consumed = report.consumed_windows();
+                        for s in &report.consumer_summaries {
+                            assert_eq!(
+                                s.windows + s.dropped_windows + s.orphaned_windows,
+                                s.published_windows,
+                                "{m}×{k} {}: rank {} must account for every published window",
+                                cfg.policy.label(),
+                                s.rank
+                            );
+                        }
+                        if !drop {
+                            assert_eq!(
+                                consumed.len() as u64,
+                                report.producer.windows,
+                                "{m}×{k} blocking: every window must be consumed exactly once"
+                            );
+                        }
+                        let h0 = report.consumer_summaries[0].param_hash;
+                        assert!(
+                            report.consumer_summaries.iter().all(|s| s.param_hash == h0),
+                            "{m}×{k}: learner ranks must stay bit-identical"
                         );
-                    }
-                    if !drop {
-                        assert_eq!(
-                            consumed.len() as u64,
-                            report.producer.windows,
-                            "{m}×{k} blocking: every window must be consumed exactly once"
-                        );
-                    }
-                    let h0 = report.consumer_summaries[0].param_hash;
-                    assert!(
-                        report.consumer_summaries.iter().all(|s| s.param_hash == h0),
-                        "{m}×{k}: learner ranks must stay bit-identical"
-                    );
-                    let row = TopoRow {
-                        backend: cfg.backend.label(),
-                        algo: algo.label(),
-                        producers: m,
-                        consumers: k,
-                        policy: cfg.policy.label(),
-                        windows: report.producer.windows,
-                        consumed: consumed.len() as u64,
-                        dropped: report.consumer.dropped_windows,
-                        wall_seconds: report.wall_seconds,
-                        windows_per_sec: report.windows_per_second(),
-                        stall_seconds: report.producer.stall_seconds,
-                        stall_fraction: report.producer.stall_fraction(),
-                        bytes: report.producer.bytes,
-                        producer_comm_bytes: report.producer_comm_bytes(),
-                        consumer_comm_bytes: report.consumer_comm_bytes(),
-                        producer_comm_messages: report.producer_comm_messages(),
-                        consumer_comm_messages: report.consumer_comm_messages(),
-                        comm_model_seconds: report.comm_model_seconds(),
-                        samples,
-                        iterations: report.consumer.losses.len(),
-                        tail_loss: report.tail_loss(4),
-                    };
-                    eprintln!(
-                    "  {:>4.1} windows/s  stall {:5.1} %  dropped {}  comm {}+{} B ({}+{} msgs)  tail loss {:.4}",
+                        if codec == WireCodec::None {
+                            assert_eq!(
+                                report.staging_wire_bytes(),
+                                report.producer.bytes,
+                                "{m}×{k}: the lossless codec puts exactly the logical \
+                                 payload on the wire"
+                            );
+                        } else {
+                            assert!(
+                                report.staging_wire_bytes() < report.producer.bytes,
+                                "{m}×{k}: a compressing codec must shrink the wire"
+                            );
+                        }
+                        let row = TopoRow {
+                            backend: cfg.backend.label(),
+                            algo: algo.label(),
+                            codec: codec.label(),
+                            producers: m,
+                            consumers: k,
+                            policy: cfg.policy.label(),
+                            windows: report.producer.windows,
+                            consumed: consumed.len() as u64,
+                            dropped: report.consumer.dropped_windows,
+                            wall_seconds: report.wall_seconds,
+                            windows_per_sec: report.windows_per_second(),
+                            stall_seconds: report.producer.stall_seconds,
+                            stall_fraction: report.producer.stall_fraction(),
+                            bytes: report.producer.bytes,
+                            staging_wire_bytes: report.staging_wire_bytes(),
+                            staging_model_seconds: report.staging_model_seconds(),
+                            producer_comm_bytes: report.producer_comm_bytes(),
+                            consumer_comm_bytes: report.consumer_comm_bytes(),
+                            producer_comm_messages: report.producer_comm_messages(),
+                            consumer_comm_messages: report.consumer_comm_messages(),
+                            comm_model_seconds: report.comm_model_seconds(),
+                            samples,
+                            iterations: report.consumer.losses.len(),
+                            tail_loss: report.tail_loss(4),
+                        };
+                        eprintln!(
+                    "  {:>4.1} windows/s  stall {:5.1} %  dropped {}  wire {} B ({:.2}x)  comm {}+{} B ({}+{} msgs)  tail loss {:.4}",
                     row.windows_per_sec,
                     row.stall_fraction * 100.0,
                     row.dropped,
+                    row.staging_wire_bytes,
+                    row.bytes as f64 / row.staging_wire_bytes.max(1) as f64,
                     row.producer_comm_bytes,
                     row.consumer_comm_bytes,
                     row.producer_comm_messages,
                     row.consumer_comm_messages,
                     row.tail_loss
                 );
-                    rows.push(row);
+                        rows.push(row);
+                    }
                 }
             }
         }
@@ -243,9 +294,10 @@ fn main() {
     ));
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"backend\": \"{}\", \"algo\": \"{}\", \"producers\": {}, \"consumers\": {}, \"policy\": \"{}\", \"windows\": {}, \"consumed\": {}, \"dropped\": {}, \"wall_seconds\": {:.4}, \"windows_per_sec\": {:.3}, \"stall_seconds\": {:.4}, \"stall_fraction\": {:.4}, \"bytes\": {}, \"producer_comm_bytes\": {}, \"consumer_comm_bytes\": {}, \"producer_comm_messages\": {}, \"consumer_comm_messages\": {}, \"comm_model_seconds\": {:.6}, \"samples\": {}, \"iterations\": {}, \"tail_loss\": {:.6}}}{}\n",
+            "    {{\"backend\": \"{}\", \"algo\": \"{}\", \"codec\": \"{}\", \"producers\": {}, \"consumers\": {}, \"policy\": \"{}\", \"windows\": {}, \"consumed\": {}, \"dropped\": {}, \"wall_seconds\": {:.4}, \"windows_per_sec\": {:.3}, \"stall_seconds\": {:.4}, \"stall_fraction\": {:.4}, \"bytes\": {}, \"staging_wire_bytes\": {}, \"staging_model_seconds\": {:.6}, \"producer_comm_bytes\": {}, \"consumer_comm_bytes\": {}, \"producer_comm_messages\": {}, \"consumer_comm_messages\": {}, \"comm_model_seconds\": {:.6}, \"samples\": {}, \"iterations\": {}, \"tail_loss\": {:.6}}}{}\n",
             r.backend,
             r.algo,
+            r.codec,
             r.producers,
             r.consumers,
             r.policy,
@@ -257,6 +309,8 @@ fn main() {
             r.stall_seconds,
             r.stall_fraction,
             r.bytes,
+            r.staging_wire_bytes,
+            r.staging_model_seconds,
             r.producer_comm_bytes,
             r.consumer_comm_bytes,
             r.producer_comm_messages,

@@ -193,6 +193,40 @@ pub trait Collective: Send + Sync + 'static {
         0.0
     }
 
+    /// Record staging **data-plane** traffic: `wire_bytes` crossed the
+    /// SST-style staging stream at a modelled cost of `model_seconds`
+    /// (computed by the caller from the staging layer's
+    /// `DataPlane::read_time` — this crate stays independent of the
+    /// staging crate, so the hook takes the raw numbers). Kept on
+    /// counters **separate** from the collective traffic
+    /// ([`Collective::world_bytes_sent`] /
+    /// [`Collective::modelled_comm_seconds`]): the control-plane
+    /// accounting stays bit-identical whether or not window payloads are
+    /// priced. Default is a no-op — the in-process backend moves real
+    /// bytes and needs no model; [`SimNetComm`] accumulates the cost on
+    /// a per-rank data-plane timeline and, scaled by
+    /// `NetModel::time_scale`, injects it as wall time. Purely local —
+    /// never communicates.
+    fn account_dataplane(&self, wire_bytes: u64, model_seconds: f64) {
+        let _ = (wire_bytes, model_seconds);
+    }
+
+    /// World-wide modelled staging data-plane seconds charged so far —
+    /// the maximum over ranks' serialized data-plane timelines, mirroring
+    /// the critical-path semantics of
+    /// [`Collective::modelled_comm_seconds`] but on the separate
+    /// data-plane clock. `0.0` for backends without a model.
+    fn modelled_dataplane_seconds(&self) -> f64 {
+        0.0
+    }
+
+    /// World-wide staging wire bytes recorded via
+    /// [`Collective::account_dataplane`] (monotone, shared by all
+    /// ranks). `0` for backends without a model.
+    fn dataplane_bytes(&self) -> u64 {
+        0
+    }
+
     // --- fault tolerance (optional capability) ---------------------------
     //
     // Backends built over a fault-armed world (`CommWorld::with_faults`)
@@ -504,6 +538,22 @@ impl NetModel {
     }
 }
 
+/// World-shared staging data-plane accounting: the critical-path clock
+/// and wire-byte counter behind [`Collective::account_dataplane`]. One
+/// instance is shared by every [`SimNetComm`] endpoint of a world
+/// (created by [`SimNetComm::wrap_world`]), exactly like the
+/// collective-side `world_max_nanos` counter — but deliberately a
+/// *separate* object, so pricing the staging stream can never perturb
+/// the collective traffic counters the cross-backend bit-identity tests
+/// pin down.
+#[derive(Debug, Default)]
+pub struct DataPlaneClock {
+    /// World-wide maximum of the per-rank data-plane timelines, nanos.
+    max_nanos: AtomicU64,
+    /// World-wide staging wire bytes.
+    bytes: AtomicU64,
+}
+
 /// A [`Collective`] backend wrapped with a modelled network fabric.
 ///
 /// Every operation walks the [`crate::algos`] schedule the wrapped
@@ -531,18 +581,29 @@ pub struct SimNetComm<C: Collective> {
     /// World-wide maximum of the per-rank timelines (shared by all
     /// endpoints): the modelled critical path.
     world_max_nanos: Arc<AtomicU64>,
+    /// This endpoint's serialized modelled data-plane nanoseconds.
+    dp_local_nanos: AtomicU64,
+    /// World-shared data-plane clock and wire-byte counter.
+    dp_clock: Arc<DataPlaneClock>,
 }
 
 impl<C: Collective> SimNetComm<C> {
     /// Wrap one endpoint. All endpoints of a world must share the
-    /// `world_max_nanos` counter — use [`SimNetComm::world`] unless you
-    /// are assembling a world by hand.
-    pub fn new(inner: C, model: NetModel, world_max_nanos: Arc<AtomicU64>) -> Self {
+    /// `world_max_nanos` counter and the `dp_clock` — use
+    /// [`SimNetComm::world`] unless you are assembling a world by hand.
+    pub fn new(
+        inner: C,
+        model: NetModel,
+        world_max_nanos: Arc<AtomicU64>,
+        dp_clock: Arc<DataPlaneClock>,
+    ) -> Self {
         Self {
             inner,
             model,
             local_nanos: AtomicU64::new(0),
             world_max_nanos,
+            dp_local_nanos: AtomicU64::new(0),
+            dp_clock,
         }
     }
 
@@ -612,9 +673,10 @@ impl SimNetComm<ChannelComm> {
         model: NetModel,
     ) -> Vec<SimNetComm<ChannelComm>> {
         let nanos = Arc::new(AtomicU64::new(0));
+        let dp = Arc::new(DataPlaneClock::default());
         endpoints
             .into_iter()
-            .map(|c| SimNetComm::new(c, model.clone(), nanos.clone()))
+            .map(|c| SimNetComm::new(c, model.clone(), nanos.clone(), dp.clone()))
             .collect()
     }
 }
@@ -723,6 +785,27 @@ impl<C: Collective> Collective for SimNetComm<C> {
     }
     fn modelled_comm_seconds(&self) -> f64 {
         self.world_max_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+    fn account_dataplane(&self, wire_bytes: u64, model_seconds: f64) {
+        self.dp_clock.bytes.fetch_add(wire_bytes, Ordering::Relaxed);
+        if model_seconds <= 0.0 {
+            return;
+        }
+        let nanos = (model_seconds * 1e9).round() as u64;
+        let local = self.dp_local_nanos.fetch_add(nanos, Ordering::Relaxed) + nanos;
+        self.dp_clock.max_nanos.fetch_max(local, Ordering::Relaxed);
+        if self.model.time_scale > 0.0 {
+            let wall = model_seconds * self.model.time_scale;
+            if wall > 0.0 {
+                std::thread::sleep(std::time::Duration::from_secs_f64(wall));
+            }
+        }
+    }
+    fn modelled_dataplane_seconds(&self) -> f64 {
+        self.dp_clock.max_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+    fn dataplane_bytes(&self) -> u64 {
+        self.dp_clock.bytes.load(Ordering::Relaxed)
     }
     fn faults_armed(&self) -> bool {
         self.inner.faults_armed()
@@ -836,6 +919,36 @@ mod tests {
             assert!(c.modelled_comm_seconds() > 0.0, "fabric time must accrue");
             assert!(c.world_bytes_sent() >= 4096, "payload bytes still counted");
             assert!(c.world_messages_sent() > 0, "hops are counted");
+        });
+    }
+
+    #[test]
+    fn dataplane_charges_stay_off_the_collective_counters() {
+        run_world(SimNetComm::world(2, fast_model()), |c| {
+            let comm_secs = c.modelled_comm_seconds();
+            let comm_bytes = c.world_bytes_sent();
+            c.account_dataplane(1_000_000, 0.25);
+            c.account_dataplane(500_000, 0.25);
+            // The data-plane charge never leaks into the collective
+            // accounting (read before the barrier adds its own cost).
+            assert_eq!(c.modelled_comm_seconds(), comm_secs);
+            assert_eq!(c.world_bytes_sent(), comm_bytes);
+            c.barrier();
+            // Data-plane traffic accrues on its own world-shared clock...
+            assert_eq!(c.dataplane_bytes(), 2 * 1_500_000, "both ranks charged");
+            // ...with critical-path semantics, not sum: both ranks
+            // charged 0.5 s in parallel, so the clock reads 0.5, not 1.0.
+            assert!((c.modelled_dataplane_seconds() - 0.5).abs() < 1e-9);
+        });
+    }
+
+    #[test]
+    fn channel_comm_ignores_dataplane_charges() {
+        run_world(CommWorld::new(2).into_endpoints(), |c| {
+            c.account_dataplane(1 << 30, 10.0);
+            assert_eq!(c.dataplane_bytes(), 0);
+            assert_eq!(c.modelled_dataplane_seconds(), 0.0);
+            c.barrier();
         });
     }
 

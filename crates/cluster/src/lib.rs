@@ -38,7 +38,9 @@ pub mod sockets;
 pub mod prelude {
     //! Commonly used cluster types.
     pub use crate::algos::CollectiveAlgo;
-    pub use crate::collective::{ChannelComm, Collective, NetModel, NodeMap, SimNetComm};
+    pub use crate::collective::{
+        ChannelComm, Collective, DataPlaneClock, NetModel, NodeMap, SimNetComm,
+    };
     pub use crate::collectives::{allreduce_cost, AllReduceAlgo, CollectiveCost};
     pub use crate::comm::{CommFaults, CommWorld, Communicator, FT_TAG_BASE};
     pub use crate::error::CommError;

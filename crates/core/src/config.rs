@@ -22,6 +22,7 @@ use as_pic::grid::GridSpec;
 use as_pic::khi::KhiSetup;
 use as_radiation::detector::Detector;
 use as_replay::buffer::BufferConfig;
+use as_staging::codec::WireCodec;
 use as_staging::dataplane::DataPlane;
 
 /// Where producer and consumer ranks live relative to each other
@@ -252,8 +253,15 @@ pub struct WorkflowConfig {
     pub m_vae: f32,
     /// Producer/consumer placement.
     pub placement: Placement,
-    /// Staging data plane.
-    pub plane: DataPlane,
+    /// Staging data plane: the timing model every window-payload
+    /// transfer is priced with (and, under the netsim backend, charged
+    /// to the run's modelled data-plane clock).
+    pub data_plane: DataPlane,
+    /// Wire codec for the staged window payloads: [`WireCodec::None`]
+    /// streams raw little-endian lanes (lossless, the default);
+    /// [`WireCodec::F16`] and [`WireCodec::QuantU16`] shrink the wire at
+    /// a documented per-lane accuracy cost (see `docs/ARCHITECTURE.md`).
+    pub wire_codec: WireCodec,
     /// Staging queue limit (in-flight steps before the producer stalls).
     pub queue_limit: usize,
     /// Simulation (writer) ranks: the KHI box is slab-decomposed along x
@@ -343,7 +351,8 @@ impl WorkflowConfig {
             },
             m_vae: 4.0,
             placement: Placement::IntraNode,
-            plane: DataPlane::Mpi,
+            data_plane: DataPlane::Mpi,
+            wire_codec: WireCodec::None,
             queue_limit: 2,
             producers: 1,
             consumers: 1,
@@ -427,6 +436,7 @@ mod tests {
         );
         assert!(!c.overlap_grad_sync, "legacy in-line gradient sync");
         assert!(c.serving.is_none(), "legacy training-only workflow");
+        assert_eq!(c.wire_codec, WireCodec::None, "lossless wire by default");
     }
 
     #[test]

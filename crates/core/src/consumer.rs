@@ -134,6 +134,15 @@ pub struct ConsumerReport {
     pub degradations: u64,
     /// Live learner ranks at exit (`world` minus condemned peers).
     pub world_after: usize,
+    /// Wire bytes this rank fetched from the two staging streams
+    /// (particles + radiation) — equal to the logical payload bytes
+    /// under the lossless codec, smaller under a compressing
+    /// [`as_staging::codec::WireCodec`].
+    pub staging_wire_bytes: u64,
+    /// Modelled data-plane seconds the configured
+    /// [`as_staging::dataplane::DataPlane`] charged this rank's staging
+    /// reads (both streams).
+    pub staging_model_seconds: f64,
 }
 
 /// Build the snapshot publisher when both the config knob and a sink
@@ -255,6 +264,9 @@ pub fn run_consumer_serving(
     }
 
     let particle_bytes = p_reader.stats().total_bytes();
+    let staging_wire_bytes = p_reader.stats().wire_bytes() + r_reader.stats().wire_bytes();
+    let staging_model_seconds =
+        p_reader.stats().simulated_seconds() + r_reader.stats().simulated_seconds();
     let published_windows = p_reader.published_steps().max(r_reader.published_steps());
     let hash = param_hash(&mut model);
     ConsumerReport {
@@ -280,6 +292,8 @@ pub fn run_consumer_serving(
         recovery_seconds: 0.0,
         degradations: 0,
         world_after: 1,
+        staging_wire_bytes,
+        staging_model_seconds,
     }
 }
 
@@ -471,6 +485,14 @@ pub fn run_ddp_consumer_serving<C: Collective>(
                 buffer.push(s);
             }
         }
+        // Price this rank's staging fetches for the window on the
+        // collective's data plane (zero for non-owners, who fetched no
+        // payload; the netsim backend sleeps the modelled cost, the
+        // channel backend ignores it).
+        comm.account_dataplane(
+            p_it.wire_bytes_fetched() + r_it.wire_bytes_fetched(),
+            p_it.simulated_seconds() + r_it.simulated_seconds(),
+        );
         p_reader.close_iteration(p_it);
         r_reader.close_iteration(r_it);
 
@@ -547,6 +569,9 @@ pub fn run_ddp_consumer_serving<C: Collective>(
     }
 
     let particle_bytes = p_reader.stats().total_bytes();
+    let staging_wire_bytes = p_reader.stats().wire_bytes() + r_reader.stats().wire_bytes();
+    let staging_model_seconds =
+        p_reader.stats().simulated_seconds() + r_reader.stats().simulated_seconds();
     let published_windows = p_reader.published_steps().max(r_reader.published_steps());
     let hash = param_hash(&mut model);
     ConsumerReport {
@@ -576,6 +601,8 @@ pub fn run_ddp_consumer_serving<C: Collective>(
         recovery_seconds: 0.0,
         degradations: 0,
         world_after: world,
+        staging_wire_bytes,
+        staging_model_seconds,
     }
 }
 
@@ -773,6 +800,9 @@ pub fn run_consumer_ft_serving(
     }
 
     let particle_bytes = p_reader.stats().total_bytes();
+    let staging_wire_bytes = p_reader.stats().wire_bytes() + r_reader.stats().wire_bytes();
+    let staging_model_seconds =
+        p_reader.stats().simulated_seconds() + r_reader.stats().simulated_seconds();
     let published_windows = p_reader.published_steps().max(r_reader.published_steps());
     let hash = param_hash(&mut model);
     ConsumerReport {
@@ -798,6 +828,8 @@ pub fn run_consumer_ft_serving(
         recovery_seconds,
         degradations: 0,
         world_after: 1,
+        staging_wire_bytes,
+        staging_model_seconds,
     }
 }
 
@@ -1053,6 +1085,12 @@ pub fn run_ddp_consumer_ft_serving<C: Collective>(
                 buffer.push(s);
             }
         }
+        // Price this rank's staging fetches on the collective's data
+        // plane (zero for non-owners — see `run_ddp_consumer_serving`).
+        comm.account_dataplane(
+            p_it.wire_bytes_fetched() + r_it.wire_bytes_fetched(),
+            p_it.simulated_seconds() + r_it.simulated_seconds(),
+        );
         p_reader.close_iteration(p_it);
         r_reader.close_iteration(r_it);
 
@@ -1107,6 +1145,9 @@ pub fn run_ddp_consumer_ft_serving<C: Collective>(
 
     recovery_seconds += ft.condemned_wait_seconds();
     let particle_bytes = p_reader.stats().total_bytes();
+    let staging_wire_bytes = p_reader.stats().wire_bytes() + r_reader.stats().wire_bytes();
+    let staging_model_seconds =
+        p_reader.stats().simulated_seconds() + r_reader.stats().simulated_seconds();
     let published_windows = p_reader.published_steps().max(r_reader.published_steps());
     let hash = param_hash(&mut model);
     ConsumerReport {
@@ -1132,6 +1173,8 @@ pub fn run_ddp_consumer_ft_serving<C: Collective>(
         recovery_seconds,
         degradations,
         world_after: members.len(),
+        staging_wire_bytes,
+        staging_model_seconds,
     }
 }
 
@@ -1242,19 +1285,27 @@ fn mean_loss<C: Collective>(comm: &C, local: &LossReport, world: usize) -> LossR
 /// Fetch one window's phase space and spectra and encode one sample per
 /// non-empty flow region; the caller feeds its buffer (or broadcasts the
 /// encoded samples to peers — the owner-computed path).
+///
+/// The fetch is zero-copy: every particle component comes back as a
+/// [`as_staging::view::VarView`] reading straight out of the published
+/// block buffers, and the region filter / bounding box / point encoder
+/// all index through the view — no per-window gather of the six
+/// phase-space arrays. Under the lossless wire codec this path consumes
+/// the RNG and performs arithmetic identically to the historical
+/// gather-then-encode path, so training trajectories are bit-identical.
 fn encode_window(
     cfg: &WorkflowConfig,
     p_it: &mut IterationData,
     r_it: &mut IterationData,
     enc_rng: &mut StdRng,
 ) -> Vec<Sample> {
-    // Fetch phase space.
-    let xs = p_it.particles("e", "position", "x");
-    let ys = p_it.particles("e", "position", "y");
-    let zs = p_it.particles("e", "position", "z");
-    let uxs = p_it.particles("e", "momentum", "x");
-    let uys = p_it.particles("e", "momentum", "y");
-    let uzs = p_it.particles("e", "momentum", "z");
+    // Phase-space views (no payload copy).
+    let xs = p_it.particles_view("e", "position", "x");
+    let ys = p_it.particles_view("e", "position", "y");
+    let zs = p_it.particles_view("e", "position", "z");
+    let uxs = p_it.particles_view("e", "momentum", "x");
+    let uys = p_it.particles_view("e", "momentum", "y");
+    let uzs = p_it.particles_view("e", "momentum", "z");
     let step = p_it.iteration;
     let mut samples = Vec::new();
 
@@ -1262,22 +1313,19 @@ fn encode_window(
     let (_, ly, _) = cfg.grid.extents();
     for (region_idx, _region) in FlowRegion::all().iter().enumerate() {
         let idx: Vec<usize> = (0..xs.len())
-            .filter(|&i| region_of(ys[i], ly, cfg.shear_width) == region_idx)
+            .filter(|&i| region_of(ys.get_f64(i), ly, cfg.shear_width) == region_idx)
             .collect();
         if idx.is_empty() {
             continue;
         }
-        let pick = |src: &[f64]| -> Vec<f64> { idx.iter().map(|&i| src[i]).collect() };
-        let (rx, ry, rz) = (pick(&xs), pick(&ys), pick(&zs));
-        let (rux, ruy, ruz) = (pick(&uxs), pick(&uys), pick(&uzs));
-        let (center, half) = bounding_box(&rx, &ry, &rz);
+        let (center, half) = bounding_box_view(&xs, &ys, &zs, &idx);
         let points = cfg
             .encode
-            .encode_points(&rx, &ry, &rz, &rux, &ruy, &ruz, center, half, enc_rng);
-        let flat = r_it.f32_array(&format!("radiation/region{region_idx}/intensity"));
+            .encode_points_view(&xs, &ys, &zs, &uxs, &uys, &uzs, &idx, center, half, enc_rng);
+        let flat = r_it.f32_array_view(&format!("radiation/region{region_idx}/intensity"));
         // First direction's spectrum conditions the INN.
         let n_f = cfg.detector.n_freqs();
-        let intensity: Vec<f64> = flat[..n_f].iter().map(|&v| v as f64).collect();
+        let intensity: Vec<f64> = (0..n_f).map(|i| flat.get_f32(i) as f64).collect();
         let spec = Spectrum::new(cfg.detector.frequencies.clone(), intensity);
         let spectrum = cfg.encode.encode_spectrum(&spec, cfg.model.spectrum_dim);
         samples.push(Sample {
@@ -1296,6 +1344,39 @@ fn region_of(y: f64, ly: f64, shear_width: f64) -> usize {
         FlowRegion::Receding => 1,
         FlowRegion::Vortex => 2,
     }
+}
+
+/// Zero-copy twin of [`bounding_box`]: the axis-aligned bounding box of
+/// an indexed subset of three staging views. Folds min/max in `idx`
+/// order — the same sequence the gather path folded — so the result is
+/// bit-identical under the lossless codec.
+pub fn bounding_box_view(
+    xs: &as_staging::view::VarView,
+    ys: &as_staging::view::VarView,
+    zs: &as_staging::view::VarView,
+    idx: &[usize],
+) -> ([f64; 3], [f64; 3]) {
+    let minmax = |v: &as_staging::view::VarView| {
+        let lo = idx
+            .iter()
+            .map(|&i| v.get_f64(i))
+            .fold(f64::INFINITY, f64::min);
+        let hi = idx
+            .iter()
+            .map(|&i| v.get_f64(i))
+            .fold(f64::NEG_INFINITY, f64::max);
+        (lo, hi)
+    };
+    let (x0, x1) = minmax(xs);
+    let (y0, y1) = minmax(ys);
+    let (z0, z1) = minmax(zs);
+    let center = [(x0 + x1) / 2.0, (y0 + y1) / 2.0, (z0 + z1) / 2.0];
+    let half = [
+        ((x1 - x0) / 2.0).max(1e-6),
+        ((y1 - y0) / 2.0).max(1e-6),
+        ((z1 - z0) / 2.0).max(1e-6),
+    ];
+    (center, half)
 }
 
 /// Axis-aligned bounding box of a point set: `(center, half_extents)`.

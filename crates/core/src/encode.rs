@@ -8,6 +8,7 @@
 
 use as_nn::model::ModelConfig;
 use as_radiation::spectrum::Spectrum;
+use as_staging::view::VarView;
 use as_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -82,6 +83,41 @@ impl EncodeConfig {
             out.push((uxs[i] / self.momentum_scale) as f32);
             out.push((uys[i] / self.momentum_scale) as f32);
             out.push((uzs[i] / self.momentum_scale) as f32);
+        }
+        out
+    }
+
+    /// Zero-copy twin of [`Self::encode_points`]: reads particles
+    /// straight out of staging [`VarView`]s through a region index list
+    /// instead of gathered per-region copies. Consumes the RNG
+    /// identically (one `gen_range(0..idx.len())` per output point) and
+    /// performs the same f64→f32 arithmetic, so under the lossless wire
+    /// codec the output is bit-identical to the gather path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn encode_points_view(
+        &self,
+        xs: &VarView,
+        ys: &VarView,
+        zs: &VarView,
+        uxs: &VarView,
+        uys: &VarView,
+        uzs: &VarView,
+        idx: &[usize],
+        center: [f64; 3],
+        half_extent: [f64; 3],
+        rng: &mut StdRng,
+    ) -> Vec<f32> {
+        assert!(!idx.is_empty(), "cannot encode an empty region");
+        let n = idx.len();
+        let mut out = Vec::with_capacity(self.sample_points * 6);
+        for _ in 0..self.sample_points {
+            let i = idx[rng.gen_range(0..n)];
+            out.push((((xs.get_f64(i) - center[0]) / half_extent[0]) as f32).clamp(-1.5, 1.5));
+            out.push((((ys.get_f64(i) - center[1]) / half_extent[1]) as f32).clamp(-1.5, 1.5));
+            out.push((((zs.get_f64(i) - center[2]) / half_extent[2]) as f32).clamp(-1.5, 1.5));
+            out.push((uxs.get_f64(i) / self.momentum_scale) as f32);
+            out.push((uys.get_f64(i) / self.momentum_scale) as f32);
+            out.push((uzs.get_f64(i) / self.momentum_scale) as f32);
         }
         out
     }
@@ -161,6 +197,56 @@ mod tests {
             assert!(chunk[0].abs() <= 1.0 + 1e-6);
             assert!((chunk[3].abs() - 1.0).abs() < 1e-6, "u/scale = ±1");
         }
+    }
+
+    #[test]
+    fn view_encode_is_bit_identical_to_gather_encode() {
+        use as_staging::engine::{open_stream, StreamConfig};
+        // Publish six particle arrays on a lossless stream, then encode
+        // the same region through both paths with identically seeded
+        // RNGs: every output f32 must match bit-for-bit.
+        let cfg = EncodeConfig {
+            sample_points: 64,
+            ..EncodeConfig::default()
+        };
+        let names = ["x", "y", "z", "ux", "uy", "uz"];
+        let arrays: Vec<Vec<f64>> = (0..6)
+            .map(|k| (0..37).map(|i| (i as f64) * 0.1 + k as f64).collect())
+            .collect();
+        let (mut writers, mut readers) = open_stream(StreamConfig::default());
+        let mut w = writers.remove(0);
+        w.begin_step();
+        for (name, data) in names.iter().zip(&arrays) {
+            w.put_f64(name, data.len() as u64, 0, data);
+        }
+        w.end_step();
+        w.close();
+        let mut r = readers.remove(0);
+        let mut step = r.begin_step().expect("one step");
+        let views: Vec<_> = names.iter().map(|n| step.get_f64_view(n)).collect();
+        // Region = every third particle, like a shear-band filter would pick.
+        let idx: Vec<usize> = (0..37).step_by(3).collect();
+        let gather: Vec<Vec<f64>> = arrays
+            .iter()
+            .map(|a| idx.iter().map(|&i| a[i]).collect())
+            .collect();
+        let center = [1.0, 2.0, 3.0];
+        let half = [2.0, 2.0, 2.0];
+        let mut rng_a = encoder_rng(42);
+        let mut rng_b = encoder_rng(42);
+        let legacy = cfg.encode_points(
+            &gather[0], &gather[1], &gather[2], &gather[3], &gather[4], &gather[5], center, half,
+            &mut rng_a,
+        );
+        let viewed = cfg.encode_points_view(
+            &views[0], &views[1], &views[2], &views[3], &views[4], &views[5], &idx, center, half,
+            &mut rng_b,
+        );
+        assert_eq!(legacy.len(), viewed.len());
+        for (a, b) in legacy.iter().zip(&viewed) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        r.end_step(step);
     }
 
     #[test]

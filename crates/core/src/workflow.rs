@@ -177,6 +177,11 @@ pub struct ConsumerSummary {
     /// Live member count when this rank exited (equals the starting
     /// world size in an unfaulted run).
     pub world_after: usize,
+    /// Wire bytes this rank fetched from the two staging streams
+    /// (post-codec; equals the logical bytes under the lossless codec).
+    pub staging_wire_bytes: u64,
+    /// Modelled data-plane seconds charged to this rank's staging reads.
+    pub staging_model_seconds: f64,
 }
 
 impl ConsumerSummary {
@@ -201,6 +206,8 @@ impl ConsumerSummary {
             recovery_seconds: report.recovery_seconds,
             degradations: report.degradations,
             world_after: report.world_after,
+            staging_wire_bytes: report.staging_wire_bytes,
+            staging_model_seconds: report.staging_model_seconds,
         }
     }
 }
@@ -328,6 +335,40 @@ impl WorkflowReport {
             .fold(0.0, f64::max);
         p + c
     }
+
+    /// Wire bytes the staging data plane carried — every producer rank's
+    /// published window payload, **post-codec** (equals
+    /// [`ProducerReport::bytes`] under [`as_staging::codec::WireCodec::None`],
+    /// smaller under a compressing codec). With producer + consumer
+    /// collective bytes this completes the whole-run traffic sum.
+    pub fn staging_wire_bytes(&self) -> u64 {
+        self.producer.staging_wire_bytes
+    }
+
+    /// Consumer-side staging wire bytes actually fetched, summed over
+    /// learner ranks (each rank fetches only its owned windows; under
+    /// `DropSteps`, skipped windows are never fetched, so this can be
+    /// below [`Self::staging_wire_bytes`]).
+    pub fn consumer_staging_wire_bytes(&self) -> u64 {
+        self.consumer_summaries
+            .iter()
+            .map(|s| s.staging_wire_bytes)
+            .sum()
+    }
+
+    /// Modelled staging data-plane seconds on the critical path: the
+    /// slowest producer rank's publish charge plus the slowest learner
+    /// rank's fetch charge (the two phases pipeline across windows, but
+    /// per window they serialize writer → queue → reader).
+    pub fn staging_model_seconds(&self) -> f64 {
+        let p = self.producer.staging_model_seconds;
+        let c = self
+            .consumer_summaries
+            .iter()
+            .map(|s| s.staging_model_seconds)
+            .fold(0.0, f64::max);
+        p + c
+    }
 }
 
 fn aggregate_producer(reports: &[ProducerReport]) -> ProducerReport {
@@ -343,6 +384,13 @@ fn aggregate_producer(reports: &[ProducerReport]) -> ProducerReport {
     agg.comm_model_seconds = reports
         .iter()
         .map(|r| r.comm_model_seconds)
+        .fold(0.0, f64::max);
+    // Wire bytes sum over ranks (each rank published its own blocks);
+    // modelled data-plane time is a critical path, like the wall times.
+    agg.staging_wire_bytes = reports.iter().map(|r| r.staging_wire_bytes).sum();
+    agg.staging_model_seconds = reports
+        .iter()
+        .map(|r| r.staging_model_seconds)
         .fold(0.0, f64::max);
     agg
 }
@@ -454,7 +502,8 @@ where
         writers: m,
         readers: k,
         queue_limit: cfg.effective_queue_limit(),
-        plane: cfg.plane,
+        plane: cfg.data_plane,
+        codec: cfg.wire_codec,
     };
     // Monitored streams: the monitors survive the run and report the
     // windows a dead rank's departed readers left unconsumed.
@@ -635,6 +684,8 @@ fn placeholder_consumer_report(cfg: &WorkflowConfig, world: usize) -> ConsumerRe
         recovery_seconds: 0.0,
         degradations: 0,
         world_after: 0,
+        staging_wire_bytes: 0,
+        staging_model_seconds: 0.0,
     }
 }
 

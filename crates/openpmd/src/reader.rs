@@ -146,9 +146,42 @@ impl IterationData {
             .try_get_f64(&format!("particles/{species}/{record}/{component}"))
     }
 
+    /// Zero-copy view of a full particle record component: the returned
+    /// [`as_staging::view::VarView`] reads straight out of the published
+    /// (refcounted) block buffers — no payload copy, no allocation
+    /// proportional to the array under the lossless codec.
+    pub fn particles_view(
+        &mut self,
+        species: &str,
+        record: &str,
+        component: &str,
+    ) -> as_staging::view::VarView {
+        self.step
+            .get_f64_view(&format!("particles/{species}/{record}/{component}"))
+    }
+
+    /// Fallible twin of [`Self::particles_view`] for fault-tolerant
+    /// consumers.
+    pub fn try_particles_view(
+        &mut self,
+        species: &str,
+        record: &str,
+        component: &str,
+    ) -> Result<as_staging::view::VarView, as_staging::error::StagingError> {
+        self.step.try_get_view(
+            &format!("particles/{species}/{record}/{component}"),
+            as_staging::variable::Dtype::F64,
+        )
+    }
+
     /// Fetch an auxiliary `f32` array (e.g. encoded radiation spectra).
     pub fn f32_array(&mut self, name: &str) -> Vec<f32> {
         self.step.get_f32(name)
+    }
+
+    /// Zero-copy view of an auxiliary `f32` array.
+    pub fn f32_array_view(&mut self, name: &str) -> as_staging::view::VarView {
+        self.step.get_f32_view(name)
     }
 
     /// Fallible twin of [`Self::f32_array`] for fault-tolerant consumers.
@@ -172,6 +205,18 @@ impl IterationData {
     /// Simulated wire seconds spent fetching so far.
     pub fn simulated_seconds(&self) -> f64 {
         self.step.simulated_seconds
+    }
+
+    /// Logical payload bytes fetched from this iteration so far.
+    pub fn bytes_fetched(&self) -> u64 {
+        self.step.bytes_fetched
+    }
+
+    /// Wire bytes fetched from this iteration so far — equal to
+    /// [`Self::bytes_fetched`] under the lossless codec, smaller under a
+    /// compressing [`as_staging::codec::WireCodec`].
+    pub fn wire_bytes_fetched(&self) -> u64 {
+        self.step.wire_bytes_fetched
     }
 }
 

@@ -147,6 +147,20 @@ impl OpenPmdWriter {
         self.sst.stats.total_bytes()
     }
 
+    /// Wire bytes this rank actually put on the data plane — equal to
+    /// [`Self::bytes_published`] under the lossless codec, smaller under
+    /// a compressing [`as_staging::codec::WireCodec`].
+    pub fn wire_bytes_published(&self) -> u64 {
+        self.sst.stats.wire_bytes()
+    }
+
+    /// Modelled data-plane seconds the configured
+    /// [`as_staging::dataplane::DataPlane`] charged this rank's
+    /// publishes.
+    pub fn model_seconds(&self) -> f64 {
+        self.sst.stats.simulated_seconds()
+    }
+
     /// Wall seconds this rank has spent blocked on staging back-pressure
     /// (the bounded SST queue at its limit).
     pub fn stall_seconds(&self) -> f64 {

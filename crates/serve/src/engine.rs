@@ -18,8 +18,9 @@
 //! # Batching and caching
 //!
 //! Requests enter a bounded queue ([`as_core::config::ServingConfig`]'s
-//! `queue_bound`; submitters spin-wait for space — closed-loop
-//! back-pressure, the serving twin of the SST queue). The worker
+//! `queue_bound`; submitters park on a condvar until the worker frees a
+//! slot — closed-loop back-pressure, the serving twin of the SST queue,
+//! with no spin). The worker
 //! coalesces up to `max_batch` requests, waiting at most `max_wait_us`
 //! after the first arrival, then answers cache hits from the LRU
 //! ([`crate::cache::PosteriorCache`], keyed by
@@ -38,7 +39,7 @@ use as_nn::model::ArtificialScientistModel;
 use as_tensor::{Tensor, TensorRng};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -141,7 +142,14 @@ pub struct InferenceEngine {
     slot: parking_lot::Mutex<Option<Arc<ServedModel>>>,
     slot_cell: Cell,
     queue_tx: Sender<Request>,
-    queue_depth: AtomicUsize,
+    /// Bounded-queue admission control: current depth under a mutex,
+    /// with a condvar parking submitters while the queue is full (the
+    /// worker notifies on every dequeue). Replaces the historical
+    /// spin-wait — full-queue submitters sleep instead of burning a
+    /// core, and under `--features detect` the mutex feeds the lockset
+    /// checker like any other parking_lot lock.
+    queue_depth: parking_lot::Mutex<usize>,
+    queue_space: parking_lot::Condvar,
     queue_cell: Cell,
     cache: parking_lot::Mutex<PosteriorCache>,
     stats: parking_lot::Mutex<EngineStats>,
@@ -178,7 +186,8 @@ impl InferenceEngine {
             slot: parking_lot::Mutex::new(None),
             slot_cell: track_cell!("serve::Engine.slot"),
             queue_tx,
-            queue_depth: AtomicUsize::new(0),
+            queue_depth: parking_lot::Mutex::new(0),
+            queue_space: parking_lot::Condvar::new(),
             queue_cell: track_cell!("serve::Engine.queue_depth"),
             archive: parking_lot::Mutex::new(Vec::new()),
             installs: AtomicU64::new(0),
@@ -273,18 +282,22 @@ impl InferenceEngine {
     /// installed if the engine is shutting down.
     pub fn query(&self, spectrum: Vec<f32>) -> Response {
         let (reply_tx, reply_rx) = channel::unbounded();
-        // Bounded queue: closed-loop submitters wait for space instead
-        // of growing the queue without bound.
+        // Bounded queue: closed-loop submitters park until the worker
+        // frees a slot instead of growing the queue without bound (the
+        // condvar wait releases the depth lock while asleep).
         let mut waited = false;
-        while self.queue_depth.load(Ordering::SeqCst) >= self.cfg.queue_bound {
-            waited = true;
-            std::thread::yield_now();
+        {
+            let mut depth = self.queue_depth.lock();
+            while *depth >= self.cfg.queue_bound {
+                waited = true;
+                self.queue_space.wait(&mut depth);
+            }
+            self.queue_cell.write();
+            *depth += 1;
         }
         if waited {
             self.stats.lock().queue_full_waits += 1;
         }
-        self.queue_cell.atomic();
-        self.queue_depth.fetch_add(1, Ordering::SeqCst);
         self.queue_tx
             .send(Request {
                 spectrum,
@@ -334,17 +347,14 @@ impl InferenceEngine {
             let first = match queue_rx.recv_timeout(Duration::from_millis(2)) {
                 Ok(r) => r,
                 Err(RecvTimeoutError::Timeout) => {
-                    if self.shutdown.load(Ordering::SeqCst)
-                        && self.queue_depth.load(Ordering::SeqCst) == 0
-                    {
+                    if self.shutdown.load(Ordering::SeqCst) && *self.queue_depth.lock() == 0 {
                         return;
                     }
                     continue;
                 }
                 Err(RecvTimeoutError::Disconnected) => return,
             };
-            self.queue_cell.atomic();
-            self.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            self.dequeue_one();
             let mut batch = vec![first];
             let deadline = Instant::now() + Duration::from_micros(self.cfg.max_wait_us);
             while batch.len() < self.cfg.max_batch {
@@ -354,8 +364,7 @@ impl InferenceEngine {
                 }
                 match queue_rx.recv_timeout(deadline - now) {
                     Ok(r) => {
-                        self.queue_cell.atomic();
-                        self.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                        self.dequeue_one();
                         batch.push(r);
                     }
                     Err(_) => break,
@@ -363,6 +372,14 @@ impl InferenceEngine {
             }
             self.serve_batch(&batch);
         }
+    }
+
+    /// Release one bounded-queue slot and wake one parked submitter.
+    fn dequeue_one(&self) {
+        let mut depth = self.queue_depth.lock();
+        self.queue_cell.write();
+        *depth -= 1;
+        self.queue_space.notify_one();
     }
 
     fn serve_batch(&self, batch: &[Request]) {
@@ -629,6 +646,46 @@ mod tests {
         assert!(!after.cached, "swap invalidates the old version's entry");
         assert_ne!(before.outputs, after.outputs, "different weights");
         assert_eq!(engine.report().swaps, 2);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn full_queue_parks_submitters_until_the_worker_drains() {
+        // queue_bound 1 and no snapshot installed: the worker dequeues
+        // one request and blocks in serve_batch waiting for a model, a
+        // second request fills the queue, so the third submitter MUST
+        // park on the admission condvar until install() unwedges the
+        // worker. No spin, no loss: every query is answered at v1.
+        let cfg = ServingConfig {
+            max_batch: 1,
+            queue_bound: 1,
+            max_wait_us: 10,
+            posterior_samples: 1,
+            ..ServingConfig::default()
+        };
+        let engine = InferenceEngine::start(cfg);
+        let dim = ModelConfig::small().spectrum_dim;
+        let submitters: Vec<_> = (0..3u64)
+            .map(|tag| {
+                let e = Arc::clone(&engine);
+                std::thread::spawn(move || e.query(spectrum(tag, dim)))
+            })
+            .collect();
+        // Let the pile-up form, then unwedge the worker.
+        std::thread::sleep(Duration::from_millis(20));
+        engine.install(&snap(3, 1));
+        for h in submitters {
+            let resp = h.join().unwrap();
+            assert_eq!(resp.version, 1);
+            assert_eq!(resp.outputs.len(), 12);
+        }
+        let report = engine.report();
+        assert_eq!(report.queries, 3);
+        assert!(
+            report.queue_full_waits >= 1,
+            "with 3 in-flight queries, capacity 1 and a wedged worker, \
+             at least one submitter must have parked"
+        );
         engine.shutdown();
     }
 

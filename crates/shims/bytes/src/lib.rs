@@ -1,25 +1,28 @@
 //! Offline stand-in for the `bytes` crate.
 //!
-//! [`Bytes`] here is an `Arc<[u8]>`: immutable, cheap to clone, and
-//! sufficient for the staging engine's publish/fetch payloads. The
-//! zero-copy slicing of the real crate is not needed by this workspace.
+//! [`Bytes`] here is an `Arc<Vec<u8>>`: immutable, cheap to clone, and
+//! sufficient for the staging engine's publish/fetch payloads. Freezing
+//! a `Vec<u8>` via `From<Vec<u8>>` *moves* the heap buffer behind the
+//! `Arc` — no byte copy — which is what makes the staging engine's
+//! publish path zero-copy. The sub-range slicing of the real crate is
+//! not needed by this workspace.
 
 use std::ops::Deref;
 use std::sync::Arc;
 
 /// An immutable, reference-counted byte buffer.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-pub struct Bytes(Arc<[u8]>);
+pub struct Bytes(Arc<Vec<u8>>);
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Self(Arc::from(&[][..]))
+        Self(Arc::new(Vec::new()))
     }
 
     /// Copy a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Self(Arc::from(data))
+        Self(Arc::new(data.to_vec()))
     }
 
     /// Length in bytes.
@@ -34,7 +37,7 @@ impl Bytes {
 
     /// Copy out into a `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.0.to_vec()
+        self.0.as_ref().clone()
     }
 }
 
@@ -45,14 +48,16 @@ impl Default for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Freeze a `Vec<u8>` without copying: the heap buffer moves behind
+    /// the `Arc` as-is.
     fn from(v: Vec<u8>) -> Self {
-        Self(Arc::from(v))
+        Self(Arc::new(v))
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Self {
-        Self(Arc::from(v))
+        Self(Arc::new(v.to_vec()))
     }
 }
 
@@ -87,5 +92,13 @@ mod tests {
     fn slice_methods_via_deref() {
         let b = Bytes::from(vec![0u8; 16]);
         assert_eq!(b.chunks_exact(8).count(), 2);
+    }
+
+    #[test]
+    fn freezing_a_vec_does_not_move_the_buffer() {
+        let v = vec![7u8; 64];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ref().as_ptr(), ptr, "From<Vec<u8>> must not copy");
     }
 }

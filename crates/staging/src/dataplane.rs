@@ -11,6 +11,11 @@
 //! In-process the engine moves real bytes either way; these models supply
 //! the *wall-clock* behaviour at scale for the Fig. 6 harness.
 
+/// NIC line rate the §IV-B calibration assumes (Frontier's Slingshot
+/// NICs, 25 GB/s) — the bandwidth every staging-side
+/// [`DataPlane::read_time`] charge is computed against.
+pub const NIC_BANDWIDTH: f64 = 25.0e9;
+
 /// Read-request scheduling strategy of the libfabric plane (§IV-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReadStrategy {

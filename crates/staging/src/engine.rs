@@ -47,12 +47,12 @@ use std::sync::Arc;
 use parking_lot::{Condvar, Mutex};
 
 use crate::cells::{track_cell, Cell};
-use crate::dataplane::DataPlane;
+use crate::codec::WireCodec;
+use crate::dataplane::{DataPlane, NIC_BANDWIDTH};
 use crate::error::StagingError;
 use crate::stats::ThroughputRecorder;
-use crate::variable::{
-    bytes_to_f32, bytes_to_f64, f32_to_bytes, f64_to_bytes, Block, Dtype, VariableMeta,
-};
+use crate::variable::{Block, Dtype, VariableMeta};
+use crate::view::{Segment, VarView};
 
 /// Stream configuration.
 #[derive(Debug, Clone, Copy)]
@@ -66,6 +66,8 @@ pub struct StreamConfig {
     pub queue_limit: usize,
     /// The transport whose timing model annotates reads.
     pub plane: DataPlane,
+    /// Wire codec applied to float payload blocks at publish time.
+    pub codec: WireCodec,
 }
 
 impl Default for StreamConfig {
@@ -75,6 +77,7 @@ impl Default for StreamConfig {
             readers: 1,
             queue_limit: 2,
             plane: DataPlane::Mpi,
+            codec: WireCodec::None,
         }
     }
 }
@@ -232,10 +235,14 @@ pub struct SstReader {
 pub struct ReadStep {
     data: Arc<StepData>,
     plane: DataPlane,
+    codec: WireCodec,
     /// Simulated wire seconds accumulated by fetches in this step.
     pub simulated_seconds: f64,
-    /// Bytes fetched in this step.
+    /// Logical payload bytes fetched in this step.
     pub bytes_fetched: u64,
+    /// Wire bytes fetched in this step (codec-compressed size — what
+    /// the modelled data plane actually moves).
+    pub wire_bytes_fetched: u64,
 }
 
 /// Open a stream, returning per-rank writer and reader endpoints.
@@ -334,31 +341,37 @@ impl SstWriter {
         self.stall_seconds
     }
 
-    /// Publish one block of an `f64` variable.
+    /// Publish one block of an `f64` variable (encoded with the
+    /// stream's wire codec).
     pub fn put_f64(&mut self, name: &str, global_count: u64, offset: u64, data: &[f64]) {
+        let wire = self.core.cfg.codec.encode_f64(data);
         self.put_bytes(
             name,
             Dtype::F64,
             global_count,
             offset,
             data.len() as u64,
-            f64_to_bytes(data),
+            wire,
         );
     }
 
-    /// Publish one block of an `f32` variable.
+    /// Publish one block of an `f32` variable (encoded with the
+    /// stream's wire codec).
     pub fn put_f32(&mut self, name: &str, global_count: u64, offset: u64, data: &[f32]) {
+        let wire = self.core.cfg.codec.encode_f32(data);
         self.put_bytes(
             name,
             Dtype::F32,
             global_count,
             offset,
             data.len() as u64,
-            f32_to_bytes(data),
+            wire,
         );
     }
 
-    /// Publish a raw block.
+    /// Publish a raw block. `data` must already be in wire form: for
+    /// float dtypes that means encoded with the stream's codec (the
+    /// typed `put_*` helpers do this), for `U64`/`U8` raw bytes.
     ///
     /// # Panics
     /// Panics on a step-protocol violation; [`Self::try_put_bytes`] is
@@ -393,7 +406,15 @@ impl SstWriter {
         if self.truncated {
             return Ok(());
         }
-        self.stats.add_bytes(data.len() as u64);
+        // Logical payload vs wire size: the codec shrinks what crosses
+        // the plane, and the publish itself is charged one modelled op.
+        self.stats.add_bytes(count * dtype.size() as u64);
+        self.stats.add_wire_bytes(data.len() as u64);
+        self.stats.add_simulated(self.core.cfg.plane.read_time(
+            data.len() as f64,
+            1,
+            NIC_BANDWIDTH,
+        ));
         let mut st = self.core.state.lock();
         self.core.cell.write();
         let vars = st
@@ -452,7 +473,7 @@ impl SstWriter {
                 .remove(&step)
                 .unwrap_or_else(|| panic!("begin_step must have registered pending step {step}"));
             for v in vars.values() {
-                v.validate();
+                v.validate_wire(self.core.cfg.codec);
             }
             st.queue.push_back(Arc::new(StepData { step, vars }));
             st.published += 1;
@@ -508,6 +529,19 @@ impl SstReader {
         self.rank
     }
 
+    /// Wrap a published step for this reader. The `Arc` bump shares the
+    /// step table; no block payload is touched until a fetch.
+    fn open_step(&self, data: Arc<StepData>) -> ReadStep {
+        ReadStep {
+            data,
+            plane: self.core.cfg.plane,
+            codec: self.core.cfg.codec,
+            simulated_seconds: 0.0,
+            bytes_fetched: 0,
+            wire_bytes_fetched: 0,
+        }
+    }
+
     /// Wait for the next step; `None` after the writers closed and all
     /// published steps were consumed.
     pub fn begin_step(&mut self) -> Option<ReadStep> {
@@ -517,12 +551,7 @@ impl SstReader {
             if let Some(sd) = st.queue.iter().find(|s| s.step == self.cursor) {
                 let data = sd.clone();
                 self.cursor += 1;
-                return Some(ReadStep {
-                    data,
-                    plane: self.core.cfg.plane,
-                    simulated_seconds: 0.0,
-                    bytes_fetched: 0,
-                });
+                return Some(self.open_step(data));
             }
             if st.writers_closed == self.core.cfg.writers && st.published <= self.cursor {
                 return None;
@@ -534,6 +563,7 @@ impl SstReader {
     /// Close a step; when all readers closed it, the writer may drop it.
     pub fn end_step(&mut self, step: ReadStep) {
         self.stats.add_bytes(step.bytes_fetched);
+        self.stats.add_wire_bytes(step.wire_bytes_fetched);
         self.stats.add_simulated(step.simulated_seconds);
         let idx = step.data.step;
         drop(step);
@@ -597,15 +627,7 @@ impl SstReader {
                     .unwrap_or_else(|| panic!("step {target} must still be queued"))
                     .clone();
                 self.cursor = target + 1;
-                return (
-                    skipped,
-                    Some(ReadStep {
-                        data,
-                        plane: self.core.cfg.plane,
-                        simulated_seconds: 0.0,
-                        bytes_fetched: 0,
-                    }),
-                );
+                return (skipped, Some(self.open_step(data)));
             }
             if st.writers_closed == self.core.cfg.writers && st.published <= self.cursor {
                 return (0, None);
@@ -640,15 +662,7 @@ impl SstReader {
                 if let Some(sd) = st.queue.iter().find(|s| s.step == self.cursor) {
                     let data = sd.clone();
                     self.cursor += 1;
-                    return (
-                        skipped,
-                        Some(ReadStep {
-                            data,
-                            plane: self.core.cfg.plane,
-                            simulated_seconds: 0.0,
-                            bytes_fetched: 0,
-                        }),
-                    );
+                    return (skipped, Some(self.open_step(data)));
                 }
             }
             if st.writers_closed == self.core.cfg.writers && st.published <= self.cursor {
@@ -696,6 +710,34 @@ impl ReadStep {
         self.data.vars.get(name)
     }
 
+    /// Charge one fetch: logical payload bytes, wire bytes, and the
+    /// modelled wire seconds for `ops` read operations moving the wire
+    /// bytes over the configured plane.
+    fn charge(&mut self, logical: u64, wire: u64, ops: usize) {
+        self.bytes_fetched += logical;
+        self.wire_bytes_fetched += wire;
+        self.simulated_seconds += self.plane.read_time(wire as f64, ops, NIC_BANDWIDTH);
+    }
+
+    fn lookup(&self, name: &str, dtype: Dtype) -> Result<&VariableMeta, StagingError> {
+        let var = self
+            .data
+            .vars
+            .get(name)
+            .ok_or_else(|| StagingError::MissingVariable {
+                name: name.to_string(),
+                step: self.data.step,
+            })?;
+        if var.dtype != dtype {
+            return Err(StagingError::DtypeMismatch {
+                name: name.to_string(),
+                expected: dtype,
+                found: var.dtype,
+            });
+        }
+        Ok(var)
+    }
+
     /// Fetch the full global `f64` array, assembling all blocks (counts
     /// simulated wire time on this reader). Panics on a missing variable
     /// or dtype mismatch; fault-tolerant readers use
@@ -706,31 +748,21 @@ impl ReadStep {
 
     /// Fallible twin of [`ReadStep::get_f64`].
     pub fn try_get_f64(&mut self, name: &str) -> Result<Vec<f64>, StagingError> {
-        let var = self
-            .data
-            .vars
-            .get(name)
-            .ok_or_else(|| StagingError::MissingVariable {
-                name: name.to_string(),
-                step: self.data.step,
-            })?;
-        if var.dtype != Dtype::F64 {
-            return Err(StagingError::DtypeMismatch {
-                name: name.to_string(),
-                expected: Dtype::F64,
-                found: var.dtype,
-            });
-        }
+        let codec = self.codec;
+        let var = self.lookup(name, Dtype::F64)?;
         let mut out = vec![0.0f64; var.global_count as usize];
-        let mut bytes = 0u64;
+        let mut wire = 0u64;
         let ops = var.blocks.len();
         for b in &var.blocks {
-            let vals = bytes_to_f64(&b.data);
-            out[b.offset as usize..(b.offset + b.count) as usize].copy_from_slice(&vals);
-            bytes += b.data.len() as u64;
+            codec.decode_f64_into(
+                &b.data,
+                b.count as usize,
+                &mut out[b.offset as usize..(b.offset + b.count) as usize],
+            );
+            wire += b.data.len() as u64;
         }
-        self.bytes_fetched += bytes;
-        self.simulated_seconds += self.plane.read_time(bytes as f64, ops, 25.0e9);
+        let logical = var.global_count * Dtype::F64.size() as u64;
+        self.charge(logical, wire, ops);
         Ok(out)
     }
 
@@ -742,37 +774,67 @@ impl ReadStep {
 
     /// Fallible twin of [`ReadStep::get_f32`].
     pub fn try_get_f32(&mut self, name: &str) -> Result<Vec<f32>, StagingError> {
-        let var = self
-            .data
-            .vars
-            .get(name)
-            .ok_or_else(|| StagingError::MissingVariable {
-                name: name.to_string(),
-                step: self.data.step,
-            })?;
-        if var.dtype != Dtype::F32 {
-            return Err(StagingError::DtypeMismatch {
-                name: name.to_string(),
-                expected: Dtype::F32,
-                found: var.dtype,
-            });
-        }
+        let codec = self.codec;
+        let var = self.lookup(name, Dtype::F32)?;
         let mut out = vec![0.0f32; var.global_count as usize];
-        let mut bytes = 0u64;
+        let mut wire = 0u64;
         let ops = var.blocks.len();
         for b in &var.blocks {
-            let vals = bytes_to_f32(&b.data);
-            out[b.offset as usize..(b.offset + b.count) as usize].copy_from_slice(&vals);
-            bytes += b.data.len() as u64;
+            codec.decode_f32_into(
+                &b.data,
+                b.count as usize,
+                &mut out[b.offset as usize..(b.offset + b.count) as usize],
+            );
+            wire += b.data.len() as u64;
         }
-        self.bytes_fetched += bytes;
-        self.simulated_seconds += self.plane.read_time(bytes as f64, ops, 25.0e9);
+        let logical = var.global_count * Dtype::F32.size() as u64;
+        self.charge(logical, wire, ops);
         Ok(out)
+    }
+
+    /// Zero-copy view of the full global `f64` array: the writers' wire
+    /// buffers are shared by refcount and elements decode lazily. Same
+    /// wire accounting as [`ReadStep::get_f64`], without the payload
+    /// allocation. Panics on a missing variable or dtype mismatch.
+    pub fn get_f64_view(&mut self, name: &str) -> VarView {
+        self.try_get_view(name, Dtype::F64)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Zero-copy view of the full global `f32` array; see
+    /// [`ReadStep::get_f64_view`].
+    pub fn get_f32_view(&mut self, name: &str) -> VarView {
+        self.try_get_view(name, Dtype::F32)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible zero-copy view of a `dtype` variable.
+    pub fn try_get_view(&mut self, name: &str, dtype: Dtype) -> Result<VarView, StagingError> {
+        let codec = self.codec;
+        let var = self.lookup(name, dtype)?;
+        let mut segments = Vec::with_capacity(var.blocks.len());
+        let mut wire = 0u64;
+        let ops = var.blocks.len();
+        for b in &var.blocks {
+            segments.push(Segment::new(
+                b.offset,
+                b.count,
+                b.data.clone(),
+                codec,
+                dtype,
+            ));
+            wire += b.data.len() as u64;
+        }
+        let global_count = var.global_count;
+        let logical = global_count * dtype.size() as u64;
+        self.charge(logical, wire, ops);
+        Ok(VarView::new(segments, global_count))
     }
 
     /// Fetch only the blocks written by `writer_rank` (the intra-node
     /// locality pattern of §IV-D: "data is shared within node boundaries").
     pub fn get_f64_from_rank(&mut self, name: &str, writer_rank: usize) -> Vec<(u64, Vec<f64>)> {
+        let codec = self.codec;
         let var = self
             .data
             .vars
@@ -780,17 +842,20 @@ impl ReadStep {
             .unwrap_or_else(|| panic!("no variable {name}"));
         assert_eq!(var.dtype, Dtype::F64);
         let mut out = Vec::new();
-        let mut bytes = 0u64;
+        let mut logical = 0u64;
+        let mut wire = 0u64;
         let mut ops = 0usize;
         for b in &var.blocks {
             if b.writer_rank == writer_rank {
-                out.push((b.offset, bytes_to_f64(&b.data)));
-                bytes += b.data.len() as u64;
+                let mut vals = vec![0.0f64; b.count as usize];
+                codec.decode_f64_into(&b.data, b.count as usize, &mut vals);
+                out.push((b.offset, vals));
+                logical += b.count * Dtype::F64.size() as u64;
+                wire += b.data.len() as u64;
                 ops += 1;
             }
         }
-        self.bytes_fetched += bytes;
-        self.simulated_seconds += self.plane.read_time(bytes as f64, ops.max(1), 25.0e9);
+        self.charge(logical, wire, ops.max(1));
         out
     }
 }
@@ -1337,6 +1402,110 @@ mod tests {
             })
         );
         r.end_step(step);
+    }
+
+    #[test]
+    fn views_decode_the_same_values_as_owned_fetches() {
+        let cfg = StreamConfig {
+            writers: 2,
+            ..StreamConfig::default()
+        };
+        let (writers, mut readers) = open_stream(cfg);
+        let handles: Vec<_> = writers
+            .into_iter()
+            .map(|mut w| {
+                thread::spawn(move || {
+                    let rank = w.rank() as u64;
+                    w.begin_step();
+                    let d: Vec<f64> = (0..6).map(|i| (rank * 6 + i) as f64 * 0.5).collect();
+                    w.put_f64("d", 12, rank * 6, &d);
+                    let s: Vec<f32> = (0..6).map(|i| (rank * 6 + i) as f32).collect();
+                    w.put_f32("s", 12, rank * 6, &s);
+                    w.end_step();
+                    w.close();
+                })
+            })
+            .collect();
+        let mut r = readers.remove(0);
+        let mut step = r.begin_step().expect("step");
+        let owned = step.get_f64("d");
+        let view = step.get_f64_view("d");
+        assert_eq!(view.len(), owned.len());
+        for (i, &x) in owned.iter().enumerate() {
+            assert_eq!(view.get_f64(i).to_bits(), x.to_bits());
+        }
+        let owned32 = step.get_f32("s");
+        let view32 = step.get_f32_view("s");
+        for (i, &x) in owned32.iter().enumerate() {
+            assert_eq!(view32.get_f32(i).to_bits(), x.to_bits());
+        }
+        // Both fetch styles charge the same wire accounting per call.
+        assert_eq!(step.bytes_fetched, 2 * (12 * 8 + 12 * 4));
+        assert_eq!(step.wire_bytes_fetched, step.bytes_fetched);
+        r.end_step(step);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn f16_codec_shrinks_the_wire_and_survives_the_round_trip() {
+        let cfg = StreamConfig {
+            codec: WireCodec::F16,
+            ..StreamConfig::default()
+        };
+        let (mut writers, mut readers) = open_stream(cfg);
+        let mut w = writers.remove(0);
+        let mut r = readers.remove(0);
+        let data: Vec<f64> = (0..100).map(|i| i as f64 * 0.25 - 12.0).collect();
+        let d2 = data.clone();
+        let producer = thread::spawn(move || {
+            w.begin_step();
+            w.put_f64("x", 100, 0, &d2);
+            w.end_step();
+            w.close();
+            (w.stats.total_bytes(), w.stats.wire_bytes())
+        });
+        let mut step = r.begin_step().expect("step");
+        let x = step.get_f64("x");
+        for (a, b) in data.iter().zip(&x) {
+            // Every value here is exactly representable in binary16.
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let v = step.get_f64_view("x");
+        assert_eq!(v.get_f64(40).to_bits(), data[40].to_bits());
+        r.end_step(step);
+        let (logical, wire) = producer.join().unwrap();
+        assert_eq!(logical, 800, "logical payload is the f64 size");
+        assert_eq!(wire, 200, "binary16 wire is 4x smaller");
+        assert_eq!(r.stats.total_bytes(), 2 * 800, "owned fetch + view fetch");
+        assert_eq!(r.stats.wire_bytes(), 2 * 200);
+    }
+
+    #[test]
+    fn writer_charges_modelled_publish_time() {
+        let (mut writers, _readers) = open_stream(StreamConfig::default());
+        let mut w = writers.remove(0);
+        w.begin_step();
+        w.put_f64("x", 64, 0, &[1.0; 64]);
+        assert!(w.stats.simulated_seconds() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload size mismatch")]
+    fn raw_put_bytes_must_match_the_codec_wire_size() {
+        let cfg = StreamConfig {
+            codec: WireCodec::F16,
+            ..StreamConfig::default()
+        };
+        let (mut writers, _readers) = open_stream(cfg);
+        let mut w = writers.remove(0);
+        w.begin_step();
+        // 8-byte-per-element raw payload on an f16 stream: rejected at
+        // publish, where the tiling is validated.
+        let raw = bytes::Bytes::from(vec![0u8; 32]);
+        w.put_bytes("x", Dtype::F64, 4, 0, 4, raw);
+        w.end_step();
     }
 
     #[test]

@@ -33,23 +33,28 @@
 //! (`ConsumerPolicy::DropSteps`).
 
 pub(crate) mod cells;
+pub mod codec;
 pub mod dataplane;
 pub mod engine;
 pub mod error;
 pub mod fanin;
 pub mod stats;
 pub mod variable;
+pub mod view;
 
-pub use dataplane::{DataPlane, ReadStrategy};
+pub use codec::WireCodec;
+pub use dataplane::{DataPlane, ReadStrategy, NIC_BANDWIDTH};
 pub use engine::StreamMonitor;
 pub use engine::{open_stream, open_stream_monitored, SstReader, SstWriter, StreamConfig};
 pub use error::StagingError;
 pub use fanin::{run_fanin_relay, FanInReport, Reduction};
 pub use stats::ThroughputRecorder;
 pub use variable::{Block, Dtype, VariableMeta};
+pub use view::VarView;
 
 pub mod prelude {
     //! Common imports for staging consumers.
+    pub use crate::codec::WireCodec;
     pub use crate::dataplane::{DataPlane, ReadStrategy};
     pub use crate::engine::{
         open_stream, open_stream_monitored, SstReader, SstWriter, StreamConfig, StreamMonitor,
@@ -57,4 +62,5 @@ pub mod prelude {
     pub use crate::error::StagingError;
     pub use crate::stats::ThroughputRecorder;
     pub use crate::variable::{Block, Dtype, VariableMeta};
+    pub use crate::view::VarView;
 }

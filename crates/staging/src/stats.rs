@@ -6,6 +6,7 @@ use std::time::Instant;
 #[derive(Debug)]
 pub struct ThroughputRecorder {
     bytes: u64,
+    wire_bytes: u64,
     wall_seconds: f64,
     simulated_seconds: f64,
     samples: Vec<f64>,
@@ -24,6 +25,7 @@ impl ThroughputRecorder {
     pub fn new() -> Self {
         Self {
             bytes: 0,
+            wire_bytes: 0,
             wall_seconds: 0.0,
             simulated_seconds: 0.0,
             samples: Vec::new(),
@@ -36,6 +38,13 @@ impl ThroughputRecorder {
     pub fn add_bytes(&mut self, n: u64) {
         self.bytes += n;
         self.window_bytes += n;
+    }
+
+    /// Account `n` *wire* bytes — the (possibly codec-compressed) size
+    /// that actually crosses the data plane, as opposed to the logical
+    /// payload size tracked by [`Self::add_bytes`].
+    pub fn add_wire_bytes(&mut self, n: u64) {
+        self.wire_bytes += n;
     }
 
     /// Account simulated wire seconds.
@@ -66,6 +75,12 @@ impl ThroughputRecorder {
     /// Total bytes accounted.
     pub fn total_bytes(&self) -> u64 {
         self.bytes
+    }
+
+    /// Total wire bytes accounted (equals [`Self::total_bytes`] under
+    /// the lossless codec).
+    pub fn wire_bytes(&self) -> u64 {
+        self.wire_bytes
     }
 
     /// Total simulated wire seconds.
@@ -116,6 +131,15 @@ mod tests {
         r.window_begin();
         r.window_end();
         assert!(r.samples().is_empty());
+    }
+
+    #[test]
+    fn wire_bytes_track_separately_from_payload_bytes() {
+        let mut r = ThroughputRecorder::new();
+        r.add_bytes(800);
+        r.add_wire_bytes(200);
+        assert_eq!(r.total_bytes(), 800);
+        assert_eq!(r.wire_bytes(), 200);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Variable metadata: typed global arrays assembled from per-rank blocks.
 
+use crate::codec::WireCodec;
 use bytes::Bytes;
 
 /// Element type of a variable.
@@ -65,8 +66,16 @@ impl VariableMeta {
             .sum()
     }
 
-    /// Verify blocks tile the global extent without overlap.
+    /// Verify blocks tile the global extent without overlap, with raw
+    /// (uncompressed) payloads.
     pub fn validate(&self) {
+        self.validate_wire(WireCodec::None);
+    }
+
+    /// Verify blocks tile the global extent without overlap and that
+    /// every block's payload has exactly the wire size `codec`
+    /// prescribes for its element count.
+    pub fn validate_wire(&self, codec: WireCodec) {
         let mut blocks: Vec<&Block> = self.blocks.iter().collect();
         blocks.sort_by_key(|b| b.offset);
         let mut cursor = 0u64;
@@ -78,7 +87,7 @@ impl VariableMeta {
             );
             assert_eq!(
                 b.data.len() as u64,
-                b.count * self.dtype.size() as u64,
+                codec.wire_len(self.dtype, b.count),
                 "variable {}: payload size mismatch",
                 self.name
             );

@@ -1,0 +1,120 @@
+//! Property tests for the wire codecs: the lossless codec is bit-exact,
+//! the lossy codecs stay within their documented per-codec error bounds.
+
+use as_staging::codec::{f16_bits_to_f32, f32_to_f16_bits, quant_header};
+use as_staging::{Dtype, WireCodec};
+use proptest::prelude::*;
+
+/// Worst-case relative error of IEEE binary16 round-to-nearest for values
+/// inside its normal range: half an ulp, 2^-11.
+const F16_REL_EPS: f64 = 1.0 / 2048.0;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `WireCodec::None` round-trips f64 payloads bit-exactly and never
+    /// changes the wire size.
+    #[test]
+    fn none_is_bit_exact_f64(v in prop::collection::vec(-1.0e12f64..1.0e12, 0..200)) {
+        let c = WireCodec::None;
+        let wire = c.encode_f64(&v);
+        prop_assert_eq!(wire.len() as u64, c.wire_len(Dtype::F64, v.len() as u64));
+        let mut back = vec![0.0f64; v.len()];
+        c.decode_f64_into(&wire, v.len(), &mut back);
+        for (a, b) in v.iter().zip(&back) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// `WireCodec::None` round-trips f32 payloads bit-exactly.
+    #[test]
+    fn none_is_bit_exact_f32(v in prop::collection::vec(-3.0e38f32..3.0e38, 0..200)) {
+        let c = WireCodec::None;
+        let wire = c.encode_f32(&v);
+        prop_assert_eq!(wire.len() as u64, c.wire_len(Dtype::F32, v.len() as u64));
+        let mut back = vec![0.0f32; v.len()];
+        c.decode_f32_into(&wire, v.len(), &mut back);
+        for (a, b) in v.iter().zip(&back) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// F16 halves the f64 wire and reconstructs every lane within half an
+    /// ulp of binary16 (relative error ≤ 2^-11 in the normal range).
+    #[test]
+    fn f16_stays_within_half_ulp_f64(v in prop::collection::vec(-60000.0f64..60000.0, 1..200)) {
+        let c = WireCodec::F16;
+        let wire = c.encode_f64(&v);
+        prop_assert_eq!(wire.len(), 2 * v.len());
+        let mut back = vec![0.0f64; v.len()];
+        c.decode_f64_into(&wire, v.len(), &mut back);
+        for (a, b) in v.iter().zip(&back) {
+            // Subnormal f16 territory has absolute, not relative, bounds.
+            if a.abs() >= 6.2e-5 {
+                prop_assert!(
+                    (a - b).abs() <= a.abs() * F16_REL_EPS,
+                    "f16 {} -> {} exceeds half-ulp", a, b
+                );
+            } else {
+                prop_assert!((a - b).abs() <= 6.0e-8, "subnormal {} -> {}", a, b);
+            }
+        }
+    }
+
+    /// F16 decode∘encode is idempotent: re-encoding a decoded payload
+    /// reproduces the identical wire bytes.
+    #[test]
+    fn f16_reencode_is_stable(v in prop::collection::vec(-1.0e4f32..1.0e4, 1..100)) {
+        let c = WireCodec::F16;
+        let wire = c.encode_f32(&v);
+        let mut once = vec![0.0f32; v.len()];
+        c.decode_f32_into(&wire, v.len(), &mut once);
+        let wire2 = c.encode_f32(&once);
+        prop_assert_eq!(&wire[..], &wire2[..]);
+    }
+
+    /// QuantU16 reconstructs every lane within half a quantisation step of
+    /// the block's own min/max range.
+    #[test]
+    fn quant_stays_within_half_step(
+        v in prop::collection::vec(-1.0e6f64..1.0e6, 2..200),
+        bits in 4u32..17,
+    ) {
+        let c = WireCodec::QuantU16 { bits: bits as u8 };
+        let wire = c.encode_f64(&v);
+        prop_assert_eq!(wire.len() as u64, c.wire_len(Dtype::F64, v.len() as u64));
+        let (_, scale) = quant_header(&wire);
+        let mut back = vec![0.0f64; v.len()];
+        c.decode_f64_into(&wire, v.len(), &mut back);
+        for (a, b) in v.iter().zip(&back) {
+            prop_assert!(
+                (a - b).abs() <= scale * 0.5 + 1e-9,
+                "quant{} {} -> {} exceeds half-step {}", bits, a, b, scale * 0.5
+            );
+        }
+    }
+
+    /// Every f16 bit pattern that is not a NaN survives a decode/encode
+    /// round trip exactly (the decode is the codec's exact inverse image).
+    #[test]
+    fn f16_bit_patterns_round_trip(h in 0u32..0x1_0000) {
+        let h = h as u16;
+        let x = f16_bits_to_f32(h);
+        if !x.is_nan() {
+            prop_assert_eq!(f32_to_f16_bits(x), h);
+        }
+    }
+}
+
+/// Constant blocks quantise exactly regardless of magnitude.
+#[test]
+fn quant_constant_blocks_are_exact() {
+    for x in [0.0, -7.25e5, 1.0e-30] {
+        let c = WireCodec::QuantU16 { bits: 12 };
+        let v = vec![x; 17];
+        let wire = c.encode_f64(&v);
+        let mut back = vec![1.0f64; 17];
+        c.decode_f64_into(&wire, 17, &mut back);
+        assert_eq!(back, v);
+    }
+}

@@ -23,7 +23,7 @@ fn main() {
         let mut cfg = WorkflowConfig::small();
         cfg.total_steps = 16;
         cfg.steps_per_sample = 2;
-        cfg.plane = plane;
+        cfg.data_plane = plane;
         cfg.queue_limit = queue_limit;
 
         let stream_cfg = StreamConfig {

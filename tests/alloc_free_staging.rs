@@ -1,0 +1,136 @@
+//! Steady-state staging reads must not copy the payload.
+//!
+//! The zero-copy data plane contract: once the stream is warm, taking a
+//! window off the queue, viewing its particle components and encoding a
+//! training sample touches the published (refcounted) block buffers in
+//! place — no allocation proportional to the array. A counting global
+//! allocator records every allocation of at least `LARGE` bytes; after
+//! warm-up a large allocation on the read path means an O(N) payload
+//! buffer is being materialised again — exactly the copy this test
+//! guards against.
+//!
+//! Publishing is excluded: the writer necessarily creates each window's
+//! wire buffer once (that IS the payload coming into existence), so all
+//! windows are published and the writer joined before the counter arms.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use artificial_scientist::core::encode::{encoder_rng, EncodeConfig};
+use artificial_scientist::staging::engine::{open_stream, StreamConfig};
+
+/// Allocations at or above this size are counted while armed. Per-step
+/// metadata (segment lists, variable names, the 3 KiB encoded cloud)
+/// stays far below it; any materialised particle component (128 KiB
+/// here) is far above.
+const LARGE: usize = 16 * 1024;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static LARGE_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if layout.size() >= LARGE && ARMED.load(Ordering::Relaxed) {
+            LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size >= LARGE && ARMED.load(Ordering::Relaxed) {
+            LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Elements per particle component: 128 KiB of f64 per variable per
+/// window — every materialisation trips the counter.
+const N: usize = 16 * 1024;
+const NAMES: [&str; 6] = ["x", "y", "z", "ux", "uy", "uz"];
+
+#[test]
+fn steady_state_view_read_and_encode_do_not_copy_the_payload() {
+    let windows = 6usize;
+    let cfg = StreamConfig {
+        // Queue deep enough that the writer finishes (and is joined)
+        // before the reader starts: no writer-side allocations can leak
+        // into the armed region.
+        queue_limit: windows,
+        ..StreamConfig::default()
+    };
+    let (mut writers, mut readers) = open_stream(cfg);
+    let mut w = writers.remove(0);
+    let producer = std::thread::spawn(move || {
+        for step in 0..windows {
+            w.begin_step();
+            for (k, name) in NAMES.iter().enumerate() {
+                let data: Vec<f64> = (0..N).map(|i| (i + k + step) as f64 * 1e-4).collect();
+                w.put_f64(name, N as u64, 0, &data);
+            }
+            w.end_step();
+        }
+        w.close();
+    });
+    producer.join().unwrap();
+
+    let mut r = readers.remove(0);
+    let enc = EncodeConfig {
+        sample_points: 128,
+        ..EncodeConfig::default()
+    };
+    let mut rng = encoder_rng(7);
+    // Scratch index list: reaches steady capacity during warm-up, then
+    // `clear()` keeps it — the read loop's only O(N) buffer, reused.
+    let mut idx: Vec<usize> = Vec::new();
+    let mut consumed = 0usize;
+    while let Some(mut step) = r.begin_step() {
+        if consumed == 0 {
+            // Detector sanity: the legacy owned-Vec fetch must trip the
+            // counter (one 128 KiB materialisation).
+            ARMED.store(true, Ordering::SeqCst);
+            let owned = step.get_f64("x");
+            ARMED.store(false, Ordering::SeqCst);
+            assert_eq!(owned.len(), N);
+            assert!(
+                LARGE_ALLOCS.load(Ordering::SeqCst) >= 1,
+                "the counting allocator must see the legacy copy"
+            );
+            LARGE_ALLOCS.store(0, Ordering::SeqCst);
+        }
+        if consumed == 2 {
+            // Warm-up over: scratch at steady capacity, queue hot.
+            ARMED.store(true, Ordering::SeqCst);
+        }
+        let views: Vec<_> = NAMES.iter().map(|n| step.get_f64_view(n)).collect();
+        idx.clear();
+        idx.extend((0..N).step_by(2));
+        let pts = enc.encode_points_view(
+            &views[0], &views[1], &views[2], &views[3], &views[4], &views[5], &idx, [0.8; 3],
+            [0.9; 3], &mut rng,
+        );
+        assert_eq!(pts.len(), 128 * 6);
+        std::hint::black_box(&pts);
+        drop(views);
+        r.end_step(step);
+        consumed += 1;
+    }
+    ARMED.store(false, Ordering::SeqCst);
+    assert_eq!(consumed, windows);
+
+    let n = LARGE_ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        n, 0,
+        "steady-state view reads made {n} allocations >= {LARGE} bytes — \
+         an O(N) payload copy is back on the read path"
+    );
+}

@@ -120,6 +120,80 @@ fn every_backend_and_algorithm_is_bit_identical() {
 }
 
 #[test]
+fn lossless_codec_is_bit_identical_across_backends_and_priced() {
+    use artificial_scientist::staging::codec::WireCodec;
+    // The staging data plane joins the cross-backend contract: with the
+    // lossless wire codec the whole training trajectory stays bitwise
+    // identical between transports, and the stream's wire-byte telemetry
+    // is backend-independent (only the *pricing* differs).
+    let mut cfg = seeded_2x2();
+    cfg.wire_codec = WireCodec::None;
+    cfg.backend = CommBackend::InProcess;
+    let a = run_workflow(&cfg);
+    cfg.backend = CommBackend::netsim_frontier();
+    let b = run_workflow(&cfg);
+    assert!(!a.consumer.param_hashes.is_empty());
+    assert_eq!(
+        a.consumer.param_hashes, b.consumer.param_hashes,
+        "param_hash sequences must match across backends under WireCodec::None"
+    );
+    assert_eq!(loss_bits(&a), loss_bits(&b));
+    // Lossless wire = logical payload, and both backends count the same
+    // stream traffic.
+    assert!(a.staging_wire_bytes() > 0, "the staging stream moved bytes");
+    assert_eq!(
+        a.staging_wire_bytes(),
+        a.producer.bytes,
+        "WireCodec::None puts exactly the logical payload on the wire"
+    );
+    assert_eq!(a.staging_wire_bytes(), b.staging_wire_bytes());
+    assert_eq!(
+        a.consumer_staging_wire_bytes(),
+        b.consumer_staging_wire_bytes()
+    );
+    // The DataPlane timing model prices the stream on both backends
+    // (the charge is a pure function of bytes, not of the transport).
+    assert!(
+        b.staging_model_seconds() > 0.0,
+        "the staging data plane must be priced"
+    );
+    assert_eq!(
+        a.staging_model_seconds().to_bits(),
+        b.staging_model_seconds().to_bits(),
+        "modelled data-plane seconds are transport-independent"
+    );
+}
+
+#[test]
+fn f16_codec_shrinks_the_wire_within_the_accuracy_budget() {
+    use artificial_scientist::staging::codec::WireCodec;
+    // The headline compression claim: F16 must cut staging wire bytes by
+    // at least 1.9× on the same seeded 2×2 run, while the final tail
+    // loss stays within the documented 15% relative tolerance of the
+    // uncompressed run (docs/ARCHITECTURE.md, "Data plane").
+    let mut cfg = seeded_2x2();
+    let base = run_workflow(&cfg);
+    cfg.wire_codec = WireCodec::F16;
+    let half = run_workflow(&cfg);
+    assert_eq!(base.consumer.windows, half.consumer.windows);
+    assert_eq!(base.consumer.samples, half.consumer.samples);
+    let ratio = base.staging_wire_bytes() as f64 / half.staging_wire_bytes() as f64;
+    assert!(
+        ratio >= 1.9,
+        "F16 must shrink staging wire bytes >= 1.9x, got {ratio:.3}"
+    );
+    // Compression shows up on the wire counter only — the logical
+    // payload telemetry is codec-independent.
+    assert_eq!(base.producer.bytes, half.producer.bytes);
+    let (a, b) = (base.tail_loss(4), half.tail_loss(4));
+    assert!(a.is_finite() && b.is_finite());
+    assert!(
+        ((a - b) / a).abs() <= 0.15,
+        "F16 tail loss {b} strays beyond 15% of lossless {a}"
+    );
+}
+
+#[test]
 fn netsim_backend_with_overlap_still_matches_in_process() {
     // Compose both new levers: the netsim fabric and the non-blocking
     // gradient sync together must still be a pure timing change.

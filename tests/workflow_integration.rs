@@ -125,7 +125,7 @@ fn noop_consumer_measures_the_producer_stream() {
     let cfg = fast_cfg();
     let stream_cfg = StreamConfig {
         queue_limit: cfg.queue_limit,
-        plane: cfg.plane,
+        plane: cfg.data_plane,
         ..StreamConfig::default()
     };
     let (mut pw, mut pr) = open_stream(stream_cfg);
@@ -158,7 +158,7 @@ fn data_plane_and_placement_are_configurable() {
         cfg.total_steps = 8;
         cfg.steps_per_sample = 4;
         cfg.n_rep = 1;
-        cfg.plane = plane;
+        cfg.data_plane = plane;
         cfg.placement = Placement::InterNode;
         let report = run_workflow(&cfg);
         assert_eq!(report.consumer.windows, 2, "plane {plane:?}");
